@@ -1,0 +1,73 @@
+// Cluster example: a full in-process deployment — Raft-sequenced batches
+// applied by three replicas, each running the Prognosticator engine with a
+// different worker count. The state hashes after every batch demonstrate
+// the system's reason for existing: deterministic replication without
+// coordination during execution.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	prog "prognosticator"
+	"prognosticator/internal/engine"
+	"prognosticator/internal/store"
+	"prognosticator/internal/workload/rubis"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cluster:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	cfg := rubis.Config{Users: 200, Items: 200}
+	reg, err := engine.NewRegistry(rubis.Schema(), rubis.Programs(cfg)...)
+	if err != nil {
+		return err
+	}
+	workerCounts := map[string]int{"replica-0": 1, "replica-1": 4, "replica-2": 16}
+	cluster, err := prog.NewCluster(prog.ClusterConfig{
+		Replicas: 3,
+		Seed:     42,
+		NewExecutor: func(id string, st *store.Store) (engine.Executor, error) {
+			rubis.Populate(st, cfg)
+			w := workerCounts[id]
+			fmt.Printf("starting %s with %d workers\n", id, w)
+			return engine.New(reg, st, engine.Config{Workers: w}), nil
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer cluster.Stop()
+
+	gen := rubis.NewGenerator(cfg, 99)
+	for b := 1; b <= 10; b++ {
+		reqs := make([]struct {
+			TxName string
+			Inputs map[string]prog.Value
+		}, 80)
+		for i := range reqs {
+			reqs[i].TxName, reqs[i].Inputs = gen.Next()
+		}
+		if err := cluster.SubmitBatch(reqs, 30*time.Second); err != nil {
+			return err
+		}
+		hashes := cluster.StateHashes()
+		status := "✓ identical"
+		if !cluster.Converged() {
+			status = "✗ DIVERGED"
+		}
+		fmt.Printf("batch %2d applied by all replicas — state %016x %s\n", b, hashes[0], status)
+		if !cluster.Converged() {
+			return fmt.Errorf("replicas diverged: %x", hashes)
+		}
+	}
+	fmt.Println("\n10 batches, 800 transactions: replicas with 1, 4 and 16 workers")
+	fmt.Println("reached bit-identical states after every single batch.")
+	return nil
+}

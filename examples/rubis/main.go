@@ -1,0 +1,102 @@
+// RUBiS example: run the RUBiS-C update mix (all five update transactions
+// are dependent transactions — every one consults the store for a unique
+// id) and compare the two failed-transaction strategies: sequential
+// re-execution (SF) vs re-enqueueing (MF). Under RUBiS-C's heavy counter
+// contention SF aborts far less — the paper's §IV-B finding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prognosticator/internal/engine"
+	"prognosticator/internal/store"
+	"prognosticator/internal/workload/rubis"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rubis:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	users := flag.Int("users", 500, "user count")
+	items := flag.Int("items", 500, "item count")
+	batches := flag.Int("batches", 15, "batches to run")
+	batchSize := flag.Int("batch-size", 150, "transactions per batch")
+	flag.Parse()
+
+	cfg := rubis.Config{Users: *users, Items: *items}
+	reg, err := engine.NewRegistry(rubis.Schema(), rubis.Programs(cfg)...)
+	if err != nil {
+		return err
+	}
+	fmt.Println("RUBiS transaction classes (every update transaction is a DT):")
+	for name, class := range reg.Classes {
+		fmt.Printf("  %-14s %v\n", name, class)
+	}
+
+	// Identical batch sequences for both variants.
+	gen := rubis.NewGenerator(cfg, 7)
+	seq := uint64(0)
+	allBatches := make([][]engine.Request, *batches)
+	for b := range allBatches {
+		batch := make([]engine.Request, *batchSize)
+		for i := range batch {
+			seq++
+			tx, inputs := gen.Next()
+			batch[i] = engine.Request{Seq: seq, TxName: tx, Inputs: inputs}
+		}
+		allBatches[b] = batch
+	}
+
+	type result struct {
+		aborts int
+		rounds int
+		hash   uint64
+	}
+	runVariant := func(fail engine.FailMode) (result, error) {
+		st := store.New()
+		rubis.Populate(st, cfg)
+		e := engine.New(reg, st, engine.Config{Workers: 8, Fail: fail})
+		var res result
+		for _, b := range allBatches {
+			br, err := e.ExecuteBatch(b)
+			if err != nil {
+				return res, err
+			}
+			res.aborts += br.Aborts
+			if br.FailRound > res.rounds {
+				res.rounds = br.FailRound
+			}
+		}
+		res.hash = st.StateHash(st.Epoch())
+		return res, nil
+	}
+
+	sf, err := runVariant(engine.FailSequential)
+	if err != nil {
+		return err
+	}
+	mf, err := runVariant(engine.FailReenqueue)
+	if err != nil {
+		return err
+	}
+	total := *batches * *batchSize
+	fmt.Printf("\nRUBiS-C, %d transactions:\n", total)
+	fmt.Printf("  MQ-SF: %5d aborts (%.1f%%), worst batch needed %d retry round(s)\n",
+		sf.aborts, 100*float64(sf.aborts)/float64(total), sf.rounds)
+	fmt.Printf("  MQ-MF: %5d aborts (%.1f%%), worst batch needed %d retry round(s)\n",
+		mf.aborts, 100*float64(mf.aborts)/float64(total), mf.rounds)
+	if sf.aborts < mf.aborts {
+		fmt.Printf("  -> SF aborts %.1fx less, as the paper reports for RUBiS-C (§IV-B)\n",
+			float64(mf.aborts)/float64(sf.aborts))
+	}
+	fmt.Printf("  note: SF and MF schedule retries differently, so their serial\n")
+	fmt.Printf("  orders (and final states) legitimately differ; each is\n")
+	fmt.Printf("  deterministic across replicas (hashes %016x / %016x).\n", sf.hash, mf.hash)
+	return nil
+}

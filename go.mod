@@ -1,0 +1,3 @@
+module prognosticator
+
+go 1.22

@@ -1,0 +1,174 @@
+package baselines
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prognosticator/internal/engine"
+	"prognosticator/internal/lang"
+	"prognosticator/internal/locktable"
+	"prognosticator/internal/profile"
+	"prognosticator/internal/store"
+)
+
+// NODO schedules transactions by the tables they access (§V, [26]): the
+// conflict classes are coarse (table-level), so no transaction ever aborts —
+// every transaction is an IT — but transactions touching different keys of
+// the same table serialize needlessly, capping parallelism.
+type NODO struct {
+	reg     *engine.Registry
+	st      *store.Store
+	workers int
+	lt      *locktable.Table
+}
+
+var _ engine.Executor = (*NODO)(nil)
+
+// NewNODO returns a NODO executor.
+func NewNODO(reg *engine.Registry, st *store.Store, workers int) *NODO {
+	if workers <= 0 {
+		workers = 4
+	}
+	return &NODO{reg: reg, st: st, workers: workers, lt: locktable.New()}
+}
+
+// Name implements engine.Executor.
+func (n *NODO) Name() string { return "NODO" }
+
+type nodoTx struct {
+	req   engine.Request
+	prog  *lang.Program
+	entry *locktable.Entry
+	out   *engine.TxOutcome
+}
+
+// ExecuteBatch implements engine.Executor.
+func (n *NODO) ExecuteBatch(batch []engine.Request) (*engine.BatchResult, error) {
+	start := time.Now()
+	epoch := n.st.BeginEpoch()
+	writer := n.st.WriterAt(epoch)
+	res := &engine.BatchResult{Epoch: epoch, Start: start,
+		Outcomes: make([]engine.TxOutcome, len(batch))}
+
+	txs := make([]*nodoTx, len(batch))
+	for i, req := range batch {
+		prog, ok := n.reg.Programs[req.TxName]
+		if !ok {
+			return nil, fmt.Errorf("nodo: unknown transaction %q", req.TxName)
+		}
+		class := n.reg.Classes[req.TxName]
+		res.Outcomes[i] = engine.TxOutcome{Seq: req.Seq, TxName: req.TxName, Class: class}
+		if class == profile.ClassROT {
+			res.ROTs++
+		} else {
+			res.Updates++
+		}
+		// Conflict class = set of tables; lock keys are table names with
+		// read/write modes from the static analysis.
+		txs[i] = &nodoTx{req: req, prog: prog, out: &res.Outcomes[i],
+			entry: &locktable.Entry{Seq: req.Seq, Keys: n.reg.TableLocks[req.TxName]}}
+		txs[i].entry.Payload = txs[i]
+	}
+
+	n.lt.Reset()
+	readyCh := make(chan *locktable.Entry, len(txs)+1)
+	for _, tx := range txs {
+		if n.lt.Enqueue(tx.entry) {
+			readyCh <- tx.entry
+		}
+	}
+	if len(txs) == 0 {
+		close(readyCh)
+	}
+	var remaining atomic.Int32
+	remaining.Store(int32(len(txs)))
+	var errOnce sync.Once
+	var firstErr error
+	var wg sync.WaitGroup
+	for w := 0; w < n.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for entry := range readyCh {
+				tx := entry.Payload.(*nodoTx)
+				t0 := time.Now()
+				ov := engine.NewOverlay(writer)
+				if _, err := lang.Run(tx.prog, tx.req.Inputs, ov); err != nil {
+					errOnce.Do(func() {
+						firstErr = fmt.Errorf("nodo: execute %s(seq %d): %w", tx.req.TxName, tx.req.Seq, err)
+					})
+				} else {
+					ov.Flush(writer)
+				}
+				tx.out.Exec += time.Since(t0)
+				tx.out.Done = time.Now()
+				n.lt.Release(entry, func(nx *locktable.Entry) { readyCh <- nx })
+				if remaining.Add(-1) == 0 {
+					close(readyCh)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if epoch%16 == 0 && epoch > 1 {
+		n.st.GC(epoch - 1)
+	}
+	res.End = time.Now()
+	return res, nil
+}
+
+// SEQ executes every transaction of the batch sequentially on a single
+// thread, in the agreed order — the trivially correct deterministic
+// baseline (§IV-B).
+type SEQ struct {
+	reg *engine.Registry
+	st  *store.Store
+}
+
+var _ engine.Executor = (*SEQ)(nil)
+
+// NewSEQ returns a sequential executor.
+func NewSEQ(reg *engine.Registry, st *store.Store) *SEQ {
+	return &SEQ{reg: reg, st: st}
+}
+
+// Name implements engine.Executor.
+func (s *SEQ) Name() string { return "SEQ" }
+
+// ExecuteBatch implements engine.Executor.
+func (s *SEQ) ExecuteBatch(batch []engine.Request) (*engine.BatchResult, error) {
+	start := time.Now()
+	epoch := s.st.BeginEpoch()
+	writer := s.st.WriterAt(epoch)
+	res := &engine.BatchResult{Epoch: epoch, Start: start,
+		Outcomes: make([]engine.TxOutcome, len(batch))}
+	for i, req := range batch {
+		prog, ok := s.reg.Programs[req.TxName]
+		if !ok {
+			return nil, fmt.Errorf("seq: unknown transaction %q", req.TxName)
+		}
+		class := s.reg.Classes[req.TxName]
+		res.Outcomes[i] = engine.TxOutcome{Seq: req.Seq, TxName: req.TxName, Class: class}
+		if class == profile.ClassROT {
+			res.ROTs++
+		} else {
+			res.Updates++
+		}
+		t0 := time.Now()
+		if _, err := lang.Run(prog, req.Inputs, writer); err != nil {
+			return nil, fmt.Errorf("seq: execute %s(seq %d): %w", req.TxName, req.Seq, err)
+		}
+		res.Outcomes[i].Exec = time.Since(t0)
+		res.Outcomes[i].Done = time.Now()
+	}
+	if epoch%16 == 0 && epoch > 1 {
+		s.st.GC(epoch - 1)
+	}
+	res.End = time.Now()
+	return res, nil
+}

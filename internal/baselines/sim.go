@@ -1,0 +1,273 @@
+package baselines
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"prognosticator/internal/engine"
+	"prognosticator/internal/lang"
+	"prognosticator/internal/locktable"
+	"prognosticator/internal/profile"
+	"prognosticator/internal/store"
+)
+
+// Virtual-time counterparts of the baselines (see internal/engine/sim.go
+// for the rationale): execution is real, scheduling is simulated on N
+// virtual workers so the paper's 20-core figures reproduce on any host.
+
+// SimSEQ is the virtual-time sequential baseline: one virtual worker.
+type SimSEQ struct {
+	reg  *engine.Registry
+	st   *store.Store
+	cost engine.CostModel
+}
+
+var _ engine.Executor = (*SimSEQ)(nil)
+
+// NewSimSEQ returns a virtual-time sequential executor.
+func NewSimSEQ(reg *engine.Registry, st *store.Store) *SimSEQ {
+	return &SimSEQ{reg: reg, st: st, cost: engine.DefaultCostModel()}
+}
+
+// Name implements engine.Executor.
+func (s *SimSEQ) Name() string { return "SEQ" }
+
+// ExecuteBatch implements engine.Executor.
+func (s *SimSEQ) ExecuteBatch(batch []engine.Request) (*engine.BatchResult, error) {
+	start := time.Now()
+	epoch := s.st.BeginEpoch()
+	writer := s.st.WriterAt(epoch)
+	res := &engine.BatchResult{Epoch: epoch, Start: start,
+		Outcomes: make([]engine.TxOutcome, len(batch))}
+	var clock time.Duration
+	for i, req := range batch {
+		prog, ok := s.reg.Programs[req.TxName]
+		if !ok {
+			return nil, fmt.Errorf("seq: unknown transaction %q", req.TxName)
+		}
+		class := s.reg.Classes[req.TxName]
+		res.Outcomes[i] = engine.TxOutcome{Seq: req.Seq, TxName: req.TxName, Class: class}
+		if class == profile.ClassROT {
+			res.ROTs++
+		} else {
+			res.Updates++
+		}
+		resu, err := lang.Run(prog, req.Inputs, writer)
+		if err != nil {
+			return nil, fmt.Errorf("seq: execute %s(seq %d): %w", req.TxName, req.Seq, err)
+		}
+		cost := s.cost.ExecCost(len(resu.Reads), len(resu.Writes))
+		clock += cost
+		res.Outcomes[i].Exec = cost
+		res.Outcomes[i].VDone = clock
+		res.Outcomes[i].Done = time.Now()
+	}
+	if epoch%16 == 0 && epoch > 1 {
+		s.st.GC(epoch - 1)
+	}
+	res.VirtualMakespan = clock
+	res.End = time.Now()
+	return res, nil
+}
+
+// SimNODO is the virtual-time NODO baseline: table-granularity conflict
+// classes scheduled over N virtual workers.
+type SimNODO struct {
+	reg     *engine.Registry
+	st      *store.Store
+	workers int
+	cost    engine.CostModel
+	lt      *locktable.Table
+}
+
+var _ engine.Executor = (*SimNODO)(nil)
+
+// NewSimNODO returns a virtual-time NODO executor.
+func NewSimNODO(reg *engine.Registry, st *store.Store, workers int) *SimNODO {
+	if workers <= 0 {
+		workers = 4
+	}
+	return &SimNODO{reg: reg, st: st, workers: workers,
+		cost: engine.DefaultCostModel(), lt: locktable.New()}
+}
+
+// Name implements engine.Executor.
+func (n *SimNODO) Name() string { return "NODO" }
+
+// ExecuteBatch implements engine.Executor.
+func (n *SimNODO) ExecuteBatch(batch []engine.Request) (*engine.BatchResult, error) {
+	start := time.Now()
+	epoch := n.st.BeginEpoch()
+	writer := n.st.WriterAt(epoch)
+	res := &engine.BatchResult{Epoch: epoch, Start: start,
+		Outcomes: make([]engine.TxOutcome, len(batch))}
+	tasks := make([]*engine.SimTask, len(batch))
+	for i, req := range batch {
+		prog, ok := n.reg.Programs[req.TxName]
+		if !ok {
+			return nil, fmt.Errorf("nodo: unknown transaction %q", req.TxName)
+		}
+		class := n.reg.Classes[req.TxName]
+		res.Outcomes[i] = engine.TxOutcome{Seq: req.Seq, TxName: req.TxName, Class: class}
+		if class == profile.ClassROT {
+			res.ROTs++
+		} else {
+			res.Updates++
+		}
+		tasks[i] = &engine.SimTask{
+			Entry: &locktable.Entry{Seq: req.Seq, Keys: n.reg.TableLocks[req.TxName]},
+			Out:   &res.Outcomes[i],
+			Exec: func() (bool, time.Duration, error) {
+				ov := engine.NewOverlay(writer)
+				resu, err := lang.Run(prog, req.Inputs, ov)
+				if err != nil {
+					return false, 0, fmt.Errorf("nodo: execute %s(seq %d): %w", req.TxName, req.Seq, err)
+				}
+				ov.Flush(writer)
+				cost := n.cost.ExecCost(len(resu.Reads), len(resu.Writes))
+				res.Outcomes[i].Exec += cost
+				return true, cost, nil
+			},
+		}
+		tasks[i].Entry.Payload = tasks[i]
+	}
+	_, makespan, err := engine.SimulateRound(n.lt, tasks, n.workers, 0)
+	if err != nil {
+		return nil, err
+	}
+	for i := range res.Outcomes {
+		res.Outcomes[i].Done = time.Now()
+	}
+	if epoch%16 == 0 && epoch > 1 {
+		n.st.GC(epoch - 1)
+	}
+	res.VirtualMakespan = makespan
+	res.End = time.Now()
+	return res, nil
+}
+
+// SimCalvin is the virtual-time Calvin baseline: stale client-side
+// reconnaissance (free for the replica), strict in-order locks, aborted
+// transactions carried to the next batch.
+type SimCalvin struct {
+	reg       *engine.Registry
+	st        *store.Store
+	workers   int
+	staleness uint64
+	cost      engine.CostModel
+	lt        *locktable.Table
+	carry     []*calvinTx
+	label     string
+}
+
+var _ engine.Executor = (*SimCalvin)(nil)
+
+// NewSimCalvin returns a virtual-time Calvin executor.
+func NewSimCalvin(reg *engine.Registry, st *store.Store, workers int, stalenessEpochs uint64, label string) *SimCalvin {
+	if workers <= 0 {
+		workers = 4
+	}
+	return &SimCalvin{reg: reg, st: st, workers: workers,
+		staleness: stalenessEpochs, cost: engine.DefaultCostModel(),
+		lt: locktable.New(), label: label}
+}
+
+// Name implements engine.Executor.
+func (c *SimCalvin) Name() string { return c.label }
+
+// Pending returns the carried-over transaction count.
+func (c *SimCalvin) Pending() int { return len(c.carry) }
+
+// ExecuteBatch implements engine.Executor.
+func (c *SimCalvin) ExecuteBatch(batch []engine.Request) (*engine.BatchResult, error) {
+	start := time.Now()
+	epoch := c.st.BeginEpoch()
+	writer := c.st.WriterAt(epoch)
+	prepEpoch := uint64(0)
+	if epoch-1 > c.staleness {
+		prepEpoch = epoch - 1 - c.staleness
+	}
+	snap := c.st.ViewAt(prepEpoch)
+
+	txs := make([]*calvinTx, 0, len(c.carry)+len(batch))
+	txs = append(txs, c.carry...)
+	c.carry = nil
+	for _, req := range batch {
+		prog, ok := c.reg.Programs[req.TxName]
+		if !ok {
+			return nil, fmt.Errorf("calvin: unknown transaction %q", req.TxName)
+		}
+		txs = append(txs, &calvinTx{req: req, prog: prog,
+			prof: c.reg.Profiles[req.TxName], class: c.reg.Classes[req.TxName]})
+	}
+	res := &engine.BatchResult{Epoch: epoch, Start: start,
+		Outcomes: make([]engine.TxOutcome, len(txs))}
+	for i, tx := range txs {
+		res.Outcomes[i] = engine.TxOutcome{Seq: tx.req.Seq, TxName: tx.req.TxName, Class: tx.class}
+		tx.out = &res.Outcomes[i]
+		if tx.class == profile.ClassROT {
+			res.ROTs++
+		} else {
+			res.Updates++
+		}
+	}
+	// Client-side reconnaissance: off the replica's critical path (a
+	// dedicated client thread prepared these N ms ago), so it contributes
+	// no virtual time — only the stale snapshot matters.
+	for _, tx := range txs {
+		ks, err := tx.prof.Instantiate(tx.req.Inputs, snap)
+		if err != nil {
+			return nil, fmt.Errorf("calvin: instantiate %s(seq %d): %w", tx.req.TxName, tx.req.Seq, err)
+		}
+		tx.ks = ks
+		tx.entry = &locktable.Entry{Seq: tx.req.Seq, Keys: locktable.BuildKeys(ks.Reads, ks.Writes)}
+	}
+	sort.Slice(txs, func(i, j int) bool { return txs[i].req.Seq < txs[j].req.Seq })
+	tasks := make([]*engine.SimTask, len(txs))
+	for i, tx := range txs {
+		tx := tx
+		tasks[i] = &engine.SimTask{Entry: tx.entry, Out: tx.out,
+			Exec: func() (bool, time.Duration, error) {
+				ov := engine.NewOverlay(writer)
+				ov.Guard(tx.ks.Reads, tx.ks.Writes)
+				resu, err := lang.Run(tx.prog, tx.req.Inputs, ov)
+				if err != nil {
+					return false, 0, fmt.Errorf("calvin: execute %s(seq %d): %w", tx.req.TxName, tx.req.Seq, err)
+				}
+				cost := c.cost.ExecCost(len(resu.Reads), len(resu.Writes))
+				tx.out.Exec += cost
+				if ov.Violated() {
+					return false, cost, nil
+				}
+				ov.Flush(writer)
+				tx.out.Pending = false
+				return true, cost, nil
+			}}
+		tasks[i].Entry.Payload = tx
+	}
+	failedTasks, makespan, err := engine.SimulateRound(c.lt, tasks, c.workers, 0)
+	if err != nil {
+		return nil, err
+	}
+	failed := make([]*calvinTx, 0, len(failedTasks))
+	for _, ft := range failedTasks {
+		failed = append(failed, ft.Entry.Payload.(*calvinTx))
+	}
+	sort.Slice(failed, func(i, j int) bool { return failed[i].req.Seq < failed[j].req.Seq })
+	for _, tx := range failed {
+		tx.out.Pending = true
+		tx.aborts++
+		c.carry = append(c.carry, tx)
+	}
+	for i := range res.Outcomes {
+		res.Aborts += res.Outcomes[i].Aborts
+		res.Outcomes[i].Done = time.Now()
+	}
+	if epoch%16 == 0 && epoch > c.staleness+1 {
+		c.st.GC(epoch - c.staleness - 1)
+	}
+	res.VirtualMakespan = makespan
+	res.End = time.Now()
+	return res, nil
+}

@@ -1,0 +1,396 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prognosticator/internal/lang"
+	"prognosticator/internal/locktable"
+	"prognosticator/internal/profile"
+	"prognosticator/internal/store"
+	"prognosticator/internal/value"
+)
+
+// Engine is the Prognosticator executor. One goroutine (the caller of
+// ExecuteBatch) plays the Queuer; Config.Workers worker goroutines execute
+// transactions. Batches must be executed one at a time.
+type Engine struct {
+	reg *Registry
+	st  *store.Store
+	cfg Config
+	lt  *locktable.Table
+}
+
+var _ Executor = (*Engine)(nil)
+
+// New returns an engine over the given catalog and store.
+func New(reg *Registry, st *store.Store, cfg Config) *Engine {
+	return &Engine{reg: reg, st: st, cfg: cfg.withDefaults(), lt: locktable.New()}
+}
+
+// Name implements Executor.
+func (e *Engine) Name() string { return e.cfg.VariantName() }
+
+// Store returns the underlying store (for state-hash checks).
+func (e *Engine) Store() *store.Store { return e.st }
+
+// txRuntime carries one request through the batch pipeline.
+type txRuntime struct {
+	req   Request
+	prog  *lang.Program
+	prof  *profile.Profile
+	class profile.Class
+	ks    *profile.KeySet
+	entry *locktable.Entry
+	out   *TxOutcome
+	// Operation counts of the most recent execution attempt and of the
+	// preparation, for the virtual-time cost model (sim.go), plus the
+	// accumulated virtual durations.
+	lastReads, lastWrites int
+	prepReads, prepWrites int
+	prepFull              bool // preparation ran the full logic (recon)
+	vExec, vPrep          time.Duration
+}
+
+// ExecuteBatch implements Executor. Phases (§III-C):
+//
+//  1. Workers drain their round-robin ROT queues against the
+//     previous-batch snapshot while, concurrently, indirect keys are
+//     prepared (by Queuer + Workers in MQ mode, Queuer alone in 1Q mode).
+//  2. The Queuer enqueues update transactions into the lock table — DTs
+//     ahead of ITs — seeding the ready queue.
+//  3. Workers drain the ready queue: DTs validate their pivot observations
+//     first and abort into the failed list on any change; executions are
+//     buffered and flushed before lock release.
+//  4. Failed transactions are re-executed sequentially (SF) or re-prepared
+//     and re-enqueued in rounds (MF).
+func (e *Engine) ExecuteBatch(batch []Request) (*BatchResult, error) {
+	start := time.Now()
+	epoch := e.st.BeginEpoch()
+	snap := e.st.ViewAt(epoch - 1)
+	writer := e.st.WriterAt(epoch)
+	res := &BatchResult{Epoch: epoch, Start: start, Outcomes: make([]TxOutcome, len(batch))}
+
+	rotQueues := make([][]*txRuntime, e.cfg.Workers)
+	var dts, its []*txRuntime
+	rotIdx := 0
+	for i, req := range batch {
+		prog, ok := e.reg.Programs[req.TxName]
+		if !ok {
+			return nil, fmt.Errorf("engine: unknown transaction %q", req.TxName)
+		}
+		prof := e.reg.Profiles[req.TxName]
+		class := e.reg.Classes[req.TxName]
+		res.Outcomes[i] = TxOutcome{Seq: req.Seq, TxName: req.TxName, Class: class}
+		tx := &txRuntime{req: req, prog: prog, prof: prof, class: class, out: &res.Outcomes[i]}
+		switch class {
+		case profile.ClassROT:
+			// Round-robin distribution into per-worker local queues keeps
+			// ROT execution coordination-free (§III-C).
+			rotQueues[rotIdx%e.cfg.Workers] = append(rotQueues[rotIdx%e.cfg.Workers], tx)
+			rotIdx++
+			res.ROTs++
+		case profile.ClassDT:
+			dts = append(dts, tx)
+			res.Updates++
+		default:
+			its = append(its, tx)
+			res.Updates++
+		}
+	}
+	// DTs ahead of ITs so they execute earlier, shrinking the window in
+	// which their pivot predictions can go stale.
+	updates := make([]*txRuntime, 0, len(dts)+len(its))
+	updates = append(updates, dts...)
+	updates = append(updates, its...)
+
+	var errOnce sync.Once
+	var firstErr error
+	reportErr := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+	}
+
+	// Phase 1: ROT execution overlapped with key-set preparation.
+	prepCh := make(chan *txRuntime, len(updates)+1)
+	for _, tx := range updates {
+		prepCh <- tx
+	}
+	close(prepCh)
+	var wg sync.WaitGroup
+	for w := 0; w < e.cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, rot := range rotQueues[w] {
+				if err := e.execROT(rot, snap); err != nil {
+					reportErr(err)
+				}
+			}
+			if e.cfg.Queue == QueueMulti {
+				for tx := range prepCh {
+					if err := e.prepare(tx, snap); err != nil {
+						reportErr(err)
+					}
+				}
+			}
+		}(w)
+	}
+	// The Queuer always participates in preparation; in 1Q mode it is the
+	// only preparer.
+	for tx := range prepCh {
+		if err := e.prepare(tx, snap); err != nil {
+			reportErr(err)
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	// Phases 2+3: enqueue and execute.
+	failed, err := e.executeRound(updates, writer)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 4: failed transactions.
+	switch e.cfg.Fail {
+	case FailSequential:
+		if len(failed) > 0 {
+			res.FailRound = 1
+			sortBySeq(failed)
+			for _, tx := range failed {
+				if err := e.execDirect(tx, writer); err != nil {
+					return nil, err
+				}
+			}
+		}
+	default: // FailReenqueue
+		for round := 0; len(failed) > 0; round++ {
+			res.FailRound = round + 1
+			sortBySeq(failed)
+			// Re-prepare against the current (partially executed) state.
+			for _, tx := range failed {
+				if err := e.prepareWith(tx, writer); err != nil {
+					return nil, err
+				}
+			}
+			prev := len(failed)
+			failed, err = e.executeRound(failed, writer)
+			if err != nil {
+				return nil, err
+			}
+			// Robustness fallback: a round that commits nothing means the
+			// profile mispredicts persistently (e.g. read-own-write
+			// aliasing outside the profile's model). Sequential unguarded
+			// re-execution is always correct and deterministic.
+			if len(failed) >= prev || round >= maxFailRounds {
+				sortBySeq(failed)
+				for _, tx := range failed {
+					if err := e.execDirect(tx, writer); err != nil {
+						return nil, err
+					}
+				}
+				failed = nil
+			}
+		}
+	}
+
+	// Version GC sweeps every key, so amortize it over gcEvery batches.
+	if epoch%gcEvery == 0 {
+		if horizon := e.cfg.GCHorizon; epoch > horizon {
+			e.st.GC(epoch - horizon)
+		}
+	}
+	for i := range res.Outcomes {
+		res.Aborts += res.Outcomes[i].Aborts
+	}
+	res.End = time.Now()
+	return res, nil
+}
+
+// gcEvery is the store-GC cadence in batches.
+const gcEvery = 16
+
+// maxFailRounds bounds MF convergence; each round commits at least the
+// first failed transaction of every conflict chain, so hitting this limit
+// indicates a bug rather than contention.
+const maxFailRounds = 1000
+
+func sortBySeq(txs []*txRuntime) {
+	sort.Slice(txs, func(i, j int) bool { return txs[i].req.Seq < txs[j].req.Seq })
+}
+
+// executeRound enqueues the given transactions (in slice order) and drains
+// the ready queue with the worker pool. It returns the transactions that
+// failed pivot validation or key-set guarding.
+func (e *Engine) executeRound(txs []*txRuntime, writer *store.WriteView) ([]*txRuntime, error) {
+	if len(txs) == 0 {
+		return nil, nil
+	}
+	e.lt.Reset()
+	readyCh := make(chan *locktable.Entry, len(txs)+1)
+	for _, tx := range txs {
+		if e.lt.Enqueue(tx.entry) {
+			readyCh <- tx.entry
+		}
+	}
+	var remaining atomic.Int32
+	remaining.Store(int32(len(txs)))
+	var failedMu sync.Mutex
+	var failed []*txRuntime
+	var errOnce sync.Once
+	var firstErr error
+	var wg sync.WaitGroup
+	for w := 0; w < e.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for entry := range readyCh {
+				tx := entry.Payload.(*txRuntime)
+				ok, err := e.execUpdate(tx, writer)
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+				}
+				if err == nil && !ok {
+					tx.out.Aborts++
+					failedMu.Lock()
+					failed = append(failed, tx)
+					failedMu.Unlock()
+				}
+				e.lt.Release(entry, func(n *locktable.Entry) { readyCh <- n })
+				if remaining.Add(-1) == 0 {
+					close(readyCh)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return failed, nil
+}
+
+// execROT runs a read-only transaction against the snapshot; no locks, no
+// writes, results discarded (a real deployment would return them to the
+// client).
+func (e *Engine) execROT(tx *txRuntime, snap *store.ReadView) error {
+	t0 := time.Now()
+	resu, err := lang.Run(tx.prog, tx.req.Inputs, snap)
+	if err != nil {
+		return fmt.Errorf("engine: ROT %s(seq %d): %w", tx.req.TxName, tx.req.Seq, err)
+	}
+	tx.lastReads, tx.lastWrites = len(resu.Reads), 0
+	tx.out.Emitted = resu.Emitted
+	tx.out.Exec += time.Since(t0)
+	tx.out.Done = time.Now()
+	return nil
+}
+
+// prepare computes the key-set of an update transaction against the
+// beginning-of-batch snapshot.
+func (e *Engine) prepare(tx *txRuntime, snap *store.ReadView) error {
+	return e.prepareReader(tx, snap, snap)
+}
+
+// prepareWith re-prepares against the current batch state (MF rounds).
+func (e *Engine) prepareWith(tx *txRuntime, writer *store.WriteView) error {
+	return e.prepareReader(tx, writer, writer)
+}
+
+// prepareReader computes the key-set using kv for reconnaissance reads and
+// pr for pivot reads, then builds the lock-table entry.
+func (e *Engine) prepareReader(tx *txRuntime, kv lang.KV, pr profile.PivotReader) error {
+	t0 := time.Now()
+	defer func() { tx.out.Prepare += time.Since(t0) }()
+	switch e.cfg.Prepare {
+	case PrepareRecon:
+		// OLLP-style reconnaissance: run the full transaction logic on the
+		// snapshot, buffering (and discarding) its writes, to discover the
+		// key-set. This is the structural cost of the -R variants: a full
+		// execution per preparation, vs only pivot reads for SE profiles.
+		ov := NewOverlay(kv)
+		resu, err := lang.Run(tx.prog, tx.req.Inputs, ov)
+		if err != nil {
+			return fmt.Errorf("engine: reconnaissance %s(seq %d): %w", tx.req.TxName, tx.req.Seq, err)
+		}
+		tx.ks = &profile.KeySet{Reads: resu.Reads, Writes: resu.Writes}
+		tx.prepReads, tx.prepWrites, tx.prepFull = len(resu.Reads), len(resu.Writes), true
+	default:
+		ks, err := tx.prof.Instantiate(tx.req.Inputs, pr)
+		if err != nil {
+			return fmt.Errorf("engine: instantiate %s(seq %d): %w", tx.req.TxName, tx.req.Seq, err)
+		}
+		tx.ks = ks
+		tx.prepReads, tx.prepWrites, tx.prepFull = len(ks.Pivots), 0, false
+	}
+	lockKeys := locktable.BuildKeys(tx.ks.Reads, tx.ks.Writes)
+	if e.cfg.ExclusiveLocks {
+		for i := range lockKeys {
+			lockKeys[i].Write = true
+		}
+	}
+	tx.entry = &locktable.Entry{Seq: tx.req.Seq, Keys: lockKeys, Payload: tx}
+	return nil
+}
+
+// execUpdate validates and executes one update transaction while it holds
+// all its locks. It returns ok=false when the transaction must abort
+// (stale pivot observation or key-set guard violation).
+func (e *Engine) execUpdate(tx *txRuntime, writer *store.WriteView) (bool, error) {
+	t0 := time.Now()
+	defer func() { tx.out.Exec += time.Since(t0) }()
+	// Pivot validation (§III-C): the keys this DT locked were derived from
+	// pivot values read at prepare time; if any pivot changed since, the
+	// derived key-set may be wrong and the transaction must abort.
+	if e.cfg.Prepare == PrepareSE {
+		for _, obs := range tx.ks.Pivots {
+			cur, found := writer.ReadPivot(obs.Key, obs.Field)
+			if !found {
+				cur = value.Int(0)
+			}
+			if !cur.Equal(obs.Value) {
+				// Aborted during validation: only the pivot re-reads were
+				// performed.
+				tx.lastReads, tx.lastWrites = len(tx.ks.Pivots), 0
+				return false, nil
+			}
+		}
+	}
+	ov := NewOverlay(writer)
+	ov.Guard(tx.ks.Reads, tx.ks.Writes)
+	resu, err := lang.Run(tx.prog, tx.req.Inputs, ov)
+	if err != nil {
+		return false, fmt.Errorf("engine: execute %s(seq %d): %w", tx.req.TxName, tx.req.Seq, err)
+	}
+	tx.lastReads = len(tx.ks.Pivots) + len(resu.Reads)
+	tx.lastWrites = len(resu.Writes)
+	if ov.Violated() {
+		return false, nil
+	}
+	ov.Flush(writer)
+	tx.out.Emitted = resu.Emitted
+	tx.out.Done = time.Now()
+	return true, nil
+}
+
+// execDirect runs a transaction with exclusive access (SF re-execution): no
+// guard, no validation — sequential execution cannot conflict.
+func (e *Engine) execDirect(tx *txRuntime, writer *store.WriteView) error {
+	t0 := time.Now()
+	ov := NewOverlay(writer)
+	resu, err := lang.Run(tx.prog, tx.req.Inputs, ov)
+	if err != nil {
+		return fmt.Errorf("engine: sequential re-exec %s(seq %d): %w", tx.req.TxName, tx.req.Seq, err)
+	}
+	tx.lastReads, tx.lastWrites = len(resu.Reads), len(resu.Writes)
+	ov.Flush(writer)
+	tx.out.Emitted = resu.Emitted
+	tx.out.Exec += time.Since(t0)
+	tx.out.Done = time.Now()
+	return nil
+}

@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"prognosticator/internal/lang"
+	"prognosticator/internal/store"
+	"prognosticator/internal/value"
+)
+
+// Overlay buffers a transaction's writes on top of a base view and
+// optionally guards accesses against the predicted key-set. Buffering gives
+// atomicity (nothing reaches the store until Flush) and the guard implements
+// OLLP-style validation: an access outside the locked key-set means the
+// prediction was stale, so the transaction must abort — without having
+// published any effect and without reading unlocked (hence racy) state.
+// It implements lang.KV and is shared with the Calvin baseline.
+type Overlay struct {
+	base lang.KV
+	// writes holds buffered effects; order preserves first-write order.
+	writes map[value.Encoded]overlayWrite
+	order  []value.Encoded
+	// allowedRead/allowedWrite are the guard sets; nil disables guarding.
+	allowedRead  map[value.Encoded]bool
+	allowedWrite map[value.Encoded]bool
+	violated     bool
+}
+
+type overlayWrite struct {
+	key     value.Key
+	val     value.Value
+	deleted bool
+}
+
+// NewOverlay returns an overlay reading through to base.
+func NewOverlay(base lang.KV) *Overlay {
+	return &Overlay{base: base, writes: map[value.Encoded]overlayWrite{}}
+}
+
+// Guard restricts reads to reads ∪ writes and writes to the write set.
+func (o *Overlay) Guard(reads, writes []value.Key) {
+	o.allowedRead = make(map[value.Encoded]bool, len(reads)+len(writes))
+	o.allowedWrite = make(map[value.Encoded]bool, len(writes))
+	for _, k := range reads {
+		o.allowedRead[k.Encode()] = true
+	}
+	for _, k := range writes {
+		e := k.Encode()
+		o.allowedRead[e] = true
+		o.allowedWrite[e] = true
+	}
+}
+
+// Violated reports whether any access fell outside the guard sets.
+func (o *Overlay) Violated() bool { return o.violated }
+
+// Get implements lang.KV. After a guard violation every read returns
+// not-found so execution completes deterministically without observing
+// unlocked state.
+func (o *Overlay) Get(k value.Key) (value.Value, bool) {
+	e := k.Encode()
+	if o.violated {
+		return value.Value{}, false
+	}
+	if o.allowedRead != nil && !o.allowedRead[e] {
+		o.violated = true
+		return value.Value{}, false
+	}
+	if w, ok := o.writes[e]; ok {
+		if w.deleted {
+			return value.Value{}, false
+		}
+		return w.val, true
+	}
+	return o.base.Get(k)
+}
+
+// Put implements lang.KV.
+func (o *Overlay) Put(k value.Key, v value.Value) {
+	e := k.Encode()
+	if o.violated {
+		return
+	}
+	if o.allowedWrite != nil && !o.allowedWrite[e] {
+		o.violated = true
+		return
+	}
+	if _, ok := o.writes[e]; !ok {
+		o.order = append(o.order, e)
+	}
+	o.writes[e] = overlayWrite{key: k, val: v}
+}
+
+// Delete implements lang.KV.
+func (o *Overlay) Delete(k value.Key) {
+	e := k.Encode()
+	if o.violated {
+		return
+	}
+	if o.allowedWrite != nil && !o.allowedWrite[e] {
+		o.violated = true
+		return
+	}
+	if _, ok := o.writes[e]; !ok {
+		o.order = append(o.order, e)
+	}
+	o.writes[e] = overlayWrite{key: k, deleted: true}
+}
+
+// Flush publishes the buffered writes to the store in first-write order.
+// Callers flush only after a violation-free execution and while still
+// holding the transaction's locks.
+func (o *Overlay) Flush(w *store.WriteView) {
+	for _, e := range o.order {
+		wr := o.writes[e]
+		if wr.deleted {
+			w.Delete(wr.key)
+		} else {
+			w.Put(wr.key, wr.val)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"prognosticator/internal/engine"
+)
+
+func virtualOpts() Options {
+	return Options{
+		BatchInterval: 10 * time.Millisecond,
+		P99SLA:        10 * time.Millisecond,
+		Batches:       10,
+		Warmup:        2,
+		StartSize:     8,
+		MaxSize:       128,
+		Growth:        2,
+		Workers:       8,
+		Seed:          1,
+		Virtual:       true,
+	}
+}
+
+// TestVirtualRunPointDeterministic: the cost-model simulator must yield
+// bit-identical figures across repeated runs — the property that makes the
+// benchmark results reproducible.
+func TestVirtualRunPointDeterministic(t *testing.T) {
+	wl, err := TPCCWorkload(tinyTPCC(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := SimPrognosticatorSystem("MQ-MF", engineConfigMQMF())
+	first, err := RunPoint(sys, wl, 16, virtualOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 2; run++ {
+		pt, err := RunPoint(sys, wl, 16, virtualOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pt.P99 != first.P99 || pt.Throughput != first.Throughput || pt.AbortPct != first.AbortPct {
+			t.Fatalf("virtual run diverged: %+v vs %+v", pt, first)
+		}
+	}
+	if first.Throughput <= 0 || first.P99 <= 0 {
+		t.Fatalf("degenerate point: %+v", first)
+	}
+}
+
+// TestVirtualParallelismShapesThroughput: the simulated MQ-MF engine with
+// many virtual workers must sustain clearly more than the sequential
+// baseline at low contention — the paper's Fig. 3a backbone, impossible to
+// demonstrate with real threads on a single-core host.
+func TestVirtualParallelismShapesThroughput(t *testing.T) {
+	wl, err := TPCCWorkload(tinyTPCC(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := virtualOpts()
+	opts.Workers = 16
+	mqmf, err := MaxSustainable(SimPrognosticatorSystem("MQ-MF", engineConfigMQMF()), wl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqSys := System{Name: "SEQ", New: SimComparisonSystems()[5].New}
+	seq, err := MaxSustainable(seqSys, wl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mqmf.Best.Throughput < 2*seq.Best.Throughput {
+		t.Fatalf("MQ-MF (%v) should beat SEQ (%v) by >= 2x at low contention",
+			mqmf.Best.Throughput, seq.Best.Throughput)
+	}
+}
+
+// TestVirtualReconSlowerThanSE: the -R variants must pay more preparation
+// time than the SE variants — the paper's Fig. 5 core claim, structural in
+// the cost model.
+func TestVirtualReconSlowerThanSE(t *testing.T) {
+	wl, err := TPCCWorkload(tinyTPCC(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := virtualOpts()
+	se, err := RunPoint(SimPrognosticatorSystem("MQ-MF", engineConfigMQMF()), wl, 32, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rCfg := engine.Config{Queue: engine.QueueMulti, Fail: engine.FailReenqueue, Prepare: engine.PrepareRecon}
+	recon, err := RunPoint(SimPrognosticatorSystem("MQ-MF-R", rCfg), wl, 32, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recon.MeanPrepare <= se.MeanPrepare {
+		t.Fatalf("recon prepare (%v) must exceed SE prepare (%v)",
+			recon.MeanPrepare, se.MeanPrepare)
+	}
+}
+
+// TestVirtualMatchesRealState: the harness-level wiring of the simulator
+// must evolve the same store state as the threaded engine over a full
+// sweep point.
+func TestVirtualMatchesRealState(t *testing.T) {
+	wl, err := TPCCWorkload(tinyTPCC(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := virtualOpts()
+	opts.Batches = 6
+	// Run identical request streams through a sim executor and a real
+	// executor outside the harness, then compare.
+	stSim := wl.NewStore()
+	sim := engine.NewSim(wl.Registry, stSim, engineConfigMQMF())
+	stReal := wl.NewStore()
+	real := engine.New(wl.Registry, stReal, engineConfigMQMF())
+	gen1 := wl.NewGen(3)
+	gen2 := wl.NewGen(3)
+	seq := uint64(0)
+	for b := 0; b < 5; b++ {
+		var b1, b2 []engine.Request
+		for i := 0; i < 30; i++ {
+			seq++
+			tx, in := gen1.Next()
+			b1 = append(b1, engine.Request{Seq: seq, TxName: tx, Inputs: in})
+			tx2, in2 := gen2.Next()
+			b2 = append(b2, engine.Request{Seq: seq, TxName: tx2, Inputs: in2})
+		}
+		if _, err := sim.ExecuteBatch(b1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := real.ExecuteBatch(b2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if stSim.StateHash(stSim.Epoch()) != stReal.StateHash(stReal.Epoch()) {
+		t.Fatal("simulator state diverged from threaded engine state")
+	}
+}

@@ -1,0 +1,195 @@
+package lang
+
+import (
+	"prognosticator/internal/value"
+)
+
+// Param declares a transaction input. Integer parameters carry a domain
+// [Lo, Hi] taken from the benchmark specification (e.g. TPC-C bounds olCnt
+// to [5,15]); the symbolic executor uses the domain to bound path
+// exploration and the solver uses it to decide path-constraint
+// satisfiability. List parameters carry an element spec and a maximum
+// length; their effective length may be tied to another integer parameter
+// via LenParam (e.g. the olIds list has length olCnt).
+type Param struct {
+	Name     string
+	Kind     value.Kind
+	Lo, Hi   int64  // int domain; ignored for other kinds
+	Elem     *Param // list element spec (Name ignored)
+	MaxLen   int    // list capacity
+	LenParam string // optional int param giving the effective list length
+}
+
+// IntParam declares an integer input with the given inclusive domain.
+func IntParam(name string, lo, hi int64) Param {
+	return Param{Name: name, Kind: value.KindInt, Lo: lo, Hi: hi}
+}
+
+// StrParam declares a string input.
+func StrParam(name string) Param {
+	return Param{Name: name, Kind: value.KindString}
+}
+
+// ListParam declares a list input of at most maxLen elements, each described
+// by elem. If lenParam is non-empty, the effective length of the list equals
+// the value of that integer parameter.
+func ListParam(name string, elem Param, maxLen int, lenParam string) Param {
+	e := elem
+	return Param{Name: name, Kind: value.KindList, Elem: &e, MaxLen: maxLen, LenParam: lenParam}
+}
+
+// Expr is a side-effect-free expression.
+type Expr interface{ exprNode() }
+
+// Const is a literal value.
+type Const struct{ V value.Value }
+
+// ParamRef reads a transaction input.
+type ParamRef struct{ Name string }
+
+// LocalRef reads a local variable.
+type LocalRef struct{ Name string }
+
+// Bin applies a binary operator.
+type Bin struct {
+	Op   Op
+	L, R Expr
+}
+
+// Not negates a boolean expression.
+type Not struct{ E Expr }
+
+// Field projects a record field.
+type Field struct {
+	E    Expr
+	Name string
+}
+
+// Index selects a list element.
+type Index struct {
+	E Expr
+	I Expr
+}
+
+// FieldInit is one field of a record literal. Order is preserved for
+// deterministic printing, but has no semantic meaning.
+type FieldInit struct {
+	Name string
+	E    Expr
+}
+
+// Rec builds a record value.
+type Rec struct{ Fields []FieldInit }
+
+func (Const) exprNode()    {}
+func (ParamRef) exprNode() {}
+func (LocalRef) exprNode() {}
+func (Bin) exprNode()      {}
+func (Not) exprNode()      {}
+func (Field) exprNode()    {}
+func (Index) exprNode()    {}
+func (Rec) exprNode()      {}
+
+// Stmt is a statement.
+type Stmt interface{ stmtNode() }
+
+// Assign sets local Dst to the value of E.
+type Assign struct {
+	Dst string
+	E   Expr
+}
+
+// SetField sets one field of the record held in local Dst.
+type SetField struct {
+	Dst   string
+	Field string
+	E     Expr
+}
+
+// Get reads the item identified by (Table, Key...) into local Dst. A missing
+// item yields an empty record.
+type Get struct {
+	Dst   string
+	Table string
+	Key   []Expr
+}
+
+// Put writes Val (a record) to the item identified by (Table, Key...).
+type Put struct {
+	Table string
+	Key   []Expr
+	Val   Expr
+}
+
+// Del deletes the item identified by (Table, Key...).
+type Del struct {
+	Table string
+	Key   []Expr
+}
+
+// If branches on a boolean condition.
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// For runs Body with Var bound to From, From+1, ..., To-1.
+type For struct {
+	Var      string
+	From, To Expr
+	Body     []Stmt
+}
+
+// Emit records a named output of the transaction (read-only results).
+type Emit struct {
+	Name string
+	E    Expr
+}
+
+func (Assign) stmtNode()   {}
+func (SetField) stmtNode() {}
+func (Get) stmtNode()      {}
+func (Put) stmtNode()      {}
+func (Del) stmtNode()      {}
+func (If) stmtNode()       {}
+func (For) stmtNode()      {}
+func (Emit) stmtNode()     {}
+
+// Program is a complete stored procedure.
+type Program struct {
+	Name   string
+	Params []Param
+	Body   []Stmt
+}
+
+// Param returns the declaration of the named parameter, or false.
+func (p *Program) Param(name string) (Param, bool) {
+	for _, pr := range p.Params {
+		if pr.Name == name {
+			return pr, true
+		}
+	}
+	return Param{}, false
+}
+
+// IsReadOnly reports whether the program contains no Put or Del anywhere.
+func (p *Program) IsReadOnly() bool { return !anyWrite(p.Body) }
+
+func anyWrite(body []Stmt) bool {
+	for _, s := range body {
+		switch st := s.(type) {
+		case Put, Del:
+			return true
+		case If:
+			if anyWrite(st.Then) || anyWrite(st.Else) {
+				return true
+			}
+		case For:
+			if anyWrite(st.Body) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,356 @@
+package lang
+
+import (
+	"fmt"
+
+	"prognosticator/internal/value"
+)
+
+// KV is the data-store interface a transaction executes against. Get reports
+// false when the item does not exist.
+type KV interface {
+	Get(k value.Key) (value.Value, bool)
+	Put(k value.Key, v value.Value)
+	Delete(k value.Key)
+}
+
+// Result captures the observable effects of one concrete execution.
+type Result struct {
+	// Emitted holds the outputs produced by Emit statements.
+	Emitted map[string]value.Value
+	// Reads and Writes list the keys touched, in program order with
+	// duplicates preserved. Reconnaissance mode uses them as the
+	// discovered key-set.
+	Reads  []value.Key
+	Writes []value.Key
+}
+
+// MaxLoopIterations bounds any single For statement during concrete
+// execution; exceeding it is a programming error surfaced as an execution
+// error rather than a hang.
+const MaxLoopIterations = 1 << 16
+
+// Run executes p concretely with the given inputs against kv. Inputs must
+// contain a value for every declared parameter. The interpreter is
+// deterministic: identical inputs and store state produce identical effects.
+func Run(p *Program, inputs map[string]value.Value, kv KV) (*Result, error) {
+	for _, prm := range p.Params {
+		if _, ok := inputs[prm.Name]; !ok {
+			return nil, fmt.Errorf("lang: %s: missing input %q", p.Name, prm.Name)
+		}
+	}
+	in := &interp{prog: p, inputs: inputs, kv: kv,
+		locals: map[string]value.Value{},
+		res:    &Result{Emitted: map[string]value.Value{}},
+	}
+	if err := in.block(p.Body); err != nil {
+		return nil, err
+	}
+	return in.res, nil
+}
+
+type interp struct {
+	prog   *Program
+	inputs map[string]value.Value
+	kv     KV
+	locals map[string]value.Value
+	res    *Result
+}
+
+func (in *interp) block(body []Stmt) error {
+	for _, st := range body {
+		if err := in.stmt(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (in *interp) stmt(st Stmt) error {
+	switch s := st.(type) {
+	case Assign:
+		v, err := in.eval(s.E)
+		if err != nil {
+			return err
+		}
+		in.locals[s.Dst] = v
+		return nil
+	case SetField:
+		rec, ok := in.locals[s.Dst]
+		if !ok {
+			return fmt.Errorf("lang: %s: SetField on undefined local %q", in.prog.Name, s.Dst)
+		}
+		v, err := in.eval(s.E)
+		if err != nil {
+			return err
+		}
+		in.locals[s.Dst] = rec.WithField(s.Field, v)
+		return nil
+	case Get:
+		k, err := in.key(s.Table, s.Key)
+		if err != nil {
+			return err
+		}
+		in.res.Reads = append(in.res.Reads, k)
+		v, ok := in.kv.Get(k)
+		if !ok {
+			v = value.Record(nil)
+		}
+		in.locals[s.Dst] = v
+		return nil
+	case Put:
+		k, err := in.key(s.Table, s.Key)
+		if err != nil {
+			return err
+		}
+		v, err := in.eval(s.Val)
+		if err != nil {
+			return err
+		}
+		in.res.Writes = append(in.res.Writes, k)
+		in.kv.Put(k, v)
+		return nil
+	case Del:
+		k, err := in.key(s.Table, s.Key)
+		if err != nil {
+			return err
+		}
+		in.res.Writes = append(in.res.Writes, k)
+		in.kv.Delete(k)
+		return nil
+	case If:
+		c, err := in.eval(s.Cond)
+		if err != nil {
+			return err
+		}
+		b, ok := c.AsBool()
+		if !ok {
+			return fmt.Errorf("lang: %s: if condition is %s, want bool", in.prog.Name, c.Kind())
+		}
+		if b {
+			return in.block(s.Then)
+		}
+		return in.block(s.Else)
+	case For:
+		from, err := in.evalInt(s.From)
+		if err != nil {
+			return err
+		}
+		to, err := in.evalInt(s.To)
+		if err != nil {
+			return err
+		}
+		if to-from > MaxLoopIterations {
+			return fmt.Errorf("lang: %s: loop %q exceeds %d iterations", in.prog.Name, s.Var, MaxLoopIterations)
+		}
+		for i := from; i < to; i++ {
+			in.locals[s.Var] = value.Int(i)
+			if err := in.block(s.Body); err != nil {
+				return err
+			}
+		}
+		return nil
+	case Emit:
+		v, err := in.eval(s.E)
+		if err != nil {
+			return err
+		}
+		in.res.Emitted[s.Name] = v
+		return nil
+	default:
+		return fmt.Errorf("lang: %s: unknown statement %T", in.prog.Name, st)
+	}
+}
+
+func (in *interp) key(table string, parts []Expr) (value.Key, error) {
+	vals := make([]value.Value, len(parts))
+	for i, e := range parts {
+		v, err := in.eval(e)
+		if err != nil {
+			return value.Key{}, err
+		}
+		vals[i] = v
+	}
+	return value.NewKey(table, vals...), nil
+}
+
+func (in *interp) evalInt(e Expr) (int64, error) {
+	v, err := in.eval(e)
+	if err != nil {
+		return 0, err
+	}
+	i, ok := v.AsInt()
+	if !ok {
+		return 0, fmt.Errorf("lang: %s: expected int, got %s", in.prog.Name, v.Kind())
+	}
+	return i, nil
+}
+
+func (in *interp) eval(e Expr) (value.Value, error) {
+	switch x := e.(type) {
+	case Const:
+		return x.V, nil
+	case ParamRef:
+		v, ok := in.inputs[x.Name]
+		if !ok {
+			return value.Value{}, fmt.Errorf("lang: %s: missing input %q", in.prog.Name, x.Name)
+		}
+		return v, nil
+	case LocalRef:
+		v, ok := in.locals[x.Name]
+		if !ok {
+			return value.Value{}, fmt.Errorf("lang: %s: undefined local %q", in.prog.Name, x.Name)
+		}
+		return v, nil
+	case Bin:
+		l, err := in.eval(x.L)
+		if err != nil {
+			return value.Value{}, err
+		}
+		// Short-circuit logical operators.
+		if x.Op.IsLogical() {
+			lb, ok := l.AsBool()
+			if !ok {
+				return value.Value{}, fmt.Errorf("lang: %s: %s on %s", in.prog.Name, x.Op, l.Kind())
+			}
+			if x.Op == OpAnd && !lb {
+				return value.Bool(false), nil
+			}
+			if x.Op == OpOr && lb {
+				return value.Bool(true), nil
+			}
+			r, err := in.eval(x.R)
+			if err != nil {
+				return value.Value{}, err
+			}
+			rb, ok := r.AsBool()
+			if !ok {
+				return value.Value{}, fmt.Errorf("lang: %s: %s on %s", in.prog.Name, x.Op, r.Kind())
+			}
+			return value.Bool(rb), nil
+		}
+		r, err := in.eval(x.R)
+		if err != nil {
+			return value.Value{}, err
+		}
+		return EvalBin(x.Op, l, r)
+	case Not:
+		v, err := in.eval(x.E)
+		if err != nil {
+			return value.Value{}, err
+		}
+		b, ok := v.AsBool()
+		if !ok {
+			return value.Value{}, fmt.Errorf("lang: %s: ! on %s", in.prog.Name, v.Kind())
+		}
+		return value.Bool(!b), nil
+	case Field:
+		v, err := in.eval(x.E)
+		if err != nil {
+			return value.Value{}, err
+		}
+		f, ok := v.Field(x.Name)
+		if !ok {
+			// Missing fields of existing records read as integer zero;
+			// this mirrors a schemaless store where records created by
+			// population may lack fields later code initializes lazily.
+			return value.Int(0), nil
+		}
+		return f, nil
+	case Index:
+		v, err := in.eval(x.E)
+		if err != nil {
+			return value.Value{}, err
+		}
+		iv, err := in.eval(x.I)
+		if err != nil {
+			return value.Value{}, err
+		}
+		i, ok := iv.AsInt()
+		if !ok {
+			return value.Value{}, fmt.Errorf("lang: %s: index is %s, want int", in.prog.Name, iv.Kind())
+		}
+		el, ok := v.Index(int(i))
+		if !ok {
+			return value.Value{}, fmt.Errorf("lang: %s: index %d out of range (len %d)", in.prog.Name, i, v.Len())
+		}
+		return el, nil
+	case Rec:
+		fields := make(map[string]value.Value, len(x.Fields))
+		for _, f := range x.Fields {
+			v, err := in.eval(f.E)
+			if err != nil {
+				return value.Value{}, err
+			}
+			fields[f.Name] = v
+		}
+		return value.Record(fields), nil
+	default:
+		return value.Value{}, fmt.Errorf("lang: %s: unknown expression %T", in.prog.Name, e)
+	}
+}
+
+// EvalBin applies a non-logical binary operator to two concrete values. It
+// is shared by the concrete interpreter and by the symbolic executor's
+// constant folding.
+func EvalBin(op Op, l, r value.Value) (value.Value, error) {
+	switch {
+	case op.IsArithmetic():
+		li, lok := l.AsInt()
+		ri, rok := r.AsInt()
+		if !lok || !rok {
+			return value.Value{}, fmt.Errorf("lang: %s on %s,%s", op, l.Kind(), r.Kind())
+		}
+		switch op {
+		case OpAdd:
+			return value.Int(li + ri), nil
+		case OpSub:
+			return value.Int(li - ri), nil
+		case OpMul:
+			return value.Int(li * ri), nil
+		case OpDiv:
+			if ri == 0 {
+				return value.Value{}, fmt.Errorf("lang: division by zero")
+			}
+			return value.Int(li / ri), nil
+		default: // OpMod
+			if ri == 0 {
+				return value.Value{}, fmt.Errorf("lang: modulo by zero")
+			}
+			return value.Int(li % ri), nil
+		}
+	case op.IsComparison():
+		if op == OpEq {
+			return value.Bool(l.Equal(r)), nil
+		}
+		if op == OpNe {
+			return value.Bool(!l.Equal(r)), nil
+		}
+		if l.Kind() != r.Kind() || (l.Kind() != value.KindInt && l.Kind() != value.KindString) {
+			return value.Value{}, fmt.Errorf("lang: %s on %s,%s", op, l.Kind(), r.Kind())
+		}
+		c := l.Compare(r)
+		switch op {
+		case OpLt:
+			return value.Bool(c < 0), nil
+		case OpLe:
+			return value.Bool(c <= 0), nil
+		case OpGt:
+			return value.Bool(c > 0), nil
+		default: // OpGe
+			return value.Bool(c >= 0), nil
+		}
+	case op.IsLogical():
+		lb, lok := l.AsBool()
+		rb, rok := r.AsBool()
+		if !lok || !rok {
+			return value.Value{}, fmt.Errorf("lang: %s on %s,%s", op, l.Kind(), r.Kind())
+		}
+		if op == OpAnd {
+			return value.Bool(lb && rb), nil
+		}
+		return value.Bool(lb || rb), nil
+	default:
+		return value.Value{}, fmt.Errorf("lang: unknown operator %v", op)
+	}
+}

@@ -1,0 +1,250 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"prognosticator/internal/value"
+)
+
+const transferSrc = `
+// A classic balance transfer with a guard.
+transaction transfer(src int[0..999], dst int[0..999], amount int[1..1000]) {
+    s = get ACC[src]
+    d = get ACC[dst]
+    if s.bal >= amount {
+        s.bal = s.bal - amount
+        d.bal = d.bal + amount
+        put ACC[src] = s
+        put ACC[dst] = d
+        emit ok = true
+    }
+}
+`
+
+func TestParseTransfer(t *testing.T) {
+	p, err := Parse(transferSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "transfer" || len(p.Params) != 3 {
+		t.Fatalf("parsed %s with %d params", p.Name, len(p.Params))
+	}
+	if p.Params[2].Name != "amount" || p.Params[2].Lo != 1 || p.Params[2].Hi != 1000 {
+		t.Fatalf("amount param = %+v", p.Params[2])
+	}
+	if err := testSchema.Validate(p); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	// Parsed program must behave exactly like the builder version.
+	kv := newMapKV()
+	kv.Put(value.NewKey("ACC", value.Int(1)), acct(100))
+	kv.Put(value.NewKey("ACC", value.Int(2)), acct(5))
+	res, err := Run(p, map[string]value.Value{
+		"src": value.Int(1), "dst": value.Int(2), "amount": value.Int(30),
+	}, kv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok := res.Emitted["ok"]; !ok.MustBool() {
+		t.Fatalf("emitted = %v", res.Emitted)
+	}
+	s, _ := kv.Get(value.NewKey("ACC", value.Int(1)))
+	if b, _ := s.Field("bal"); b.MustInt() != 70 {
+		t.Fatalf("src bal = %v", b)
+	}
+}
+
+func TestParseAllConstructs(t *testing.T) {
+	src := `
+transaction kitchen(n int[1..5], ids list[int[0..99]; 5; n], name string, flag bool) {
+    total = 0
+    for i = 0..n {
+        id = ids[i]
+        rec = get PAIR[id, i]
+        if rec.v > 3 && !(rec.v == 9) || flag {
+            rec.v = rec.v * 2 + 1
+        } else {
+            rec.v = rec.v / 2 - 1
+        }
+        put PAIR[id, i] = rec
+        total = total + rec.v % 7
+    }
+    del ACC[n]
+    put ACC[0] = {v: total, tag: name, neg: -3}
+    emit total = total
+}
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := testSchema.Validate(p); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if p.Params[1].Kind != value.KindList || p.Params[1].LenParam != "n" || p.Params[1].MaxLen != 5 {
+		t.Fatalf("list param = %+v", p.Params[1])
+	}
+	// Execute it.
+	kv := newMapKV()
+	res, err := Run(p, map[string]value.Value{
+		"n":    value.Int(2),
+		"ids":  value.List(value.Int(4), value.Int(7)),
+		"name": value.Str("x"),
+		"flag": value.Bool(false),
+	}, kv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, found := res.Emitted["total"]; !found {
+		t.Fatal("total not emitted")
+	}
+	rec, ok := kv.Get(value.NewKey("ACC", value.Int(0)))
+	if !ok {
+		t.Fatal("ACC/0 missing")
+	}
+	if f, _ := rec.Field("neg"); f.MustInt() != -3 {
+		t.Fatalf("neg = %v", f)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	p := MustParse(`transaction t(a int[0..9], b int[0..9]) {
+        emit x = a + b * 2
+        emit y = (a + b) * 2
+        emit z = a < 3 || b < 3 && a == b
+    }`)
+	res, err := Run(p, map[string]value.Value{
+		"a": value.Int(1), "b": value.Int(2),
+	}, newMapKV())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Emitted["x"].MustInt() != 5 {
+		t.Fatalf("x = %v (mul must bind tighter than add)", res.Emitted["x"])
+	}
+	if res.Emitted["y"].MustInt() != 6 {
+		t.Fatalf("y = %v", res.Emitted["y"])
+	}
+	// a<3 || (b<3 && a==b) = true || ... = true
+	if !res.Emitted["z"].MustBool() {
+		t.Fatalf("z = %v (&& must bind tighter than ||)", res.Emitted["z"])
+	}
+}
+
+func TestParseAllMultipleTransactions(t *testing.T) {
+	src := `
+transaction first(a int[0..1]) { emit x = a }
+transaction second(b int[0..1]) { emit y = b }
+`
+	progs, err := ParseAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(progs) != 2 || progs[0].Name != "first" || progs[1].Name != "second" {
+		t.Fatalf("parsed %d programs", len(progs))
+	}
+}
+
+func TestParseRoundTripThroughFormat(t *testing.T) {
+	// Format output is not the parse syntax, but parsing + validating +
+	// running must agree between builder-built and parsed versions of the
+	// same logic.
+	parsed := MustParse(transferSrc)
+	built := transferProg()
+	built.Name = "transfer"
+	for _, inputs := range []map[string]value.Value{
+		{"src": value.Int(1), "dst": value.Int(2), "amount": value.Int(30)},
+		{"src": value.Int(1), "dst": value.Int(2), "amount": value.Int(500)},
+	} {
+		kv1 := newMapKV()
+		kv1.Put(value.NewKey("ACC", value.Int(1)), acct(100))
+		kv1.Put(value.NewKey("ACC", value.Int(2)), acct(5))
+		kv2 := newMapKV()
+		kv2.Put(value.NewKey("ACC", value.Int(1)), acct(100))
+		kv2.Put(value.NewKey("ACC", value.Int(2)), acct(5))
+		r1, err1 := Run(parsed, inputs, kv1)
+		r2, err2 := Run(built, inputs, kv2)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("errors differ: %v vs %v", err1, err2)
+		}
+		if len(r1.Writes) != len(r2.Writes) {
+			t.Fatalf("writes differ: %v vs %v", r1.Writes, r2.Writes)
+		}
+		for k, v := range kv1.m {
+			if !kv2.m[k].Equal(v) {
+				t.Fatalf("state differs at %s", k)
+			}
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"empty", "", "no transactions"},
+		{"missing keyword", "transact t() {}", `expected "transaction"`},
+		{"bad type", "transaction t(a float) {}", "unknown type"},
+		{"unterminated string", `transaction t() { emit x = "abc }`, "unterminated string"},
+		{"bad char", "transaction t() { emit x = 1 @ 2 }", "unexpected character"},
+		{"assign to param", "transaction t(a int[0..1]) { a = 2 }", "assignment to parameter"},
+		{"setfield on param", "transaction t(a int[0..1]) { a.f = 2 }", "field assignment to parameter"},
+		{"get into param", "transaction t(a int[0..1]) { a = get ACC[1] }", "get into parameter"},
+		{"loop shadows param", "transaction t(a int[0..1]) { for a = 0..2 { emit x = 1 } }", "shadows a parameter"},
+		{"missing brace", "transaction t() { emit x = 1", `expected statement`},
+		{"two exprs", "transaction t() { emit x = }", "expected expression"},
+		{"stray token", "transaction t() {} garbage", `expected "transaction"`},
+		{"bad int range", "transaction t(a int[0..x]) {}", "expected integer"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseAll(c.src)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err = %v, want containing %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestParseErrorHasPosition(t *testing.T) {
+	_, err := Parse("transaction t() {\n  emit x = @\n}")
+	if err == nil || !strings.Contains(err.Error(), "2:") {
+		t.Fatalf("error should carry the line number: %v", err)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse must panic on bad input")
+		}
+	}()
+	MustParse("nope")
+}
+
+func TestParseComments(t *testing.T) {
+	p := MustParse(`
+// leading comment
+transaction t(a int[0..5]) { // trailing
+    // inner
+    emit x = a // after
+}`)
+	if p.Name != "t" {
+		t.Fatal("comment handling broke parsing")
+	}
+}
+
+func TestParseNegativeBounds(t *testing.T) {
+	p := MustParse(`transaction t(a int[-5..5]) { emit x = a + -3 }`)
+	if p.Params[0].Lo != -5 {
+		t.Fatalf("lo = %d", p.Params[0].Lo)
+	}
+	res, err := Run(p, map[string]value.Value{"a": value.Int(-2)}, newMapKV())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Emitted["x"].MustInt() != -5 {
+		t.Fatalf("x = %v", res.Emitted["x"])
+	}
+}

@@ -1,0 +1,120 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+
+	"prognosticator/internal/value"
+)
+
+// Format renders the program as canonical source text in the language's own
+// syntax: Parse(Format(p)) reproduces an equivalent program (tested as a
+// round-trip property). It is the inverse of Parse up to formatting.
+func Format(p *Program) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "transaction %s(", p.Name)
+	for i, prm := range p.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(prm.Name)
+		sb.WriteByte(' ')
+		sb.WriteString(formatParamType(prm))
+	}
+	sb.WriteString(") {\n")
+	formatBlock(&sb, p.Body, 1)
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func formatParamType(prm Param) string {
+	switch prm.Kind {
+	case value.KindInt:
+		return fmt.Sprintf("int[%d..%d]", prm.Lo, prm.Hi)
+	case value.KindString:
+		return "string"
+	case value.KindBool:
+		return "bool"
+	case value.KindList:
+		elem := "int[0..0]"
+		if prm.Elem != nil {
+			elem = formatParamType(*prm.Elem)
+		}
+		if prm.LenParam != "" {
+			return fmt.Sprintf("list[%s; %d; %s]", elem, prm.MaxLen, prm.LenParam)
+		}
+		return fmt.Sprintf("list[%s; %d]", elem, prm.MaxLen)
+	default:
+		return "int[0..0]"
+	}
+}
+
+func formatBlock(sb *strings.Builder, body []Stmt, depth int) {
+	ind := strings.Repeat("    ", depth)
+	for _, st := range body {
+		switch s := st.(type) {
+		case Assign:
+			fmt.Fprintf(sb, "%s%s = %s\n", ind, s.Dst, FormatExpr(s.E))
+		case SetField:
+			fmt.Fprintf(sb, "%s%s.%s = %s\n", ind, s.Dst, s.Field, FormatExpr(s.E))
+		case Get:
+			fmt.Fprintf(sb, "%s%s = get %s\n", ind, s.Dst, formatKey(s.Table, s.Key))
+		case Put:
+			fmt.Fprintf(sb, "%sput %s = %s\n", ind, formatKey(s.Table, s.Key), FormatExpr(s.Val))
+		case Del:
+			fmt.Fprintf(sb, "%sdel %s\n", ind, formatKey(s.Table, s.Key))
+		case If:
+			fmt.Fprintf(sb, "%sif %s {\n", ind, FormatExpr(s.Cond))
+			formatBlock(sb, s.Then, depth+1)
+			if len(s.Else) > 0 {
+				fmt.Fprintf(sb, "%s} else {\n", ind)
+				formatBlock(sb, s.Else, depth+1)
+			}
+			fmt.Fprintf(sb, "%s}\n", ind)
+		case For:
+			fmt.Fprintf(sb, "%sfor %s = %s..%s {\n", ind, s.Var, FormatExpr(s.From), FormatExpr(s.To))
+			formatBlock(sb, s.Body, depth+1)
+			fmt.Fprintf(sb, "%s}\n", ind)
+		case Emit:
+			fmt.Fprintf(sb, "%semit %s = %s\n", ind, s.Name, FormatExpr(s.E))
+		default:
+			fmt.Fprintf(sb, "%s// unknown statement %T\n", ind, st)
+		}
+	}
+}
+
+func formatKey(table string, key []Expr) string {
+	parts := make([]string, len(key))
+	for i, e := range key {
+		parts[i] = FormatExpr(e)
+	}
+	return table + "[" + strings.Join(parts, ", ") + "]"
+}
+
+// FormatExpr renders an expression in the parseable source syntax.
+func FormatExpr(e Expr) string {
+	switch x := e.(type) {
+	case Const:
+		return x.V.String()
+	case ParamRef:
+		return x.Name
+	case LocalRef:
+		return x.Name
+	case Bin:
+		return fmt.Sprintf("(%s %s %s)", FormatExpr(x.L), x.Op, FormatExpr(x.R))
+	case Not:
+		return fmt.Sprintf("!(%s)", FormatExpr(x.E))
+	case Field:
+		return fmt.Sprintf("%s.%s", FormatExpr(x.E), x.Name)
+	case Index:
+		return fmt.Sprintf("%s[%s]", FormatExpr(x.E), FormatExpr(x.I))
+	case Rec:
+		parts := make([]string, len(x.Fields))
+		for i, f := range x.Fields {
+			parts[i] = fmt.Sprintf("%s: %s", f.Name, FormatExpr(f.E))
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	default:
+		return fmt.Sprintf("/*?%T*/0", e)
+	}
+}

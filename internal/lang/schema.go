@@ -1,0 +1,209 @@
+package lang
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TableSpec describes one table of the data model: its name and the number
+// of scalar parts in its keys. Records are schemaless (field sets are by
+// convention), matching the GET/PUT key/value interface the paper assumes.
+type TableSpec struct {
+	Name     string
+	KeyArity int
+}
+
+// Schema is the set of tables a program may address.
+type Schema struct {
+	tables map[string]TableSpec
+}
+
+// NewSchema builds a schema from table specs.
+func NewSchema(tables ...TableSpec) *Schema {
+	m := make(map[string]TableSpec, len(tables))
+	for _, t := range tables {
+		m[t.Name] = t
+	}
+	return &Schema{tables: m}
+}
+
+// Table returns the spec of the named table.
+func (s *Schema) Table(name string) (TableSpec, bool) {
+	t, ok := s.tables[name]
+	return t, ok
+}
+
+// Tables returns all table names in sorted order.
+func (s *Schema) Tables() []string {
+	names := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Validate checks a program against the schema: every referenced name must
+// be a declared parameter, the loop variable of an enclosing For, or a local
+// assigned earlier; every table access must name a known table with the
+// right key arity; loop variables must not be reassigned. It returns the
+// first problem found.
+func (s *Schema) Validate(p *Program) error {
+	v := &validator{schema: s, prog: p, defined: map[string]bool{}}
+	for _, prm := range p.Params {
+		if prm.Name == "" {
+			return fmt.Errorf("lang: %s: parameter with empty name", p.Name)
+		}
+		if v.defined[prm.Name] {
+			return fmt.Errorf("lang: %s: duplicate parameter %q", p.Name, prm.Name)
+		}
+		v.defined[prm.Name] = true
+		if prm.LenParam != "" {
+			if _, ok := p.Param(prm.LenParam); !ok {
+				return fmt.Errorf("lang: %s: list %q: unknown length parameter %q", p.Name, prm.Name, prm.LenParam)
+			}
+		}
+	}
+	return v.block(p.Body)
+}
+
+type validator struct {
+	schema  *Schema
+	prog    *Program
+	defined map[string]bool
+	loops   []string
+}
+
+func (v *validator) block(body []Stmt) error {
+	for _, st := range body {
+		if err := v.stmt(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (v *validator) stmt(st Stmt) error {
+	switch s := st.(type) {
+	case Assign:
+		if err := v.expr(s.E); err != nil {
+			return err
+		}
+		if v.isLoopVar(s.Dst) {
+			return fmt.Errorf("lang: %s: assignment to loop variable %q", v.prog.Name, s.Dst)
+		}
+		v.defined[s.Dst] = true
+		return nil
+	case SetField:
+		if !v.defined[s.Dst] {
+			return fmt.Errorf("lang: %s: SetField on undefined local %q", v.prog.Name, s.Dst)
+		}
+		return v.expr(s.E)
+	case Get:
+		if err := v.key(s.Table, s.Key); err != nil {
+			return err
+		}
+		v.defined[s.Dst] = true
+		return nil
+	case Put:
+		if err := v.key(s.Table, s.Key); err != nil {
+			return err
+		}
+		return v.expr(s.Val)
+	case Del:
+		return v.key(s.Table, s.Key)
+	case If:
+		if err := v.expr(s.Cond); err != nil {
+			return err
+		}
+		if err := v.block(s.Then); err != nil {
+			return err
+		}
+		return v.block(s.Else)
+	case For:
+		if err := v.expr(s.From); err != nil {
+			return err
+		}
+		if err := v.expr(s.To); err != nil {
+			return err
+		}
+		v.defined[s.Var] = true
+		v.loops = append(v.loops, s.Var)
+		err := v.block(s.Body)
+		v.loops = v.loops[:len(v.loops)-1]
+		return err
+	case Emit:
+		return v.expr(s.E)
+	default:
+		return fmt.Errorf("lang: %s: unknown statement %T", v.prog.Name, st)
+	}
+}
+
+func (v *validator) key(table string, key []Expr) error {
+	spec, ok := v.schema.Table(table)
+	if !ok {
+		return fmt.Errorf("lang: %s: unknown table %q", v.prog.Name, table)
+	}
+	if len(key) != spec.KeyArity {
+		return fmt.Errorf("lang: %s: table %q expects %d key parts, got %d",
+			v.prog.Name, table, spec.KeyArity, len(key))
+	}
+	for _, e := range key {
+		if err := v.expr(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (v *validator) expr(e Expr) error {
+	switch x := e.(type) {
+	case Const:
+		if !x.V.IsValid() {
+			return fmt.Errorf("lang: %s: invalid constant", v.prog.Name)
+		}
+		return nil
+	case ParamRef:
+		if _, ok := v.prog.Param(x.Name); !ok {
+			return fmt.Errorf("lang: %s: unknown parameter %q", v.prog.Name, x.Name)
+		}
+		return nil
+	case LocalRef:
+		if !v.defined[x.Name] {
+			return fmt.Errorf("lang: %s: use of undefined local %q", v.prog.Name, x.Name)
+		}
+		return nil
+	case Bin:
+		if err := v.expr(x.L); err != nil {
+			return err
+		}
+		return v.expr(x.R)
+	case Not:
+		return v.expr(x.E)
+	case Field:
+		return v.expr(x.E)
+	case Index:
+		if err := v.expr(x.E); err != nil {
+			return err
+		}
+		return v.expr(x.I)
+	case Rec:
+		for _, f := range x.Fields {
+			if err := v.expr(f.E); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("lang: %s: unknown expression %T", v.prog.Name, e)
+	}
+}
+
+func (v *validator) isLoopVar(name string) bool {
+	for _, lv := range v.loops {
+		if lv == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,216 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"prognosticator/internal/value"
+)
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	if err := testSchema.Validate(transferProg()); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		p    *Program
+		want string
+	}{
+		{
+			"unknown table",
+			&Program{Name: "t", Body: []Stmt{GetS("x", "NOPE", C(1))}},
+			"unknown table",
+		},
+		{
+			"wrong arity",
+			&Program{Name: "t", Body: []Stmt{GetS("x", "PAIR", C(1))}},
+			"expects 2 key parts",
+		},
+		{
+			"unknown param",
+			&Program{Name: "t", Body: []Stmt{EmitS("x", P("ghost"))}},
+			"unknown parameter",
+		},
+		{
+			"undefined local",
+			&Program{Name: "t", Body: []Stmt{EmitS("x", L("ghost"))}},
+			"undefined local",
+		},
+		{
+			"local used before assignment",
+			&Program{Name: "t", Body: []Stmt{
+				EmitS("x", L("y")),
+				Set("y", C(1)),
+			}},
+			"undefined local",
+		},
+		{
+			"duplicate param",
+			&Program{Name: "t", Params: []Param{IntParam("a", 0, 1), IntParam("a", 0, 1)}},
+			"duplicate parameter",
+		},
+		{
+			"empty param name",
+			&Program{Name: "t", Params: []Param{IntParam("", 0, 1)}},
+			"empty name",
+		},
+		{
+			"bad len param",
+			&Program{Name: "t", Params: []Param{ListParam("xs", IntParam("", 0, 1), 3, "n")}},
+			"unknown length parameter",
+		},
+		{
+			"setfield before def",
+			&Program{Name: "t", Body: []Stmt{SetF("r", "f", C(1))}},
+			"undefined local",
+		},
+		{
+			"assign to loop var",
+			&Program{Name: "t", Body: []Stmt{ForS("i", C(0), C(3), Set("i", C(9)))}},
+			"loop variable",
+		},
+		{
+			"invalid const",
+			&Program{Name: "t", Body: []Stmt{EmitS("x", Const{})}},
+			"invalid constant",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := testSchema.Validate(c.p)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err = %v, want containing %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestValidateScoping(t *testing.T) {
+	// Loop variable usable inside the loop; a local defined in a branch is
+	// (conservatively) considered defined afterwards — the validator checks
+	// textual order, not path feasibility, mirroring common static checks.
+	p := &Program{
+		Name:   "scope",
+		Params: []Param{IntParam("n", 0, 3)},
+		Body: []Stmt{
+			ForS("i", C(0), P("n"), Set("acc", L("i"))),
+			IfS(Gt(P("n"), C(1)), Set("b", C(1))),
+			EmitS("x", L("b")),
+		},
+	}
+	if err := testSchema.Validate(p); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+}
+
+func TestSchemaTables(t *testing.T) {
+	s := NewSchema(TableSpec{Name: "B", KeyArity: 1}, TableSpec{Name: "A", KeyArity: 2})
+	got := s.Tables()
+	if len(got) != 2 || got[0] != "A" || got[1] != "B" {
+		t.Fatalf("Tables = %v", got)
+	}
+	spec, ok := s.Table("A")
+	if !ok || spec.KeyArity != 2 {
+		t.Fatalf("Table(A) = %+v,%v", spec, ok)
+	}
+	if _, ok := s.Table("Z"); ok {
+		t.Fatal("unknown table must report false")
+	}
+}
+
+func TestFormatRendersProgram(t *testing.T) {
+	out := Format(transferProg())
+	for _, want := range []string{
+		"transaction transfer(", "s = get ACC[src]", "if (s.bal >= amount)",
+		"put ACC[src] = s", "emit ok = true", "amount int[1..50]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFormatParseRoundTrip: Format emits the parse syntax; re-parsing must
+// give a program that validates and behaves identically.
+func TestFormatParseRoundTrip(t *testing.T) {
+	orig := transferProg()
+	back, err := Parse(Format(orig))
+	if err != nil {
+		t.Fatalf("re-parse of Format output: %v\n%s", err, Format(orig))
+	}
+	if err := testSchema.Validate(back); err != nil {
+		t.Fatal(err)
+	}
+	inputs := map[string]value.Value{
+		"src": value.Int(1), "dst": value.Int(2), "amount": value.Int(30),
+	}
+	kv1 := newMapKV()
+	kv1.Put(value.NewKey("ACC", value.Int(1)), acct(100))
+	kv1.Put(value.NewKey("ACC", value.Int(2)), acct(5))
+	kv2 := newMapKV()
+	kv2.Put(value.NewKey("ACC", value.Int(1)), acct(100))
+	kv2.Put(value.NewKey("ACC", value.Int(2)), acct(5))
+	if _, err := Run(orig, inputs, kv1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(back, inputs, kv2); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range kv1.m {
+		if !kv2.m[k].Equal(v) {
+			t.Fatalf("round-tripped program diverged at %s", k)
+		}
+	}
+	// Idempotence: formatting the re-parsed program is a fixed point.
+	if Format(back) != Format(orig) {
+		t.Fatalf("Format not canonical:\n%s\nvs\n%s", Format(back), Format(orig))
+	}
+}
+
+func TestFormatExprForms(t *testing.T) {
+	cases := map[string]Expr{
+		"(a + 1)":      Add(P("a"), C(1)),
+		"!((a == b))":  Neg(Eq(P("a"), P("b"))),
+		"xs[i]":        Idx(P("xs"), L("i")),
+		"{bal: 0}":     RecE(F("bal", C(0))),
+		`"s"`:          Cs("s"),
+		"r.f":          Fld(L("r"), "f"),
+		"(x % 10)":     Mod(L("x"), C(10)),
+		"(p && q)":     And(L("p"), L("q")),
+		"(p || q)":     Or(L("p"), L("q")),
+		"(a >= b)":     Ge(P("a"), P("b")),
+		"(a <= b)":     Le(P("a"), P("b")),
+		"(a != b)":     Ne(P("a"), P("b")),
+		"(a * b)":      Mul(P("a"), P("b")),
+		"(a / b)":      Div(P("a"), P("b")),
+		"(a - b)":      Sub(P("a"), P("b")),
+		"(a < b)":      Lt(P("a"), P("b")),
+		"(a > b)":      Gt(P("a"), P("b")),
+		"true":         Cb(true),
+		"{a: 1, b: 2}": RecE(F("a", C(1)), F("b", C(2))),
+	}
+	for want, e := range cases {
+		if got := FormatExpr(e); got != want {
+			t.Errorf("FormatExpr = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestEvalBinErrors(t *testing.T) {
+	if _, err := EvalBin(OpLt, value.Bool(true), value.Bool(false)); err == nil {
+		t.Fatal("< on bools must error")
+	}
+	if _, err := EvalBin(OpAnd, value.Int(1), value.Bool(true)); err == nil {
+		t.Fatal("&& on int must error")
+	}
+	if _, err := EvalBin(Op(99), value.Int(1), value.Int(1)); err == nil {
+		t.Fatal("unknown op must error")
+	}
+	v, err := EvalBin(OpLt, value.Str("a"), value.Str("b"))
+	if err != nil || !v.MustBool() {
+		t.Fatalf("string compare: %v, %v", v, err)
+	}
+}

@@ -1,0 +1,305 @@
+// Package locktable implements the deterministic scheduling structure at
+// the core of Prognosticator's concurrency control (§III-C, Fig. 2): one
+// FIFO queue per key, a per-transaction outstanding-lock counter, and
+// grant-on-queue-order semantics. Transactions are enqueued in the
+// deterministically agreed order; a transaction may execute exactly when it
+// has been granted all its locks, which guarantees that concurrently
+// executing transactions are pairwise compatible.
+//
+// Locks are reader/writer: reads at the front of a queue are granted
+// together, writes exclusively — the same FIFO read/write discipline as
+// Calvin's lock manager. (The paper's Fig. 2 sketches plain queues; with
+// purely exclusive queues, hot catalog reads — e.g. TPC-C's NURand-skewed
+// ITEM lookups — would serialize the whole workload, which contradicts the
+// paper's measured parallelism, so shared read grants are clearly intended.
+// An exclusive-only mode is kept for the ablation benchmarks.) Grants never
+// jump the queue, so the relative order of conflicting transactions is
+// exactly their enqueue order and determinism is preserved: concurrently
+// granted transactions are read-compatible and therefore commute.
+package locktable
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"prognosticator/internal/value"
+)
+
+// LockKey is one lock request: a key plus its mode.
+type LockKey struct {
+	Key   value.Encoded
+	Write bool
+}
+
+// Entry is one transaction's participation in the lock table.
+type Entry struct {
+	// Seq is the transaction's position in the agreed order; used for
+	// deterministic tie-breaking and diagnostics (the queue insertion
+	// order is what schedules).
+	Seq uint64
+	// Keys is the deduplicated set of lock requests.
+	Keys []LockKey
+	// Payload carries the engine's transaction object through the table.
+	Payload any
+
+	remaining atomic.Int32
+}
+
+// Remaining returns the number of locks not yet granted (the paper's total
+// locks counter).
+func (e *Entry) Remaining() int32 { return e.remaining.Load() }
+
+// BuildKeys constructs a deduplicated lock-request list from read and write
+// key sets; a key in both takes a write lock. First-occurrence order is
+// preserved (reads first).
+func BuildKeys(reads, writes []value.Key) []LockKey {
+	idx := make(map[value.Encoded]int, len(reads)+len(writes))
+	out := make([]LockKey, 0, len(reads)+len(writes))
+	for _, k := range reads {
+		e := k.Encode()
+		if _, ok := idx[e]; !ok {
+			idx[e] = len(out)
+			out = append(out, LockKey{Key: e})
+		}
+	}
+	for _, k := range writes {
+		e := k.Encode()
+		if i, ok := idx[e]; ok {
+			out[i].Write = true
+			continue
+		}
+		idx[e] = len(out)
+		out = append(out, LockKey{Key: e, Write: true})
+	}
+	return out
+}
+
+// ExclusiveKeys builds an all-write lock list (the ablation mode and the
+// table-granularity baselines).
+func ExclusiveKeys(keys []value.Encoded) []LockKey {
+	out := make([]LockKey, len(keys))
+	for i, k := range keys {
+		out[i] = LockKey{Key: k, Write: true}
+	}
+	return out
+}
+
+// tableShards is the number of queue-map shards.
+const tableShards = 64
+
+// Table is the lock table. Enqueue is intended to be called by the single
+// Queuer; Release may be called concurrently by workers. The two may
+// overlap: per-queue locking keeps grant hand-offs atomic.
+type Table struct {
+	shards [tableShards]tableShard
+}
+
+type tableShard struct {
+	mu     sync.Mutex
+	queues map[value.Encoded]*keyQueue
+}
+
+// qent is one entry's position in one key queue.
+type qent struct {
+	e        *Entry
+	write    bool
+	granted  bool
+	released bool
+}
+
+type keyQueue struct {
+	mu   sync.Mutex
+	ents []qent
+	head int // first non-released position
+}
+
+// New returns an empty lock table.
+func New() *Table {
+	t := &Table{}
+	for i := range t.shards {
+		t.shards[i].queues = make(map[value.Encoded]*keyQueue)
+	}
+	return t
+}
+
+// Len returns the number of key queues currently materialized.
+func (t *Table) Len() int {
+	n := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		n += len(sh.queues)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+func shardOf(k value.Encoded) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(k); i++ {
+		h ^= uint32(k[i])
+		h *= 16777619
+	}
+	return h & (tableShards - 1)
+}
+
+func (t *Table) queueFor(k value.Encoded) *keyQueue {
+	sh := &t.shards[shardOf(k)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	q, ok := sh.queues[k]
+	if !ok {
+		q = &keyQueue{}
+		sh.queues[k] = q
+	}
+	return q
+}
+
+// grantScan grants the longest compatible FIFO prefix. It must be called
+// with q.mu held; it returns the entries whose LAST outstanding lock was
+// granted by this scan (now ready to run).
+func (q *keyQueue) grantScan() []*Entry {
+	var ready []*Entry
+	grantedWrites, grantedReads := 0, 0
+	for i := q.head; i < len(q.ents); i++ {
+		en := &q.ents[i]
+		if en.released {
+			continue
+		}
+		if en.granted {
+			if en.write {
+				grantedWrites++
+			} else {
+				grantedReads++
+			}
+			continue
+		}
+		// FIFO: grant only while compatible with everything granted ahead.
+		if grantedWrites > 0 || (en.write && grantedReads > 0) {
+			break
+		}
+		en.granted = true
+		if en.write {
+			grantedWrites++
+		} else {
+			grantedReads++
+		}
+		if en.e.remaining.Add(-1) == 0 {
+			ready = append(ready, en.e)
+		}
+		if en.write {
+			break // a granted write blocks everything behind it
+		}
+	}
+	return ready
+}
+
+// Enqueue inserts e at the tail of every queue in e.Keys and initializes
+// its outstanding-lock counter. It reports whether e is immediately ready
+// (all locks granted). Entries with no keys are ready trivially.
+func (t *Table) Enqueue(e *Entry) bool {
+	e.remaining.Store(int32(len(e.Keys)))
+	if len(e.Keys) == 0 {
+		return true
+	}
+	ready := false
+	for _, lk := range e.Keys {
+		q := t.queueFor(lk.Key)
+		q.mu.Lock()
+		q.ents = append(q.ents, qent{e: e, write: lk.Write})
+		granted := q.grantScan()
+		q.mu.Unlock()
+		for _, g := range granted {
+			if g == e {
+				ready = true
+			}
+			// Appending can only ever grant the appended entry: earlier
+			// entries' grant states are unchanged by a new tail.
+		}
+	}
+	return ready
+}
+
+// Release returns e's locks on all its queues. For every queue where
+// successors thereby acquire their last outstanding lock, they are passed
+// to onReady. Release panics if e does not hold a granted lock on one of
+// its queues — that would be a scheduling bug, not a recoverable condition.
+func (t *Table) Release(e *Entry, onReady func(*Entry)) {
+	for _, lk := range e.Keys {
+		q := t.queueFor(lk.Key)
+		q.mu.Lock()
+		found := false
+		for i := q.head; i < len(q.ents); i++ {
+			en := &q.ents[i]
+			if en.e == e && !en.released {
+				if !en.granted {
+					break // found but not granted: bug, reported below
+				}
+				en.released = true
+				en.e = nil // release for GC
+				found = true
+				break
+			}
+		}
+		if !found {
+			q.mu.Unlock()
+			panic(fmt.Sprintf("locktable: release of tx %d without granted lock on %s", e.Seq, lk.Key))
+		}
+		for q.head < len(q.ents) && q.ents[q.head].released {
+			q.head++
+		}
+		granted := q.grantScan()
+		q.mu.Unlock()
+		for _, g := range granted {
+			onReady(g)
+		}
+	}
+}
+
+// Reset clears all queues. The engine calls it between batches; it must not
+// race with Enqueue/Release.
+func (t *Table) Reset() {
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for k := range sh.queues {
+			delete(sh.queues, k)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// PendingKeys returns the number of queues that still hold unreleased
+// entries; used by tests to assert full drainage.
+func (t *Table) PendingKeys() int {
+	n := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for _, q := range sh.queues {
+			q.mu.Lock()
+			if q.head < len(q.ents) {
+				n++
+			}
+			q.mu.Unlock()
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// DedupKeys builds an encoded-key list from raw keys, removing duplicates
+// while preserving first-occurrence order.
+func DedupKeys(keys []value.Key) []value.Encoded {
+	seen := make(map[value.Encoded]bool, len(keys))
+	out := make([]value.Encoded, 0, len(keys))
+	for _, k := range keys {
+		e := k.Encode()
+		if !seen[e] {
+			seen[e] = true
+			out = append(out, e)
+		}
+	}
+	return out
+}

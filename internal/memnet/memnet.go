@@ -1,0 +1,173 @@
+// Package memnet provides an in-process message network with configurable
+// delay, loss and partitions. It is the transport substrate under the Raft
+// implementation (internal/raft), letting consensus tests exercise leader
+// failure, partition and heal scenarios deterministically within one
+// process.
+package memnet
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Message is one delivered datagram.
+type Message struct {
+	From    string
+	To      string
+	Payload any
+}
+
+// Network is the in-process fabric. All methods are safe for concurrent
+// use.
+type Network struct {
+	mu        sync.Mutex
+	rng       *rand.Rand
+	endpoints map[string]*Endpoint
+	dropProb  float64
+	minDelay  time.Duration
+	maxDelay  time.Duration
+	// blocked holds unordered name pairs that cannot communicate.
+	blocked map[[2]string]bool
+	closed  bool
+}
+
+// New returns a network with no loss, no delay and no partitions. The seed
+// drives loss and delay decisions, keeping fault scenarios reproducible.
+func New(seed int64) *Network {
+	return &Network{
+		rng:       rand.New(rand.NewSource(seed)),
+		endpoints: map[string]*Endpoint{},
+		blocked:   map[[2]string]bool{},
+	}
+}
+
+// Endpoint registers (or returns) the named endpoint.
+func (n *Network) Endpoint(name string) *Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if e, ok := n.endpoints[name]; ok {
+		return e
+	}
+	e := &Endpoint{name: name, net: n, inbox: make(chan Message, 1024)}
+	n.endpoints[name] = e
+	return e
+}
+
+// SetLoss sets the per-message drop probability in [0,1].
+func (n *Network) SetLoss(p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.dropProb = p
+}
+
+// SetDelay sets the min/max artificial delivery delay.
+func (n *Network) SetDelay(min, max time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.minDelay, n.maxDelay = min, max
+}
+
+// Partition splits the network into groups; messages only flow within a
+// group. Any previous partition is replaced.
+func (n *Network) Partition(groups ...[]string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.blocked = map[[2]string]bool{}
+	groupOf := map[string]int{}
+	for gi, g := range groups {
+		for _, name := range g {
+			groupOf[name] = gi
+		}
+	}
+	names := make([]string, 0, len(n.endpoints))
+	for name := range n.endpoints {
+		names = append(names, name)
+	}
+	for i, a := range names {
+		for _, b := range names[i+1:] {
+			if groupOf[a] != groupOf[b] {
+				n.blocked[pair(a, b)] = true
+			}
+		}
+	}
+}
+
+// Heal removes all partitions.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.blocked = map[[2]string]bool{}
+}
+
+// Close stops delivery; subsequent sends are dropped.
+func (n *Network) Close() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.closed = true
+}
+
+func pair(a, b string) [2]string {
+	if a < b {
+		return [2]string{a, b}
+	}
+	return [2]string{b, a}
+}
+
+// Endpoint is one addressable node on the network.
+type Endpoint struct {
+	name  string
+	net   *Network
+	inbox chan Message
+}
+
+// Name returns the endpoint's address.
+func (e *Endpoint) Name() string { return e.name }
+
+// Inbox returns the delivery channel.
+func (e *Endpoint) Inbox() <-chan Message { return e.inbox }
+
+// Send delivers payload to the named endpoint, subject to the network's
+// loss, delay and partition configuration. Delivery is asynchronous; a full
+// inbox drops the message (backpressure-as-loss, as UDP would).
+func (e *Endpoint) Send(to string, payload any) {
+	n := e.net
+	n.mu.Lock()
+	if n.closed || n.blocked[pair(e.name, to)] {
+		n.mu.Unlock()
+		return
+	}
+	if n.dropProb > 0 && n.rng.Float64() < n.dropProb {
+		n.mu.Unlock()
+		return
+	}
+	dst, ok := n.endpoints[to]
+	var delay time.Duration
+	if n.maxDelay > 0 {
+		delay = n.minDelay + time.Duration(n.rng.Int63n(int64(n.maxDelay-n.minDelay)+1))
+	}
+	n.mu.Unlock()
+	if !ok {
+		return
+	}
+	msg := Message{From: e.name, To: to, Payload: payload}
+	if delay == 0 {
+		select {
+		case dst.inbox <- msg:
+		default:
+		}
+		return
+	}
+	time.AfterFunc(delay, func() {
+		n.mu.Lock()
+		blocked := n.closed || n.blocked[pair(msg.From, msg.To)]
+		n.mu.Unlock()
+		if blocked {
+			return
+		}
+		select {
+		case dst.inbox <- msg:
+		default:
+		}
+	})
+}

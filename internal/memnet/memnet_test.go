@@ -1,0 +1,115 @@
+package memnet
+
+import (
+	"testing"
+	"time"
+)
+
+func recvWithin(t *testing.T, e *Endpoint, d time.Duration) (Message, bool) {
+	t.Helper()
+	select {
+	case m := <-e.Inbox():
+		return m, true
+	case <-time.After(d):
+		return Message{}, false
+	}
+}
+
+func TestBasicDelivery(t *testing.T) {
+	n := New(1)
+	a, b := n.Endpoint("a"), n.Endpoint("b")
+	a.Send("b", "hi")
+	m, ok := recvWithin(t, b, time.Second)
+	if !ok || m.From != "a" || m.To != "b" || m.Payload.(string) != "hi" {
+		t.Fatalf("got %+v, %v", m, ok)
+	}
+}
+
+func TestEndpointIdentity(t *testing.T) {
+	n := New(1)
+	if n.Endpoint("x") != n.Endpoint("x") {
+		t.Fatal("Endpoint must be idempotent")
+	}
+	if n.Endpoint("x").Name() != "x" {
+		t.Fatal("name mismatch")
+	}
+}
+
+func TestUnknownDestinationDropped(t *testing.T) {
+	n := New(1)
+	a := n.Endpoint("a")
+	a.Send("ghost", "x") // must not panic or block
+}
+
+func TestPartitionBlocksAndHealRestores(t *testing.T) {
+	n := New(2)
+	a, b := n.Endpoint("a"), n.Endpoint("b")
+	n.Partition([]string{"a"}, []string{"b"})
+	a.Send("b", "blocked")
+	if _, ok := recvWithin(t, b, 50*time.Millisecond); ok {
+		t.Fatal("partitioned message delivered")
+	}
+	n.Heal()
+	a.Send("b", "open")
+	if m, ok := recvWithin(t, b, time.Second); !ok || m.Payload.(string) != "open" {
+		t.Fatal("healed network did not deliver")
+	}
+}
+
+func TestPartitionWithinGroupFlows(t *testing.T) {
+	n := New(3)
+	a, b, c := n.Endpoint("a"), n.Endpoint("b"), n.Endpoint("c")
+	_ = c
+	n.Partition([]string{"a", "b"}, []string{"c"})
+	a.Send("b", "peer")
+	if _, ok := recvWithin(t, b, time.Second); !ok {
+		t.Fatal("same-group message dropped")
+	}
+}
+
+func TestFullLoss(t *testing.T) {
+	n := New(4)
+	a, b := n.Endpoint("a"), n.Endpoint("b")
+	n.SetLoss(1.0)
+	for i := 0; i < 10; i++ {
+		a.Send("b", i)
+	}
+	if _, ok := recvWithin(t, b, 50*time.Millisecond); ok {
+		t.Fatal("message survived 100% loss")
+	}
+}
+
+func TestDelayedDelivery(t *testing.T) {
+	n := New(5)
+	a, b := n.Endpoint("a"), n.Endpoint("b")
+	n.SetDelay(20*time.Millisecond, 40*time.Millisecond)
+	start := time.Now()
+	a.Send("b", "slow")
+	if _, ok := recvWithin(t, b, time.Second); !ok {
+		t.Fatal("delayed message lost")
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("delivered too fast: %v", elapsed)
+	}
+}
+
+func TestCloseStopsDelivery(t *testing.T) {
+	n := New(6)
+	a, b := n.Endpoint("a"), n.Endpoint("b")
+	n.Close()
+	a.Send("b", "dead")
+	if _, ok := recvWithin(t, b, 50*time.Millisecond); ok {
+		t.Fatal("closed network delivered")
+	}
+}
+
+func TestDelayedMessageRespectsLatePartition(t *testing.T) {
+	n := New(7)
+	a, b := n.Endpoint("a"), n.Endpoint("b")
+	n.SetDelay(50*time.Millisecond, 60*time.Millisecond)
+	a.Send("b", "in-flight")
+	n.Partition([]string{"a"}, []string{"b"})
+	if _, ok := recvWithin(t, b, 200*time.Millisecond); ok {
+		t.Fatal("in-flight message crossed a partition applied before delivery")
+	}
+}

@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramPercentiles(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if got := h.Count(); got != 100 {
+		t.Fatalf("Count = %d", got)
+	}
+	if got := h.Percentile(50); got != 50*time.Millisecond {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := h.Percentile(99); got != 99*time.Millisecond {
+		t.Fatalf("p99 = %v", got)
+	}
+	if got := h.Percentile(100); got != 100*time.Millisecond {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := h.Max(); got != 100*time.Millisecond {
+		t.Fatalf("Max = %v", got)
+	}
+	if got := h.Mean(); got != 50500*time.Microsecond {
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Percentile(99) != 0 || h.Mean() != 0 || h.Max() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramObserveAfterPercentile(t *testing.T) {
+	// Percentile sorts lazily; later observations must re-sort.
+	h := NewHistogram()
+	h.Observe(5 * time.Millisecond)
+	_ = h.Percentile(50)
+	h.Observe(1 * time.Millisecond)
+	if got := h.Percentile(1); got != 1*time.Millisecond {
+		t.Fatalf("p1 after re-observe = %v", got)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(time.Second)
+	h.Reset()
+	if h.Count() != 0 || h.Percentile(99) != 0 {
+		t.Fatal("reset did not clear samples")
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(time.Millisecond)
+	if s := h.String(); !strings.Contains(s, "n=1") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
+				_ = h.Percentile(99)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 4000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+}
+
+func TestQuickPercentileWithinRange(t *testing.T) {
+	f := func(samples []uint16, p uint8) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		min, max := time.Duration(samples[0]), time.Duration(samples[0])
+		for _, s := range samples {
+			d := time.Duration(s)
+			h.Observe(d)
+			if d < min {
+				min = d
+			}
+			if d > max {
+				max = d
+			}
+		}
+		pct := float64(p%100) + 1
+		got := h.Percentile(pct)
+		return got >= min && got <= max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(samples []uint16) bool {
+		if len(samples) < 2 {
+			return true
+		}
+		h := NewHistogram()
+		for _, s := range samples {
+			h.Observe(time.Duration(s))
+		}
+		return h.Percentile(25) <= h.Percentile(50) &&
+			h.Percentile(50) <= h.Percentile(99) &&
+			h.Percentile(99) <= h.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("Counter = %d", c.Value())
+	}
+}

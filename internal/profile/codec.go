@@ -1,0 +1,116 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"prognosticator/internal/sym"
+)
+
+// The JSON codec lets the client ship profiles (or their relevant subtrees)
+// to replicas and lets cmd/profiler persist analysis results.
+
+type accessJSON struct {
+	Table string            `json:"table"`
+	Key   []json.RawMessage `json:"key"`
+	Write bool              `json:"write,omitempty"`
+}
+
+type nodeJSON struct {
+	Seg   []accessJSON    `json:"seg,omitempty"`
+	Cond  json.RawMessage `json:"cond,omitempty"`
+	True  *nodeJSON       `json:"true,omitempty"`
+	False *nodeJSON       `json:"false,omitempty"`
+}
+
+type profileJSON struct {
+	TxName string    `json:"tx"`
+	Root   *nodeJSON `json:"root"`
+	Stats  Stats     `json:"stats"`
+}
+
+// Marshal encodes p as JSON.
+func Marshal(p *Profile) ([]byte, error) {
+	root, err := marshalNode(p.Root)
+	if err != nil {
+		return nil, fmt.Errorf("profile %s: %w", p.TxName, err)
+	}
+	return json.Marshal(profileJSON{TxName: p.TxName, Root: root, Stats: p.Stats})
+}
+
+// Unmarshal decodes a profile encoded by Marshal.
+func Unmarshal(data []byte) (*Profile, error) {
+	var pj profileJSON
+	if err := json.Unmarshal(data, &pj); err != nil {
+		return nil, fmt.Errorf("profile: unmarshal: %w", err)
+	}
+	root, err := unmarshalNode(pj.Root)
+	if err != nil {
+		return nil, fmt.Errorf("profile %s: %w", pj.TxName, err)
+	}
+	return &Profile{TxName: pj.TxName, Root: root, Stats: pj.Stats}, nil
+}
+
+func marshalNode(n *Node) (*nodeJSON, error) {
+	if n == nil {
+		return nil, nil
+	}
+	nj := &nodeJSON{}
+	for _, a := range n.Seg {
+		aj := accessJSON{Table: a.Table, Write: a.Write}
+		for _, k := range a.Key {
+			raw, err := sym.MarshalTerm(k)
+			if err != nil {
+				return nil, err
+			}
+			aj.Key = append(aj.Key, raw)
+		}
+		nj.Seg = append(nj.Seg, aj)
+	}
+	if n.Cond != nil {
+		raw, err := sym.MarshalTerm(n.Cond)
+		if err != nil {
+			return nil, err
+		}
+		nj.Cond = raw
+		if nj.True, err = marshalNode(n.True); err != nil {
+			return nil, err
+		}
+		if nj.False, err = marshalNode(n.False); err != nil {
+			return nil, err
+		}
+	}
+	return nj, nil
+}
+
+func unmarshalNode(nj *nodeJSON) (*Node, error) {
+	if nj == nil {
+		return nil, nil
+	}
+	n := &Node{}
+	for _, aj := range nj.Seg {
+		a := Access{Table: aj.Table, Write: aj.Write}
+		for _, raw := range aj.Key {
+			k, err := sym.UnmarshalTerm(raw)
+			if err != nil {
+				return nil, err
+			}
+			a.Key = append(a.Key, k)
+		}
+		n.Seg = append(n.Seg, a)
+	}
+	if len(nj.Cond) > 0 {
+		cond, err := sym.UnmarshalTerm(nj.Cond)
+		if err != nil {
+			return nil, err
+		}
+		n.Cond = cond
+		if n.True, err = unmarshalNode(nj.True); err != nil {
+			return nil, err
+		}
+		if n.False, err = unmarshalNode(nj.False); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,326 @@
+// Package profile defines transaction profiles — the artifact the symbolic-
+// execution analysis produces offline and the deterministic scheduler
+// consumes at run time (§III-B of the paper).
+//
+// A profile is a binary tree. Each node carries the accesses (reads/writes
+// with symbolic key expressions) collected between the enclosing path
+// condition and the next conditional statement, plus that conditional's
+// symbolic condition; leaves carry only accesses. A root-to-leaf path is one
+// <PSC, RWS> pair: the conjunction of branch conditions along the path is
+// the path-set condition, and the union of access segments is the
+// read/write-set. Instantiating the profile with concrete inputs — and,
+// for dependent transactions, with pivot values read from the store —
+// yields the concrete key-set used to populate the lock table.
+package profile
+
+import (
+	"fmt"
+	"time"
+
+	"prognosticator/internal/sym"
+	"prognosticator/internal/value"
+)
+
+// Class is the paper's transaction taxonomy (§III-C).
+type Class int
+
+// Transaction classes: read-only (ROT), independent (IT: key-set depends
+// only on inputs) and dependent (DT: key-set depends on store state).
+const (
+	ClassROT Class = iota + 1
+	ClassIT
+	ClassDT
+)
+
+// String returns the class abbreviation used in the paper.
+func (c Class) String() string {
+	switch c {
+	case ClassROT:
+		return "ROT"
+	case ClassIT:
+		return "IT"
+	case ClassDT:
+		return "DT"
+	default:
+		return "?"
+	}
+}
+
+// Access is one read or write with a symbolic key.
+type Access struct {
+	Table string
+	Key   []sym.Term
+	Write bool
+}
+
+// Indirect reports whether the key identity depends on a pivot value.
+func (a Access) Indirect() bool {
+	for _, k := range a.Key {
+		if sym.HasPivot(k) {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the access for debugging.
+func (a Access) String() string {
+	op := "R"
+	if a.Write {
+		op = "W"
+	}
+	s := op + " " + a.Table
+	for _, k := range a.Key {
+		s += "/" + k.String()
+	}
+	return s
+}
+
+// Node is one profile-tree node. Cond == nil marks a leaf.
+type Node struct {
+	Seg         []Access
+	Cond        sym.Term
+	True, False *Node
+}
+
+// Stats records the cost of the symbolic-execution analysis that produced a
+// profile; these are the columns of the paper's Table I.
+type Stats struct {
+	StatesExplored int
+	// TotalStates is the number of states a non-concolic, non-pruning
+	// exploration would visit (2^maxDepth); reported analytically when
+	// actually exploring it is infeasible, as the paper does for newOrder.
+	TotalStates float64
+	// Depth is the maximum number of conditional statements observed on a
+	// path with optimizations on; DepthMax without them.
+	Depth, DepthMax int
+	UniqueKeySets   int
+	IndirectKeys    int
+	MemoryBytes     uint64
+	Duration        time.Duration
+	// Truncated marks an analysis stopped early by the state budget; the
+	// profile is then incomplete (measurement use only).
+	Truncated bool
+	// Unoptimized analysis cost (taint + pruning disabled); zero when the
+	// unoptimized run was skipped. UnoptTruncated marks the unoptimized
+	// comparison run as budget-truncated, in which case callers report
+	// extrapolated cost, as the paper does for its infeasible runs.
+	MemoryBytesUnopt uint64
+	DurationUnopt    time.Duration
+	StatesUnopt      int
+	UnoptTruncated   bool
+}
+
+// Profile is the complete offline analysis result for one transaction type.
+type Profile struct {
+	TxName string
+	Root   *Node
+	Stats  Stats
+}
+
+// Class classifies the transaction: ROT if no path writes; IT if all key
+// expressions and all conditions are direct (input-only); DT otherwise.
+func (p *Profile) Class() Class {
+	w := &walker{}
+	w.walk(p.Root)
+	switch {
+	case !w.writes:
+		return ClassROT
+	case w.indirect:
+		return ClassDT
+	default:
+		return ClassIT
+	}
+}
+
+// PivotFreeTraversal reports whether the tree can be traversed using inputs
+// alone (no condition depends on a pivot). Such DT profiles allow clients to
+// predict the direct part of the key-set without touching the store —
+// the optimization sketched at the end of §III-C.
+func (p *Profile) PivotFreeTraversal() bool {
+	w := &walker{}
+	w.walk(p.Root)
+	return !w.condPivot
+}
+
+// NumLeaves returns the number of <PSC, RWS> pairs in the profile.
+func (p *Profile) NumLeaves() int { return countLeaves(p.Root) }
+
+func countLeaves(n *Node) int {
+	if n == nil {
+		return 0
+	}
+	if n.Cond == nil {
+		return 1
+	}
+	return countLeaves(n.True) + countLeaves(n.False)
+}
+
+type walker struct {
+	writes    bool
+	indirect  bool
+	condPivot bool
+}
+
+func (w *walker) walk(n *Node) {
+	if n == nil {
+		return
+	}
+	for _, a := range n.Seg {
+		if a.Write {
+			w.writes = true
+		}
+		if a.Indirect() {
+			w.indirect = true
+		}
+	}
+	if n.Cond != nil {
+		if sym.HasPivot(n.Cond) {
+			w.indirect = true
+			w.condPivot = true
+		}
+		w.walk(n.True)
+		w.walk(n.False)
+	}
+}
+
+// PivotReader supplies pivot values during key-set preparation. Implemented
+// by store read views. found is false when the item does not exist.
+type PivotReader interface {
+	ReadPivot(k value.Key, field string) (v value.Value, found bool)
+}
+
+// PivotObservation records one pivot read made while preparing a key-set.
+// At execution time the engine re-reads the pivot and aborts the transaction
+// if the value changed (§III-C).
+type PivotObservation struct {
+	Key   value.Key
+	Field string
+	Value value.Value
+}
+
+// KeySet is the concrete result of instantiating a profile.
+type KeySet struct {
+	Reads  []value.Key
+	Writes []value.Key
+	// Pivots lists the pivot observations made during preparation, in
+	// deterministic (first-use) order.
+	Pivots []PivotObservation
+}
+
+// Keys returns the union of reads and writes, deduplicated, in
+// deterministic order (reads first).
+func (ks *KeySet) Keys() []value.Key {
+	seen := make(map[value.Encoded]bool, len(ks.Reads)+len(ks.Writes))
+	out := make([]value.Key, 0, len(ks.Reads)+len(ks.Writes))
+	for _, k := range append(append([]value.Key{}, ks.Reads...), ks.Writes...) {
+		if e := k.Encode(); !seen[e] {
+			seen[e] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Instantiate traverses the profile with concrete inputs, resolving pivot
+// variables through pr, and returns the concrete key-set of this invocation.
+// For IT/ROT profiles pr may be nil. Missing pivot items read as integer
+// zero fields, matching the concrete interpreter's semantics for absent
+// records.
+func (p *Profile) Instantiate(inputs map[string]value.Value, pr PivotReader) (*KeySet, error) {
+	inst := &instantiator{inputs: inputs, pr: pr, pivotCache: map[string]value.Value{}}
+	ks := &KeySet{}
+	n := p.Root
+	for n != nil {
+		for _, a := range n.Seg {
+			k, err := inst.key(a)
+			if err != nil {
+				return nil, fmt.Errorf("profile %s: %w", p.TxName, err)
+			}
+			if a.Write {
+				ks.Writes = append(ks.Writes, k)
+			} else {
+				ks.Reads = append(ks.Reads, k)
+			}
+		}
+		if n.Cond == nil {
+			break
+		}
+		cv, err := inst.eval(n.Cond)
+		if err != nil {
+			return nil, fmt.Errorf("profile %s: condition %s: %w", p.TxName, n.Cond, err)
+		}
+		b, ok := cv.AsBool()
+		if !ok {
+			return nil, fmt.Errorf("profile %s: condition %s evaluated to %s", p.TxName, n.Cond, cv.Kind())
+		}
+		if b {
+			n = n.True
+		} else {
+			n = n.False
+		}
+	}
+	ks.Pivots = inst.observations
+	return ks, nil
+}
+
+type instantiator struct {
+	inputs       map[string]value.Value
+	pr           PivotReader
+	pivotCache   map[string]value.Value
+	observations []PivotObservation
+}
+
+func (in *instantiator) key(a Access) (value.Key, error) {
+	parts := make([]value.Value, len(a.Key))
+	for i, kt := range a.Key {
+		v, err := in.eval(kt)
+		if err != nil {
+			return value.Key{}, err
+		}
+		parts[i] = v
+	}
+	return value.NewKey(a.Table, parts...), nil
+}
+
+func (in *instantiator) eval(t sym.Term) (value.Value, error) {
+	return sym.Eval(t, in.lookup)
+}
+
+// lookup resolves input variables from the concrete inputs and pivot
+// variables through the PivotReader, caching and recording each pivot read.
+func (in *instantiator) lookup(v *sym.Var) (value.Value, bool) {
+	if v.Pivot != nil {
+		if cached, ok := in.pivotCache[v.Name]; ok {
+			return cached, true
+		}
+		if in.pr == nil {
+			return value.Value{}, false
+		}
+		parts := make([]value.Value, len(v.Pivot.Key))
+		for i, kt := range v.Pivot.Key {
+			pv, err := sym.Eval(kt, in.lookup)
+			if err != nil {
+				return value.Value{}, false
+			}
+			parts[i] = pv
+		}
+		k := value.NewKey(v.Pivot.Table, parts...)
+		pv, found := in.pr.ReadPivot(k, v.Pivot.Field)
+		if !found {
+			pv = value.Int(0)
+		}
+		in.pivotCache[v.Name] = pv
+		in.observations = append(in.observations, PivotObservation{Key: k, Field: v.Pivot.Field, Value: pv})
+		return pv, true
+	}
+	if v.List != "" {
+		lst, ok := in.inputs[v.List]
+		if !ok {
+			return value.Value{}, false
+		}
+		return lst.Index(v.Idx)
+	}
+	val, ok := in.inputs[v.Name]
+	return val, ok
+}

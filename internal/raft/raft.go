@@ -1,0 +1,584 @@
+// Package raft implements a compact Raft consensus core — leader election,
+// log replication and commitment (Ongaro & Ousterhout) — sufficient to
+// totally order transaction batches across replicas, the role the paper
+// assigns to its consensus layer (§III-A: clients "agree on the order of
+// transactions within each batch ... by relying on a consensus algorithm
+// [17], [24]").
+//
+// Scope: optional WAL-backed persistence of term/vote/log (see Storage); no
+// snapshotting, so restarted nodes re-deliver committed entries from index
+// 1. Safety properties (election safety — including across restarts — log
+// matching, leader completeness for committed entries) are exercised by the
+// tests in this package over the memnet fault-injecting transport.
+package raft
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"prognosticator/internal/memnet"
+)
+
+// Role is a Raft server state.
+type Role int
+
+// Raft roles.
+const (
+	Follower Role = iota + 1
+	Candidate
+	Leader
+)
+
+// String returns the role name.
+func (r Role) String() string {
+	switch r {
+	case Leader:
+		return "leader"
+	case Candidate:
+		return "candidate"
+	default:
+		return "follower"
+	}
+}
+
+// Entry is one replicated log record.
+type Entry struct {
+	Term uint64
+	Cmd  []byte
+}
+
+// Committed is delivered on the apply channel for each committed entry, in
+// log order.
+type Committed struct {
+	Index uint64 // 1-based log index
+	Term  uint64
+	Cmd   []byte
+}
+
+// Transport moves RPC payloads between nodes. memnet.Endpoint implements it
+// in-process; internal/tcpnet implements it over real sockets. Payloads are
+// the exported wire types below (see WireTypes for codec registration).
+type Transport interface {
+	Send(to string, payload any)
+	Inbox() <-chan memnet.Message
+}
+
+// RPC payload wire types.
+
+// RequestVote solicits a vote for Candidate in Term.
+type RequestVote struct {
+	Term         uint64
+	Candidate    string
+	LastLogIndex uint64
+	LastLogTerm  uint64
+}
+
+// VoteReply answers a RequestVote.
+type VoteReply struct {
+	Term    uint64
+	Granted bool
+}
+
+// AppendEntries replicates log entries (empty = heartbeat).
+type AppendEntries struct {
+	Term         uint64
+	Leader       string
+	PrevLogIndex uint64
+	PrevLogTerm  uint64
+	Entries      []Entry
+	LeaderCommit uint64
+}
+
+// AppendReply answers an AppendEntries.
+type AppendReply struct {
+	Term    uint64
+	Success bool
+	// MatchIndex is the highest index known replicated on the follower
+	// when Success; on failure, ConflictIndex hints where to back up to.
+	MatchIndex    uint64
+	ConflictIndex uint64
+}
+
+// Config tunes timing. Zero values select defaults suitable for in-process
+// tests (short timeouts).
+type Config struct {
+	ElectionTimeoutMin time.Duration
+	ElectionTimeoutMax time.Duration
+	HeartbeatInterval  time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.ElectionTimeoutMin == 0 {
+		c.ElectionTimeoutMin = 150 * time.Millisecond
+	}
+	if c.ElectionTimeoutMax == 0 {
+		c.ElectionTimeoutMax = 300 * time.Millisecond
+	}
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = 40 * time.Millisecond
+	}
+	return c
+}
+
+// Node is one Raft server.
+type Node struct {
+	id    string
+	peers []string
+	cfg   Config
+	ep    Transport
+	rng   *rand.Rand
+
+	mu          sync.Mutex
+	role        Role
+	term        uint64
+	votedFor    string
+	log         []Entry
+	commitIndex uint64
+	votes       map[string]bool
+	nextIndex   map[string]uint64
+	matchIndex  map[string]uint64
+	leaderHint  string
+
+	storage    Storage
+	persistErr error
+
+	applyCh  chan Committed
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	electionDeadline time.Time
+}
+
+// NewNode creates a node attached to the network; Start must be called to
+// begin participating.
+func NewNode(id string, peers []string, net *memnet.Network, cfg Config, seed int64) *Node {
+	return NewNodeWithTransport(id, peers, net.Endpoint(id), cfg, seed)
+}
+
+// NewNodeWithTransport creates a node over an arbitrary transport (e.g.
+// tcpnet); peers lists ALL member names including this node's.
+func NewNodeWithTransport(id string, peers []string, tr Transport, cfg Config, seed int64) *Node {
+	others := make([]string, 0, len(peers))
+	for _, p := range peers {
+		if p != id {
+			others = append(others, p)
+		}
+	}
+	return &Node{
+		id: id, peers: others, cfg: cfg.withDefaults(),
+		ep: tr, rng: rand.New(rand.NewSource(seed)),
+		role: Follower, votes: map[string]bool{},
+		nextIndex: map[string]uint64{}, matchIndex: map[string]uint64{},
+		applyCh: make(chan Committed, 4096),
+		stopCh:  make(chan struct{}),
+	}
+}
+
+// UseStorage attaches persistent state and loads any previously persisted
+// term, vote and log. Must be called before Start. After a crash-restart,
+// committed entries are re-delivered on Apply from index 1 (there is no
+// snapshotting); consumers rebuild or deduplicate by index.
+func (n *Node) UseStorage(st Storage) error {
+	term, voted, log, err := st.Load()
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.storage = st
+	n.term = term
+	n.votedFor = voted
+	n.log = log
+	return nil
+}
+
+// Err returns the first persistence error, if any; the node stops accepting
+// proposals and stops voting once persistence fails.
+func (n *Node) Err() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.persistErr
+}
+
+// persistStateLocked durably saves term/vote; on failure the node wedges
+// itself (it must not communicate unpersisted promises).
+func (n *Node) persistStateLocked() bool {
+	if n.storage == nil || n.persistErr != nil {
+		return n.persistErr == nil
+	}
+	if err := n.storage.SaveState(n.term, n.votedFor); err != nil {
+		n.persistErr = err
+		return false
+	}
+	return true
+}
+
+func (n *Node) persistAppendLocked(first uint64, entries []Entry) bool {
+	if n.storage == nil || n.persistErr != nil {
+		return n.persistErr == nil
+	}
+	if err := n.storage.Append(first, entries); err != nil {
+		n.persistErr = err
+		return false
+	}
+	return true
+}
+
+// Apply returns the channel of committed entries, delivered in log order.
+func (n *Node) Apply() <-chan Committed { return n.applyCh }
+
+// Start launches the node's event loop.
+func (n *Node) Start() {
+	n.mu.Lock()
+	n.resetElectionDeadlineLocked()
+	n.mu.Unlock()
+	n.wg.Add(1)
+	go n.run()
+}
+
+// Stop terminates the node (crash-stop).
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() { close(n.stopCh) })
+	n.wg.Wait()
+}
+
+// Status returns the node's current role and term.
+func (n *Node) Status() (Role, uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.role, n.term
+}
+
+// LeaderHint returns the most recently observed leader id.
+func (n *Node) LeaderHint() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.leaderHint
+}
+
+// CommitIndex returns the node's commit index.
+func (n *Node) CommitIndex() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.commitIndex
+}
+
+// Propose appends cmd to the log if this node is the leader. It returns the
+// assigned index and term, and whether the node accepted the proposal.
+// Commitment is signalled later through Apply.
+func (n *Node) Propose(cmd []byte) (uint64, uint64, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.role != Leader || n.persistErr != nil {
+		return 0, 0, false
+	}
+	n.log = append(n.log, Entry{Term: n.term, Cmd: cmd})
+	idx := uint64(len(n.log))
+	if !n.persistAppendLocked(idx, n.log[idx-1:]) {
+		n.log = n.log[:idx-1]
+		return 0, 0, false
+	}
+	n.matchIndex[n.id] = idx
+	n.broadcastAppendLocked()
+	return idx, n.term, true
+}
+
+func (n *Node) run() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.cfg.HeartbeatInterval / 2)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case msg := <-n.ep.Inbox():
+			n.handle(msg)
+		case <-ticker.C:
+			n.tick()
+		}
+	}
+}
+
+func (n *Node) tick() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	now := time.Now()
+	switch n.role {
+	case Leader:
+		n.broadcastAppendLocked()
+	default:
+		if now.After(n.electionDeadline) {
+			n.startElectionLocked()
+		}
+	}
+}
+
+func (n *Node) resetElectionDeadlineLocked() {
+	span := n.cfg.ElectionTimeoutMax - n.cfg.ElectionTimeoutMin
+	d := n.cfg.ElectionTimeoutMin + time.Duration(n.rng.Int63n(int64(span)+1))
+	n.electionDeadline = time.Now().Add(d)
+}
+
+func (n *Node) lastLogLocked() (uint64, uint64) {
+	if len(n.log) == 0 {
+		return 0, 0
+	}
+	return uint64(len(n.log)), n.log[len(n.log)-1].Term
+}
+
+func (n *Node) startElectionLocked() {
+	if n.persistErr != nil {
+		return
+	}
+	n.role = Candidate
+	n.term++
+	n.votedFor = n.id
+	n.votes = map[string]bool{n.id: true}
+	if !n.persistStateLocked() {
+		return
+	}
+	n.resetElectionDeadlineLocked()
+	lastIdx, lastTerm := n.lastLogLocked()
+	req := RequestVote{Term: n.term, Candidate: n.id, LastLogIndex: lastIdx, LastLogTerm: lastTerm}
+	for _, p := range n.peers {
+		n.ep.Send(p, req)
+	}
+	if n.hasMajorityLocked() { // single-node cluster
+		n.becomeLeaderLocked()
+	}
+}
+
+func (n *Node) hasMajorityLocked() bool {
+	return len(n.votes)*2 > len(n.peers)+1
+}
+
+func (n *Node) becomeLeaderLocked() {
+	n.role = Leader
+	n.leaderHint = n.id
+	lastIdx, _ := n.lastLogLocked()
+	for _, p := range n.peers {
+		n.nextIndex[p] = lastIdx + 1
+		n.matchIndex[p] = 0
+	}
+	n.matchIndex[n.id] = lastIdx
+	n.broadcastAppendLocked()
+}
+
+func (n *Node) stepDownLocked(term uint64) {
+	n.term = term
+	n.role = Follower
+	n.votedFor = ""
+	n.votes = map[string]bool{}
+	n.persistStateLocked()
+	n.resetElectionDeadlineLocked()
+}
+
+func (n *Node) broadcastAppendLocked() {
+	for _, p := range n.peers {
+		n.sendAppendLocked(p)
+	}
+	n.advanceCommitLocked()
+}
+
+func (n *Node) sendAppendLocked(peer string) {
+	next := n.nextIndex[peer]
+	if next == 0 {
+		next = 1
+	}
+	prevIdx := next - 1
+	var prevTerm uint64
+	if prevIdx > 0 && prevIdx <= uint64(len(n.log)) {
+		prevTerm = n.log[prevIdx-1].Term
+	}
+	var entries []Entry
+	if next <= uint64(len(n.log)) {
+		entries = append(entries, n.log[next-1:]...)
+	}
+	n.ep.Send(peer, AppendEntries{
+		Term: n.term, Leader: n.id,
+		PrevLogIndex: prevIdx, PrevLogTerm: prevTerm,
+		Entries: entries, LeaderCommit: n.commitIndex,
+	})
+}
+
+func (n *Node) handle(msg memnet.Message) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	switch rpc := msg.Payload.(type) {
+	case RequestVote:
+		n.onRequestVote(msg.From, rpc)
+	case VoteReply:
+		n.onVoteReply(msg.From, rpc)
+	case AppendEntries:
+		n.onAppendEntries(msg.From, rpc)
+	case AppendReply:
+		n.onAppendReply(msg.From, rpc)
+	}
+}
+
+func (n *Node) onRequestVote(from string, rpc RequestVote) {
+	if rpc.Term > n.term {
+		n.stepDownLocked(rpc.Term)
+	}
+	granted := false
+	if rpc.Term == n.term && (n.votedFor == "" || n.votedFor == rpc.Candidate) {
+		// Election restriction: candidate's log must be at least as
+		// up-to-date as ours.
+		lastIdx, lastTerm := n.lastLogLocked()
+		if rpc.LastLogTerm > lastTerm ||
+			(rpc.LastLogTerm == lastTerm && rpc.LastLogIndex >= lastIdx) {
+			granted = true
+			n.votedFor = rpc.Candidate
+			if !n.persistStateLocked() {
+				granted = false
+			}
+			n.resetElectionDeadlineLocked()
+		}
+	}
+	n.ep.Send(from, VoteReply{Term: n.term, Granted: granted})
+}
+
+func (n *Node) onVoteReply(from string, rpc VoteReply) {
+	if rpc.Term > n.term {
+		n.stepDownLocked(rpc.Term)
+		return
+	}
+	if n.role != Candidate || rpc.Term != n.term || !rpc.Granted {
+		return
+	}
+	n.votes[from] = true
+	if n.hasMajorityLocked() {
+		n.becomeLeaderLocked()
+	}
+}
+
+func (n *Node) onAppendEntries(from string, rpc AppendEntries) {
+	if rpc.Term > n.term {
+		n.stepDownLocked(rpc.Term)
+	}
+	if rpc.Term < n.term {
+		n.ep.Send(from, AppendReply{Term: n.term})
+		return
+	}
+	// Valid leader for the current term.
+	n.role = Follower
+	n.leaderHint = rpc.Leader
+	n.resetElectionDeadlineLocked()
+	// Log matching check.
+	if rpc.PrevLogIndex > uint64(len(n.log)) {
+		n.ep.Send(from, AppendReply{Term: n.term, ConflictIndex: uint64(len(n.log)) + 1})
+		return
+	}
+	if rpc.PrevLogIndex > 0 && n.log[rpc.PrevLogIndex-1].Term != rpc.PrevLogTerm {
+		// Back up to the start of the conflicting term.
+		ci := rpc.PrevLogIndex
+		badTerm := n.log[rpc.PrevLogIndex-1].Term
+		for ci > 1 && n.log[ci-2].Term == badTerm {
+			ci--
+		}
+		n.ep.Send(from, AppendReply{Term: n.term, ConflictIndex: ci})
+		return
+	}
+	// Append / overwrite; persist from the first changed index.
+	firstChanged := uint64(0)
+	for i, e := range rpc.Entries {
+		idx := rpc.PrevLogIndex + uint64(i) + 1
+		if idx <= uint64(len(n.log)) {
+			if n.log[idx-1].Term != e.Term {
+				n.log = n.log[:idx-1]
+				n.log = append(n.log, e)
+				if firstChanged == 0 {
+					firstChanged = idx
+				}
+			}
+		} else {
+			n.log = append(n.log, e)
+			if firstChanged == 0 {
+				firstChanged = idx
+			}
+		}
+	}
+	if firstChanged > 0 {
+		if !n.persistAppendLocked(firstChanged, n.log[firstChanged-1:]) {
+			n.ep.Send(from, AppendReply{Term: n.term, ConflictIndex: firstChanged})
+			return
+		}
+	}
+	match := rpc.PrevLogIndex + uint64(len(rpc.Entries))
+	if rpc.LeaderCommit > n.commitIndex {
+		lim := rpc.LeaderCommit
+		if last := uint64(len(n.log)); lim > last {
+			lim = last
+		}
+		n.commitToLocked(lim)
+	}
+	n.ep.Send(from, AppendReply{Term: n.term, Success: true, MatchIndex: match})
+}
+
+func (n *Node) onAppendReply(from string, rpc AppendReply) {
+	if rpc.Term > n.term {
+		n.stepDownLocked(rpc.Term)
+		return
+	}
+	if n.role != Leader || rpc.Term != n.term {
+		return
+	}
+	if rpc.Success {
+		if rpc.MatchIndex > n.matchIndex[from] {
+			n.matchIndex[from] = rpc.MatchIndex
+		}
+		n.nextIndex[from] = n.matchIndex[from] + 1
+		n.advanceCommitLocked()
+		return
+	}
+	// Follower rejected: back up and retry.
+	next := rpc.ConflictIndex
+	if next == 0 {
+		next = 1
+	}
+	if next < 1 {
+		next = 1
+	}
+	n.nextIndex[from] = next
+	n.sendAppendLocked(from)
+}
+
+// advanceCommitLocked commits the highest index replicated on a majority
+// whose entry is from the current term (Raft's commitment rule).
+func (n *Node) advanceCommitLocked() {
+	if n.role != Leader {
+		return
+	}
+	matches := make([]uint64, 0, len(n.peers)+1)
+	matches = append(matches, uint64(len(n.log)))
+	for _, p := range n.peers {
+		matches = append(matches, n.matchIndex[p])
+	}
+	sort.Slice(matches, func(i, j int) bool { return matches[i] > matches[j] })
+	majority := matches[len(matches)/2]
+	if majority > n.commitIndex && majority <= uint64(len(n.log)) &&
+		n.log[majority-1].Term == n.term {
+		n.commitToLocked(majority)
+	}
+}
+
+func (n *Node) commitToLocked(idx uint64) {
+	for i := n.commitIndex + 1; i <= idx; i++ {
+		select {
+		case n.applyCh <- Committed{Index: i, Term: n.log[i-1].Term, Cmd: n.log[i-1].Cmd}:
+		case <-n.stopCh:
+			return
+		}
+	}
+	n.commitIndex = idx
+}
+
+// WireTypes returns one zero value of every RPC payload type a Transport
+// must be able to carry; wire transports register them with their codec
+// (e.g. tcpnet's gob streams).
+func WireTypes() []any {
+	return []any{RequestVote{}, VoteReply{}, AppendEntries{}, AppendReply{}}
+}

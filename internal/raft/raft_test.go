@@ -1,0 +1,293 @@
+package raft
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"prognosticator/internal/memnet"
+)
+
+// cluster is a test harness over N nodes on one memnet.
+type cluster struct {
+	t     *testing.T
+	net   *memnet.Network
+	nodes map[string]*Node
+	ids   []string
+}
+
+func newCluster(t *testing.T, n int, seed int64) *cluster {
+	t.Helper()
+	c := &cluster{t: t, net: memnet.New(seed), nodes: map[string]*Node{}}
+	for i := 0; i < n; i++ {
+		c.ids = append(c.ids, fmt.Sprintf("n%d", i))
+	}
+	for i, id := range c.ids {
+		node := NewNode(id, c.ids, c.net, Config{
+			ElectionTimeoutMin: 50 * time.Millisecond,
+			ElectionTimeoutMax: 100 * time.Millisecond,
+			HeartbeatInterval:  15 * time.Millisecond,
+		}, seed+int64(i))
+		c.nodes[id] = node
+		node.Start()
+	}
+	t.Cleanup(func() {
+		for _, n := range c.nodes {
+			n.Stop()
+		}
+		c.net.Close()
+	})
+	return c
+}
+
+// waitLeader waits for exactly one leader among the given ids (default all).
+func (c *cluster) waitLeader(within time.Duration, among ...string) *Node {
+	c.t.Helper()
+	if len(among) == 0 {
+		among = c.ids
+	}
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		var leaders []*Node
+		for _, id := range among {
+			if role, _ := c.nodes[id].Status(); role == Leader {
+				leaders = append(leaders, c.nodes[id])
+			}
+		}
+		if len(leaders) == 1 {
+			return leaders[0]
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	c.t.Fatalf("no single leader among %v within %v", among, within)
+	return nil
+}
+
+// proposeAndWait proposes through the leader and waits for all live nodes in
+// among to apply it.
+func (c *cluster) proposeAndWait(leader *Node, cmd string, within time.Duration, among ...string) {
+	c.t.Helper()
+	idx, _, ok := leader.Propose([]byte(cmd))
+	if !ok {
+		c.t.Fatal("propose rejected by leader")
+	}
+	if len(among) == 0 {
+		among = c.ids
+	}
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		done := true
+		for _, id := range among {
+			if c.nodes[id].CommitIndex() < idx {
+				done = false
+				break
+			}
+		}
+		if done {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	c.t.Fatalf("entry %d not committed everywhere within %v", idx, within)
+}
+
+func drain(n *Node) []string {
+	var out []string
+	for {
+		select {
+		case e := <-n.Apply():
+			out = append(out, string(e.Cmd))
+		default:
+			return out
+		}
+	}
+}
+
+func TestSingleNodeBecomesLeaderAndCommits(t *testing.T) {
+	c := newCluster(t, 1, 1)
+	leader := c.waitLeader(2 * time.Second)
+	c.proposeAndWait(leader, "hello", time.Second)
+	got := drain(leader)
+	if len(got) != 1 || got[0] != "hello" {
+		t.Fatalf("applied = %v", got)
+	}
+}
+
+func TestThreeNodeElectionAndReplication(t *testing.T) {
+	c := newCluster(t, 3, 2)
+	leader := c.waitLeader(3 * time.Second)
+	for i := 0; i < 10; i++ {
+		c.proposeAndWait(leader, fmt.Sprintf("cmd-%d", i), 2*time.Second)
+	}
+	// Every node must apply the same sequence.
+	var first []string
+	for _, id := range c.ids {
+		got := drain(c.nodes[id])
+		if first == nil {
+			first = got
+		} else if len(got) != len(first) {
+			t.Fatalf("node %s applied %d entries, want %d", id, len(got), len(first))
+		} else {
+			for i := range got {
+				if got[i] != first[i] {
+					t.Fatalf("node %s applied %q at %d, want %q", id, got[i], i, first[i])
+				}
+			}
+		}
+	}
+	if len(first) != 10 {
+		t.Fatalf("applied %d entries, want 10", len(first))
+	}
+}
+
+func TestFollowerRejectsProposals(t *testing.T) {
+	c := newCluster(t, 3, 3)
+	leader := c.waitLeader(3 * time.Second)
+	for _, id := range c.ids {
+		if c.nodes[id] == leader {
+			continue
+		}
+		if _, _, ok := c.nodes[id].Propose([]byte("x")); ok {
+			t.Fatalf("follower %s accepted a proposal", id)
+		}
+	}
+}
+
+func TestLeaderFailover(t *testing.T) {
+	c := newCluster(t, 3, 4)
+	leader := c.waitLeader(3 * time.Second)
+	c.proposeAndWait(leader, "before", 2*time.Second)
+	// Crash the leader.
+	leader.Stop()
+	var rest []string
+	for _, id := range c.ids {
+		if c.nodes[id] != leader {
+			rest = append(rest, id)
+		}
+	}
+	newLeader := c.waitLeader(3*time.Second, rest...)
+	if newLeader == leader {
+		t.Fatal("old leader still leading")
+	}
+	// The new leader must still commit new entries among the survivors.
+	c.proposeAndWait(newLeader, "after", 2*time.Second, rest...)
+	for _, id := range rest {
+		got := drain(c.nodes[id])
+		if len(got) != 2 || got[0] != "before" || got[1] != "after" {
+			t.Fatalf("node %s applied %v", id, got)
+		}
+	}
+}
+
+func TestPartitionedMinorityCannotCommit(t *testing.T) {
+	c := newCluster(t, 5, 5)
+	leader := c.waitLeader(3 * time.Second)
+	c.proposeAndWait(leader, "a", 2*time.Second)
+	// Partition the leader with one other node (minority).
+	var minority, majority []string
+	minority = append(minority, leader.id)
+	for _, id := range c.ids {
+		if id == leader.id {
+			continue
+		}
+		if len(minority) < 2 {
+			minority = append(minority, id)
+		} else {
+			majority = append(majority, id)
+		}
+	}
+	c.net.Partition(minority, majority)
+	// The old leader may accept proposals but must never commit them.
+	idx, _, _ := leader.Propose([]byte("doomed"))
+	time.Sleep(300 * time.Millisecond)
+	if leader.CommitIndex() >= idx {
+		t.Fatal("minority leader committed an entry")
+	}
+	// The majority elects a fresh leader and commits.
+	newLeader := c.waitLeader(5*time.Second, majority...)
+	c.proposeAndWait(newLeader, "b", 3*time.Second, majority...)
+	// Heal: the doomed entry is overwritten; everyone converges.
+	c.net.Heal()
+	c.proposeAndWait(c.waitLeader(3*time.Second), "c", 3*time.Second)
+	for _, id := range c.ids {
+		got := drain(c.nodes[id])
+		for _, cmd := range got {
+			if cmd == "doomed" {
+				t.Fatalf("node %s applied the uncommitted minority entry", id)
+			}
+		}
+	}
+}
+
+func TestLossyNetworkStillCommits(t *testing.T) {
+	c := newCluster(t, 3, 6)
+	c.net.SetLoss(0.10)
+	c.net.SetDelay(time.Millisecond, 5*time.Millisecond)
+	leader := c.waitLeader(5 * time.Second)
+	for i := 0; i < 5; i++ {
+		// Under loss the first leader may be deposed; re-resolve.
+		role, _ := leader.Status()
+		if role != Leader {
+			leader = c.waitLeader(5 * time.Second)
+		}
+		idx, _, ok := leader.Propose([]byte(fmt.Sprintf("l%d", i)))
+		if !ok {
+			leader = c.waitLeader(5 * time.Second)
+			idx, _, ok = leader.Propose([]byte(fmt.Sprintf("l%d", i)))
+			if !ok {
+				t.Fatal("could not propose")
+			}
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) && leader.CommitIndex() < idx {
+			time.Sleep(10 * time.Millisecond)
+		}
+		if leader.CommitIndex() < idx {
+			t.Fatalf("entry %d not committed under loss", idx)
+		}
+	}
+}
+
+func TestApplyOrderMatchesIndex(t *testing.T) {
+	c := newCluster(t, 3, 7)
+	leader := c.waitLeader(3 * time.Second)
+	for i := 0; i < 20; i++ {
+		c.proposeAndWait(leader, fmt.Sprintf("%d", i), 2*time.Second)
+	}
+	for _, id := range c.ids {
+		var lastIdx uint64
+		node := c.nodes[id]
+		for {
+			select {
+			case e := <-node.Apply():
+				if e.Index != lastIdx+1 {
+					t.Fatalf("node %s: apply index %d after %d", id, e.Index, lastIdx)
+				}
+				lastIdx = e.Index
+				continue
+			default:
+			}
+			break
+		}
+		if lastIdx != 20 {
+			t.Fatalf("node %s applied %d entries", id, lastIdx)
+		}
+	}
+}
+
+func TestLeaderHint(t *testing.T) {
+	c := newCluster(t, 3, 8)
+	leader := c.waitLeader(3 * time.Second)
+	c.proposeAndWait(leader, "x", 2*time.Second)
+	for _, id := range c.ids {
+		if hint := c.nodes[id].LeaderHint(); hint != leader.id {
+			t.Fatalf("node %s leader hint = %q, want %q", id, hint, leader.id)
+		}
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	if Follower.String() != "follower" || Candidate.String() != "candidate" || Leader.String() != "leader" {
+		t.Fatal("role strings")
+	}
+}

@@ -1,0 +1,103 @@
+package raft
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"prognosticator/internal/wal"
+)
+
+// Storage persists a node's durable Raft state: current term, vote, and the
+// log. A node with storage survives crash-restart without violating
+// election safety or log matching (it never re-votes in a term and never
+// loses accepted entries).
+type Storage interface {
+	// SaveState durably records term and vote; called before any message
+	// that communicates them.
+	SaveState(term uint64, votedFor string) error
+	// Append durably appends entries starting at firstIndex (1-based),
+	// truncating any previously stored suffix from that index.
+	Append(firstIndex uint64, entries []Entry) error
+	// Load returns the persisted state; a fresh store returns zero values.
+	Load() (term uint64, votedFor string, log []Entry, err error)
+}
+
+// FileStorage implements Storage as a WAL of JSON records. Each mutation is
+// one framed record; Load replays them. No compaction is performed — ample
+// for the in-process deployments this repository targets.
+type FileStorage struct {
+	log *wal.Log
+	dir string
+}
+
+// storageRecord is the journal entry format.
+type storageRecord struct {
+	Kind     string  `json:"k"` // "state" | "append"
+	Term     uint64  `json:"t,omitempty"`
+	VotedFor string  `json:"v,omitempty"`
+	First    uint64  `json:"f,omitempty"`
+	Entries  []Entry `json:"e,omitempty"`
+}
+
+// OpenFileStorage opens (or creates) persistent Raft state in dir.
+func OpenFileStorage(dir string) (*FileStorage, error) {
+	l, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("raft: storage: %w", err)
+	}
+	return &FileStorage{log: l, dir: dir}, nil
+}
+
+// Close releases the underlying log.
+func (fs *FileStorage) Close() error { return fs.log.Close() }
+
+func (fs *FileStorage) append(rec storageRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("raft: storage encode: %w", err)
+	}
+	if err := fs.log.Append(data); err != nil {
+		return fmt.Errorf("raft: storage append: %w", err)
+	}
+	return fs.log.Sync()
+}
+
+// SaveState implements Storage.
+func (fs *FileStorage) SaveState(term uint64, votedFor string) error {
+	return fs.append(storageRecord{Kind: "state", Term: term, VotedFor: votedFor})
+}
+
+// Append implements Storage.
+func (fs *FileStorage) Append(firstIndex uint64, entries []Entry) error {
+	return fs.append(storageRecord{Kind: "append", First: firstIndex, Entries: entries})
+}
+
+// Load implements Storage.
+func (fs *FileStorage) Load() (uint64, string, []Entry, error) {
+	var term uint64
+	var voted string
+	var log []Entry
+	err := wal.Replay(fs.dir, func(payload []byte) error {
+		var rec storageRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return fmt.Errorf("raft: storage decode: %w", err)
+		}
+		switch rec.Kind {
+		case "state":
+			term, voted = rec.Term, rec.VotedFor
+		case "append":
+			if rec.First == 0 {
+				return fmt.Errorf("raft: storage: append with index 0")
+			}
+			if rec.First <= uint64(len(log)) {
+				log = log[:rec.First-1]
+			}
+			log = append(log, rec.Entries...)
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, "", nil, err
+	}
+	return term, voted, log, nil
+}

@@ -1,0 +1,326 @@
+// Package replica ties the pieces into a System Replica (paper Fig. 1): a
+// Raft node delivering ordered batches, a deterministic executor applying
+// them, an optional write-ahead log for durability, and a state hash for
+// divergence detection. A Cluster helper assembles a full in-process
+// deployment (N replicas + dispatchers) for the examples, tests and
+// cmd/replicad.
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"prognosticator/internal/engine"
+	"prognosticator/internal/memnet"
+	"prognosticator/internal/raft"
+	"prognosticator/internal/sequencer"
+	"prognosticator/internal/store"
+	"prognosticator/internal/tcpnet"
+	"prognosticator/internal/value"
+	"prognosticator/internal/wal"
+)
+
+// Replica applies committed batches to a deterministic executor.
+type Replica struct {
+	ID   string
+	exec engine.Executor
+	st   *store.Store
+	log  *wal.Log // nil disables durability
+
+	mu          sync.Mutex
+	lastApplied uint64 // raft index of last applied batch
+	batches     int
+	stopCh      chan struct{}
+	stopOnce    sync.Once
+	wg          sync.WaitGroup
+}
+
+// New returns a replica applying batches through exec. wlog may be nil.
+func New(id string, exec engine.Executor, st *store.Store, wlog *wal.Log) *Replica {
+	return &Replica{ID: id, exec: exec, st: st, log: wlog, stopCh: make(chan struct{})}
+}
+
+// Start launches the apply loop consuming committed entries.
+func (r *Replica) Start(applyCh <-chan raft.Committed, onError func(error)) {
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		for {
+			select {
+			case <-r.stopCh:
+				return
+			case c := <-applyCh:
+				if err := r.applyOne(c); err != nil {
+					if onError != nil {
+						onError(err)
+					}
+					return
+				}
+			}
+		}
+	}()
+}
+
+// Stop terminates the apply loop.
+func (r *Replica) Stop() {
+	r.stopOnce.Do(func() { close(r.stopCh) })
+	r.wg.Wait()
+}
+
+func (r *Replica) applyOne(c raft.Committed) error {
+	reqs, err := sequencer.DecodeCommitted(c)
+	if err != nil {
+		return fmt.Errorf("replica %s: %w", r.ID, err)
+	}
+	// Durability first: log the ordered batch, then apply. Recovery
+	// replays the log through a fresh engine; determinism guarantees the
+	// same end state.
+	if r.log != nil {
+		if err := r.log.Append(c.Cmd); err != nil {
+			return fmt.Errorf("replica %s: wal: %w", r.ID, err)
+		}
+	}
+	if _, err := r.exec.ExecuteBatch(reqs); err != nil {
+		return fmt.Errorf("replica %s: apply batch %d: %w", r.ID, c.Index, err)
+	}
+	r.mu.Lock()
+	r.lastApplied = c.Index
+	r.batches++
+	r.mu.Unlock()
+	return nil
+}
+
+// LastApplied returns the Raft index of the last applied batch.
+func (r *Replica) LastApplied() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastApplied
+}
+
+// Batches returns the number of applied batches.
+func (r *Replica) Batches() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.batches
+}
+
+// StateHash returns the order-independent hash of the replica's current
+// store state.
+func (r *Replica) StateHash() uint64 { return r.st.StateHash(r.st.Epoch()) }
+
+// Recover replays a WAL directory through exec, rebuilding the store state
+// of a crashed replica. It returns the number of batches replayed.
+func Recover(dir string, exec engine.Executor) (int, error) {
+	n := 0
+	err := wal.Replay(dir, func(payload []byte) error {
+		reqs, err := sequencer.DecodeCommitted(raft.Committed{Index: uint64(n + 1), Cmd: payload})
+		if err != nil {
+			return err
+		}
+		if _, err := exec.ExecuteBatch(reqs); err != nil {
+			return err
+		}
+		n++
+		return nil
+	})
+	if err != nil {
+		return n, fmt.Errorf("replica: recover: %w", err)
+	}
+	return n, nil
+}
+
+// Cluster is an in-process deployment: N Raft nodes, one replica each, and
+// a dispatcher per node. It is the top-level object the examples and
+// cmd/replicad drive. Consensus traffic flows over simulated channels
+// (memnet, the default) or real loopback TCP sockets (tcpnet).
+type Cluster struct {
+	Net         *memnet.Network // nil when running over TCP
+	Endpoints   []*tcpnet.Endpoint
+	Nodes       []*raft.Node
+	Replicas    []*Replica
+	Dispatchers []*sequencer.Dispatcher
+
+	errMu sync.Mutex
+	err   error
+}
+
+// ClusterConfig configures NewCluster.
+type ClusterConfig struct {
+	Replicas int
+	Seed     int64
+	// NewExecutor builds each replica's executor over its private store.
+	NewExecutor func(replicaID string, st *store.Store) (engine.Executor, error)
+	// Raft overrides the consensus timing (zero = defaults).
+	Raft raft.Config
+	// TCP routes consensus over real loopback sockets instead of the
+	// in-process simulated network.
+	TCP bool
+}
+
+// NewCluster assembles and starts an in-process cluster.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 3
+	}
+	if cfg.NewExecutor == nil {
+		return nil, fmt.Errorf("replica: cluster needs a NewExecutor factory")
+	}
+	c := &Cluster{}
+	ids := make([]string, cfg.Replicas)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("replica-%d", i)
+	}
+	var dir *tcpnet.Directory
+	if cfg.TCP {
+		tcpnet.Register(raft.WireTypes()...)
+		dir = tcpnet.NewDirectory()
+	} else {
+		c.Net = memnet.New(cfg.Seed)
+	}
+	for i, id := range ids {
+		var node *raft.Node
+		if cfg.TCP {
+			ep, err := tcpnet.Listen(id, "127.0.0.1:0", dir)
+			if err != nil {
+				return nil, fmt.Errorf("replica: cluster transport for %s: %w", id, err)
+			}
+			c.Endpoints = append(c.Endpoints, ep)
+			node = raft.NewNodeWithTransport(id, ids, ep, cfg.Raft, cfg.Seed+int64(i)*7919)
+		} else {
+			node = raft.NewNode(id, ids, c.Net, cfg.Raft, cfg.Seed+int64(i)*7919)
+		}
+		st := store.New()
+		exec, err := cfg.NewExecutor(id, st)
+		if err != nil {
+			return nil, fmt.Errorf("replica: cluster executor for %s: %w", id, err)
+		}
+		rep := New(id, exec, st, nil)
+		c.Nodes = append(c.Nodes, node)
+		c.Replicas = append(c.Replicas, rep)
+		c.Dispatchers = append(c.Dispatchers, sequencer.NewDispatcher(node))
+	}
+	for i := range c.Nodes {
+		c.Nodes[i].Start()
+		c.Replicas[i].Start(c.Nodes[i].Apply(), c.recordErr)
+	}
+	return c, nil
+}
+
+func (c *Cluster) recordErr(err error) {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	if c.err == nil {
+		c.err = err
+	}
+}
+
+// Err returns the first replica apply error, if any.
+func (c *Cluster) Err() error {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	return c.err
+}
+
+// Stop shuts the cluster down.
+func (c *Cluster) Stop() {
+	for _, r := range c.Replicas {
+		r.Stop()
+	}
+	for _, n := range c.Nodes {
+		n.Stop()
+	}
+	if c.Net != nil {
+		c.Net.Close()
+	}
+	for _, ep := range c.Endpoints {
+		ep.Close()
+	}
+}
+
+// WaitLeader blocks until some node is leader, returning its index.
+func (c *Cluster) WaitLeader(within time.Duration) (int, error) {
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		for i, n := range c.Nodes {
+			if role, _ := n.Status(); role == raft.Leader {
+				return i, nil
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return -1, fmt.Errorf("replica: no leader within %v", within)
+}
+
+// SubmitBatch routes one batch of requests through the current leader —
+// retrying through the new leader if leadership moves mid-submit — and
+// waits until every replica has applied it.
+func (c *Cluster) SubmitBatch(reqs []struct {
+	TxName string
+	Inputs map[string]value.Value
+}, within time.Duration) error {
+	deadline := time.Now().Add(within)
+	var idx uint64
+	for {
+		li, err := c.WaitLeader(time.Until(deadline))
+		if err != nil {
+			return err
+		}
+		d := c.Dispatchers[li]
+		for _, r := range reqs {
+			d.Submit(r.TxName, r.Inputs)
+		}
+		idx, err = d.Flush()
+		if err == nil {
+			break
+		}
+		// Leadership moved between WaitLeader and Flush: drop this
+		// node's buffer (the batch was never proposed) and re-route.
+		d.Discard()
+		if !errors.Is(err, sequencer.ErrNotLeader) {
+			return err
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("replica: no stable leader within %v", within)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for time.Now().Before(deadline) {
+		if err := c.Err(); err != nil {
+			return err
+		}
+		done := true
+		for _, rep := range c.Replicas {
+			if rep.LastApplied() < idx {
+				done = false
+				break
+			}
+		}
+		if done {
+			return nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return fmt.Errorf("replica: batch %d not applied everywhere within %v", idx, within)
+}
+
+// StateHashes returns every replica's state hash.
+func (c *Cluster) StateHashes() []uint64 {
+	out := make([]uint64, len(c.Replicas))
+	for i, r := range c.Replicas {
+		out[i] = r.StateHash()
+	}
+	return out
+}
+
+// Converged reports whether all replicas currently hash identically.
+func (c *Cluster) Converged() bool {
+	hs := c.StateHashes()
+	for _, h := range hs[1:] {
+		if h != hs[0] {
+			return false
+		}
+	}
+	return true
+}

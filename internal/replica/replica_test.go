@@ -1,0 +1,295 @@
+package replica
+
+import (
+	"testing"
+	"time"
+
+	"prognosticator/internal/engine"
+	"prognosticator/internal/lang"
+	"prognosticator/internal/raft"
+	"prognosticator/internal/sequencer"
+	"prognosticator/internal/store"
+	"prognosticator/internal/value"
+	"prognosticator/internal/wal"
+)
+
+func encodeForTest(reqs []engine.Request) ([]byte, error) {
+	return sequencer.EncodeBatch(reqs)
+}
+
+func committedForTest(idx uint64, cmd []byte) raft.Committed {
+	return raft.Committed{Index: idx, Term: 1, Cmd: cmd}
+}
+
+func testRegistry(t testing.TB) *engine.Registry {
+	t.Helper()
+	schema := lang.NewSchema(lang.TableSpec{Name: "ACC", KeyArity: 1})
+	deposit := &lang.Program{
+		Name:   "deposit",
+		Params: []lang.Param{lang.IntParam("k", 0, 99), lang.IntParam("amt", 1, 100)},
+		Body: []lang.Stmt{
+			lang.GetS("a", "ACC", lang.P("k")),
+			lang.SetF("a", "bal", lang.Add(lang.Fld(lang.L("a"), "bal"), lang.P("amt"))),
+			lang.PutS("ACC", lang.Key(lang.P("k")), lang.L("a")),
+		},
+	}
+	reg, err := engine.NewRegistry(schema, deposit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func clusterConfig(t testing.TB, replicas int, workersOf func(i string) int) ClusterConfig {
+	reg := testRegistry(t)
+	return ClusterConfig{
+		Replicas: replicas,
+		Seed:     42,
+		NewExecutor: func(id string, st *store.Store) (engine.Executor, error) {
+			w := 2
+			if workersOf != nil {
+				w = workersOf(id)
+			}
+			return engine.New(reg, st, engine.Config{Workers: w}), nil
+		},
+	}
+}
+
+func deposit(k, amt int64) struct {
+	TxName string
+	Inputs map[string]value.Value
+} {
+	return struct {
+		TxName string
+		Inputs map[string]value.Value
+	}{TxName: "deposit", Inputs: map[string]value.Value{
+		"k": value.Int(k), "amt": value.Int(amt),
+	}}
+}
+
+func TestClusterConvergesAcrossReplicas(t *testing.T) {
+	// Replicas run with DIFFERENT worker counts: the determinism property
+	// must still make all state hashes identical after every batch.
+	workers := map[string]int{"replica-0": 1, "replica-1": 4, "replica-2": 8}
+	c, err := NewCluster(clusterConfig(t, 3, func(id string) int { return workers[id] }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	for b := 0; b < 5; b++ {
+		var reqs []struct {
+			TxName string
+			Inputs map[string]value.Value
+		}
+		for i := 0; i < 20; i++ {
+			reqs = append(reqs, deposit(int64((b*7+i)%50), int64(1+i%9)))
+		}
+		if err := c.SubmitBatch(reqs, 10*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if !c.Converged() {
+			t.Fatalf("replicas diverged after batch %d: %v", b, c.StateHashes())
+		}
+	}
+	for _, r := range c.Replicas {
+		if r.Batches() != 5 {
+			t.Fatalf("replica %s applied %d batches", r.ID, r.Batches())
+		}
+	}
+	if c.Err() != nil {
+		t.Fatal(c.Err())
+	}
+}
+
+func TestClusterAppliesEffects(t *testing.T) {
+	c, err := NewCluster(clusterConfig(t, 3, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	if err := c.SubmitBatch([]struct {
+		TxName string
+		Inputs map[string]value.Value
+	}{deposit(7, 10), deposit(7, 5)}, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i, rep := range c.Replicas {
+		st := rep.st
+		rec, ok := st.Get(st.Epoch(), value.NewKey("ACC", value.Int(7)))
+		if !ok {
+			t.Fatalf("replica %d: ACC/7 missing", i)
+		}
+		if f, _ := rec.Field("bal"); f.MustInt() != 15 {
+			t.Fatalf("replica %d: bal = %v", i, f)
+		}
+	}
+}
+
+func TestWALRecoveryRebuildsState(t *testing.T) {
+	reg := testRegistry(t)
+	dir := t.TempDir()
+	wlog, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := store.New()
+	exec := engine.New(reg, st, engine.Config{Workers: 2})
+	rep := New("r0", exec, st, wlog)
+
+	// Feed committed entries directly (bypassing Raft) to exercise the
+	// WAL path in isolation.
+	applyCh := make(chan struct {
+		idx uint64
+		cmd []byte
+	})
+	_ = applyCh
+	batches := [][]byte{}
+	for b := 0; b < 4; b++ {
+		var reqs []engine.Request
+		for i := 0; i < 10; i++ {
+			reqs = append(reqs, engine.Request{TxName: "deposit",
+				Inputs: map[string]value.Value{
+					"k": value.Int(int64((b + i) % 20)), "amt": value.Int(int64(1 + i)),
+				}})
+		}
+		data, err := encodeForTest(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batches = append(batches, data)
+	}
+	for i, cmd := range batches {
+		if err := rep.applyOne(committedForTest(uint64(i+1), cmd)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := rep.StateHash()
+	if err := wlog.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash-recover: replay the WAL into a fresh store.
+	st2 := store.New()
+	exec2 := engine.New(reg, st2, engine.Config{Workers: 8})
+	n, err := Recover(dir, exec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(batches) {
+		t.Fatalf("recovered %d batches, want %d", n, len(batches))
+	}
+	if got := st2.StateHash(st2.Epoch()); got != want {
+		t.Fatalf("recovered state hash %x != original %x", got, want)
+	}
+}
+
+func TestClusterRejectsMissingFactory(t *testing.T) {
+	if _, err := NewCluster(ClusterConfig{Replicas: 3}); err == nil {
+		t.Fatal("missing factory must error")
+	}
+}
+
+// TestClusterSurvivesLeaderCrash: killing the current leader mid-run must
+// not lose convergence — the surviving replicas elect a new leader and keep
+// applying identical batches.
+func TestClusterSurvivesLeaderCrash(t *testing.T) {
+	c, err := NewCluster(clusterConfig(t, 3, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	if err := c.SubmitBatch([]struct {
+		TxName string
+		Inputs map[string]value.Value
+	}{deposit(1, 5), deposit(2, 5)}, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	li, err := c.WaitLeader(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash the leader (both its raft node and replica).
+	c.Nodes[li].Stop()
+	c.Replicas[li].Stop()
+	// The survivors must still accept and apply batches.
+	survivors := []int{}
+	for i := range c.Replicas {
+		if i != li {
+			survivors = append(survivors, i)
+		}
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	var idx uint64
+	for {
+		var leaderIdx = -1
+		for _, i := range survivors {
+			if role, _ := c.Nodes[i].Status(); role == raft.Leader {
+				leaderIdx = i
+			}
+		}
+		if leaderIdx >= 0 {
+			d := c.Dispatchers[leaderIdx]
+			d.Submit("deposit", map[string]value.Value{"k": value.Int(3), "amt": value.Int(7)})
+			var err error
+			idx, err = d.Flush()
+			if err == nil {
+				break
+			}
+			d.Discard()
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no new leader accepted the batch")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for time.Now().Before(deadline) {
+		done := true
+		for _, i := range survivors {
+			if c.Replicas[i].LastApplied() < idx {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	h0 := c.Replicas[survivors[0]].StateHash()
+	h1 := c.Replicas[survivors[1]].StateHash()
+	if h0 != h1 {
+		t.Fatalf("survivors diverged after leader crash: %x vs %x", h0, h1)
+	}
+	if c.Replicas[survivors[0]].LastApplied() < idx {
+		t.Fatal("post-crash batch never applied")
+	}
+}
+
+// TestClusterOverTCP: the same convergence property with consensus running
+// over real loopback sockets.
+func TestClusterOverTCP(t *testing.T) {
+	cfg := clusterConfig(t, 3, nil)
+	cfg.TCP = true
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	for b := 0; b < 3; b++ {
+		var reqs []struct {
+			TxName string
+			Inputs map[string]value.Value
+		}
+		for i := 0; i < 15; i++ {
+			reqs = append(reqs, deposit(int64(i%10), int64(1+b)))
+		}
+		if err := c.SubmitBatch(reqs, 20*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if !c.Converged() {
+			t.Fatalf("TCP cluster diverged after batch %d", b)
+		}
+	}
+	if len(c.Endpoints) != 3 {
+		t.Fatalf("endpoints = %d", len(c.Endpoints))
+	}
+}

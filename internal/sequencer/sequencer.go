@@ -1,0 +1,134 @@
+// Package sequencer implements the Client Request Dispatcher of the paper's
+// architecture (§III-A, Fig. 1): it collects incoming transaction requests
+// into batches and runs them through consensus (internal/raft) so that every
+// replica receives the same batches in the same order. Sequence numbers are
+// derived from the Raft log position, so all replicas assign identical
+// sequence numbers without further coordination.
+package sequencer
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"prognosticator/internal/engine"
+	"prognosticator/internal/raft"
+	"prognosticator/internal/value"
+)
+
+// ErrNotLeader is returned by Flush when this dispatcher's Raft node is not
+// the current leader; the caller should retry on the hinted node.
+var ErrNotLeader = errors.New("sequencer: not leader")
+
+// Batch is the unit of consensus: an ordered list of transaction
+// invocations. Request sequence numbers are assigned at decode time from
+// the Raft index, so they are identical on every replica.
+type Batch struct {
+	Requests []engine.Request
+}
+
+// wire representation.
+type wireBatch struct {
+	Requests []wireRequest `json:"reqs"`
+}
+
+type wireRequest struct {
+	TxName string                 `json:"tx"`
+	Inputs map[string]value.Value `json:"in"`
+}
+
+// EncodeBatch serializes a batch for proposal.
+func EncodeBatch(reqs []engine.Request) ([]byte, error) {
+	wb := wireBatch{Requests: make([]wireRequest, len(reqs))}
+	for i, r := range reqs {
+		wb.Requests[i] = wireRequest{TxName: r.TxName, Inputs: r.Inputs}
+	}
+	data, err := json.Marshal(wb)
+	if err != nil {
+		return nil, fmt.Errorf("sequencer: encode: %w", err)
+	}
+	return data, nil
+}
+
+// seqStride spaces per-batch sequence numbers; a batch may hold at most
+// seqStride requests.
+const seqStride = 1 << 20
+
+// DecodeCommitted turns a committed Raft entry back into requests with
+// replica-consistent sequence numbers derived from the log index.
+func DecodeCommitted(c raft.Committed) ([]engine.Request, error) {
+	var wb wireBatch
+	if err := json.Unmarshal(c.Cmd, &wb); err != nil {
+		return nil, fmt.Errorf("sequencer: decode batch at index %d: %w", c.Index, err)
+	}
+	if len(wb.Requests) > seqStride {
+		return nil, fmt.Errorf("sequencer: batch at index %d has %d requests (max %d)",
+			c.Index, len(wb.Requests), seqStride)
+	}
+	reqs := make([]engine.Request, len(wb.Requests))
+	for i, wr := range wb.Requests {
+		reqs[i] = engine.Request{
+			Seq:    c.Index*seqStride + uint64(i),
+			TxName: wr.TxName,
+			Inputs: wr.Inputs,
+		}
+	}
+	return reqs, nil
+}
+
+// Dispatcher buffers client requests and proposes them as batches through
+// its Raft node. Safe for concurrent use.
+type Dispatcher struct {
+	node *raft.Node
+	mu   sync.Mutex
+	buf  []engine.Request
+}
+
+// NewDispatcher returns a dispatcher proposing through node.
+func NewDispatcher(node *raft.Node) *Dispatcher {
+	return &Dispatcher{node: node}
+}
+
+// Submit buffers one request for the next batch.
+func (d *Dispatcher) Submit(txName string, inputs map[string]value.Value) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.buf = append(d.buf, engine.Request{TxName: txName, Inputs: inputs})
+}
+
+// Discard drops any buffered requests (used when a caller re-routes a
+// batch to a different node after a leadership change).
+func (d *Dispatcher) Discard() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.buf = d.buf[:0]
+}
+
+// Pending returns the number of buffered requests.
+func (d *Dispatcher) Pending() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.buf)
+}
+
+// Flush proposes the buffered requests as one batch. It returns the Raft
+// index assigned to the batch. On ErrNotLeader the buffer is preserved so
+// the client can retry after re-routing.
+func (d *Dispatcher) Flush() (uint64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.buf) == 0 {
+		return 0, nil
+	}
+	data, err := EncodeBatch(d.buf)
+	if err != nil {
+		return 0, err
+	}
+	idx, _, ok := d.node.Propose(data)
+	if !ok {
+		return 0, fmt.Errorf("%w (hint: %s)", ErrNotLeader, d.node.LeaderHint())
+	}
+	d.buf = d.buf[:0]
+	return idx, nil
+}

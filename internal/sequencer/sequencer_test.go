@@ -1,0 +1,144 @@
+package sequencer
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"prognosticator/internal/engine"
+	"prognosticator/internal/memnet"
+	"prognosticator/internal/raft"
+	"prognosticator/internal/value"
+)
+
+func TestBatchCodecRoundTrip(t *testing.T) {
+	reqs := []engine.Request{
+		{TxName: "a", Inputs: map[string]value.Value{"x": value.Int(1)}},
+		{TxName: "b", Inputs: map[string]value.Value{
+			"s": value.Str("hello"), "l": value.List(value.Int(1), value.Int(2)),
+		}},
+	}
+	data, err := EncodeBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeCommitted(raft.Committed{Index: 3, Cmd: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("decoded %d requests", len(back))
+	}
+	// Sequence numbers derive from the raft index.
+	if back[0].Seq != 3*seqStride || back[1].Seq != 3*seqStride+1 {
+		t.Fatalf("seqs = %d, %d", back[0].Seq, back[1].Seq)
+	}
+	if back[0].TxName != "a" || !back[0].Inputs["x"].Equal(value.Int(1)) {
+		t.Fatalf("request 0 = %+v", back[0])
+	}
+	if !back[1].Inputs["l"].Equal(value.List(value.Int(1), value.Int(2))) {
+		t.Fatalf("request 1 inputs = %+v", back[1].Inputs)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := DecodeCommitted(raft.Committed{Index: 1, Cmd: []byte("{bad")}); err == nil {
+		t.Fatal("malformed batch must error")
+	}
+}
+
+func TestSeqOrderingAcrossBatches(t *testing.T) {
+	// Seq numbers from a later raft index always exceed those from an
+	// earlier one — the global total order the engine relies on.
+	b1, _ := EncodeBatch(make([]engine.Request, 3))
+	b2, _ := EncodeBatch(make([]engine.Request, 3))
+	r1, err := DecodeCommitted(raft.Committed{Index: 1, Cmd: b1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := DecodeCommitted(raft.Committed{Index: 2, Cmd: b2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1[len(r1)-1].Seq >= r2[0].Seq {
+		t.Fatalf("batch seq ranges overlap: %d vs %d", r1[len(r1)-1].Seq, r2[0].Seq)
+	}
+}
+
+func TestDispatcherFlushThroughRaft(t *testing.T) {
+	net := memnet.New(1)
+	node := raft.NewNode("n0", []string{"n0"}, net, raft.Config{
+		ElectionTimeoutMin: 20 * time.Millisecond,
+		ElectionTimeoutMax: 40 * time.Millisecond,
+		HeartbeatInterval:  10 * time.Millisecond,
+	}, 1)
+	node.Start()
+	defer node.Stop()
+	defer net.Close()
+	// Wait for self-election.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if role, _ := node.Status(); role == raft.Leader {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("single node did not become leader")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	d := NewDispatcher(node)
+	if idx, err := d.Flush(); err != nil || idx != 0 {
+		t.Fatalf("empty flush = %d, %v", idx, err)
+	}
+	d.Submit("tx1", map[string]value.Value{"x": value.Int(7)})
+	d.Submit("tx2", nil)
+	if d.Pending() != 2 {
+		t.Fatalf("pending = %d", d.Pending())
+	}
+	idx, err := d.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Pending() != 0 {
+		t.Fatal("buffer not cleared after flush")
+	}
+	// The committed entry decodes back to the submitted batch.
+	select {
+	case c := <-node.Apply():
+		if c.Index != idx {
+			t.Fatalf("applied index %d, want %d", c.Index, idx)
+		}
+		reqs, err := DecodeCommitted(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(reqs) != 2 || reqs[0].TxName != "tx1" || reqs[1].TxName != "tx2" {
+			t.Fatalf("decoded %+v", reqs)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("batch never committed")
+	}
+}
+
+func TestFlushNotLeader(t *testing.T) {
+	net := memnet.New(2)
+	// Two-node cluster where the peer does not exist: n0 can never win an
+	// election... it needs 2 votes of 2. It stays follower/candidate.
+	node := raft.NewNode("n0", []string{"n0", "ghost"}, net, raft.Config{
+		ElectionTimeoutMin: 10 * time.Millisecond,
+		ElectionTimeoutMax: 20 * time.Millisecond,
+		HeartbeatInterval:  5 * time.Millisecond,
+	}, 2)
+	node.Start()
+	defer node.Stop()
+	defer net.Close()
+	d := NewDispatcher(node)
+	d.Submit("tx", nil)
+	_, err := d.Flush()
+	if !errors.Is(err, ErrNotLeader) {
+		t.Fatalf("err = %v, want ErrNotLeader", err)
+	}
+	if d.Pending() != 1 {
+		t.Fatal("buffer must survive a failed flush")
+	}
+}

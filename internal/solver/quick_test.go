@@ -1,0 +1,91 @@
+package solver
+
+import (
+	"testing"
+	"testing/quick"
+
+	"prognosticator/internal/lang"
+	"prognosticator/internal/sym"
+	"prognosticator/internal/value"
+)
+
+// testing/quick properties of the path-constraint solver.
+
+// atomFromTriple builds a comparison atom a*x + b OP c from quick-generated
+// small integers.
+func atomFromTriple(x *sym.Var, a int8, b int8, c int8, opSel uint8) sym.Term {
+	ops := []lang.Op{lang.OpEq, lang.OpNe, lang.OpLt, lang.OpLe, lang.OpGt, lang.OpGe}
+	op := ops[int(opSel)%len(ops)]
+	lhs := sym.Bin{
+		Op: lang.OpAdd,
+		L:  sym.Bin{Op: lang.OpMul, L: sym.Const{V: value.Int(int64(a))}, R: x},
+		R:  sym.Const{V: value.Int(int64(b))},
+	}
+	return sym.Bin{Op: op, L: lhs, R: sym.Const{V: value.Int(int64(c))}}
+}
+
+// TestQuickSolverAgreesWithEnumeration: for single-variable linear systems
+// over a small domain, the solver must agree exactly with brute force.
+func TestQuickSolverAgreesWithEnumeration(t *testing.T) {
+	x := sym.NewInput("x", value.KindInt, -6, 6)
+	f := func(a1, b1, c1, a2, b2, c2 int8, op1, op2 uint8) bool {
+		atoms := []sym.Term{
+			atomFromTriple(x, a1%5, b1%7, c1%7, op1),
+			atomFromTriple(x, a2%5, b2%7, c2%7, op2),
+		}
+		want := Unsat
+		for v := int64(-6); v <= 6; v++ {
+			ok := true
+			for _, at := range atoms {
+				got, err := sym.Eval(at, func(*sym.Var) (value.Value, bool) {
+					return value.Int(v), true
+				})
+				if err != nil || !got.MustBool() {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				want = Sat
+				break
+			}
+		}
+		return Check(atoms) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickNegationExcludesModels: a constraint and its negation can never
+// both be unsatisfiable over a non-empty domain.
+func TestQuickNegationExcludesModels(t *testing.T) {
+	x := sym.NewInput("x", value.KindInt, 0, 20)
+	f := func(a, b, c int8, op uint8) bool {
+		atom := atomFromTriple(x, a%5, b%9, c%9, op)
+		pos := Check([]sym.Term{atom})
+		neg := Check([]sym.Term{sym.Negate(atom)})
+		return !(pos == Unsat && neg == Unsat)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickConjunctionMonotone: adding constraints can never turn Unsat into
+// Sat.
+func TestQuickConjunctionMonotone(t *testing.T) {
+	x := sym.NewInput("x", value.KindInt, -4, 9)
+	f := func(a1, b1, c1, a2, b2, c2 int8, op1, op2 uint8) bool {
+		one := []sym.Term{atomFromTriple(x, a1%4, b1%6, c1%6, op1)}
+		two := append(one, atomFromTriple(x, a2%4, b2%6, c2%6, op2))
+		r1, r2 := Check(one), Check(two)
+		if r1 == Unsat && r2 == Sat {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,545 @@
+// Package solver decides satisfiability of path constraints — conjunctions
+// of boolean symbolic terms — over transaction inputs with declared bounded
+// domains. It plays the role of the constraint solver behind the paper's SE
+// engine (§II): the symbolic executor discards symbolic states whose path
+// constraint is unsatisfiable.
+//
+// The decision procedure is exact for the constraint class our IR produces:
+// comparisons between linear integer expressions over bounded input
+// variables, boolean combinations thereof, and (dis)equalities over string
+// variables. Anything beyond that degrades to Unknown, which callers treat
+// as satisfiable (the path is explored — sound for reachability, possibly
+// wasteful, never wrong).
+package solver
+
+import (
+	"sort"
+
+	"prognosticator/internal/lang"
+	"prognosticator/internal/sym"
+	"prognosticator/internal/value"
+)
+
+// Result is a three-valued satisfiability verdict.
+type Result int
+
+// Verdicts. Unknown means the solver could not decide; callers must treat it
+// as possibly satisfiable.
+const (
+	Unsat Result = iota + 1
+	Sat
+	Unknown
+)
+
+// String returns the verdict name.
+func (r Result) String() string {
+	switch r {
+	case Unsat:
+		return "unsat"
+	case Sat:
+		return "sat"
+	default:
+		return "unknown"
+	}
+}
+
+// unboundedLo/Hi bound variables with no declared domain (pivot values).
+const (
+	unboundedLo = -(int64(1) << 40)
+	unboundedHi = int64(1) << 40
+)
+
+// searchBudget caps the number of assignments the backtracking search may
+// enumerate before giving up with Unknown.
+const searchBudget = 200_000
+
+// propagationRounds caps interval-propagation sweeps.
+const propagationRounds = 16
+
+// Check reports whether the conjunction of the given boolean terms is
+// satisfiable.
+func Check(constraints []sym.Term) Result {
+	s := &state{domains: map[string]iv{}, vars: map[string]*sym.Var{}}
+	// Split conjunctions and fold.
+	var atoms []sym.Term
+	for _, c := range constraints {
+		atoms = s.flatten(sym.Fold(c), atoms)
+	}
+	for _, a := range atoms {
+		if cv, ok := sym.IsConst(a); ok {
+			if b, bok := cv.AsBool(); bok {
+				if !b {
+					return Unsat
+				}
+				continue
+			}
+			return Unknown // non-bool constraint: ill-typed
+		}
+		s.atoms = append(s.atoms, a)
+		for _, v := range sym.Vars(a, nil) {
+			s.addVar(v)
+		}
+	}
+	if len(s.atoms) == 0 {
+		return Sat
+	}
+	if r := s.stringReasoning(); r != Sat {
+		return r
+	}
+	if !s.propagate() {
+		return Unsat
+	}
+	return s.search()
+}
+
+// iv is a closed integer interval.
+type iv struct{ lo, hi int64 }
+
+func (i iv) empty() bool { return i.lo > i.hi }
+
+func (i iv) size() int64 {
+	if i.empty() {
+		return 0
+	}
+	return i.hi - i.lo + 1
+}
+
+type state struct {
+	atoms   []sym.Term
+	vars    map[string]*sym.Var
+	domains map[string]iv
+	// strEq / strNe hold string (dis)equality atoms handled separately.
+	strEq [][2]strOperand
+	strNe [][2]strOperand
+}
+
+type strOperand struct {
+	isConst bool
+	c       string // const payload
+	v       string // var name
+}
+
+func (s *state) flatten(t sym.Term, out []sym.Term) []sym.Term {
+	if b, ok := t.(sym.Bin); ok && b.Op == lang.OpAnd {
+		return s.flatten(b.R, s.flatten(b.L, out))
+	}
+	return append(out, t)
+}
+
+func (s *state) addVar(v *sym.Var) {
+	if _, ok := s.vars[v.Name]; ok {
+		return
+	}
+	s.vars[v.Name] = v
+	switch {
+	case v.Kind == value.KindBool:
+		s.domains[v.Name] = iv{0, 1}
+	case v.Kind == value.KindInt && v.Origin == sym.OriginInput:
+		s.domains[v.Name] = iv{v.Lo, v.Hi}
+	case v.Kind == value.KindString:
+		// string variables are handled by stringReasoning; give them a
+		// placeholder unit domain so the integer machinery ignores them.
+		s.domains[v.Name] = iv{0, 0}
+	default:
+		s.domains[v.Name] = iv{unboundedLo, unboundedHi}
+	}
+}
+
+// stringReasoning handles (dis)equality atoms whose operands are string
+// constants or string variables, using union-find over equalities. It
+// removes those atoms from s.atoms. Returns Unsat on contradiction, Unknown
+// if a string appears in an unsupported position, Sat otherwise.
+func (s *state) stringReasoning() Result {
+	var rest []sym.Term
+	for _, a := range s.atoms {
+		b, ok := a.(sym.Bin)
+		if !ok || (b.Op != lang.OpEq && b.Op != lang.OpNe) {
+			rest = append(rest, a)
+			continue
+		}
+		lo, lok := strOp(b.L)
+		ro, rok := strOp(b.R)
+		if !lok || !rok {
+			// Not a string atom; keep for integer machinery.
+			rest = append(rest, a)
+			continue
+		}
+		if b.Op == lang.OpEq {
+			s.strEq = append(s.strEq, [2]strOperand{lo, ro})
+		} else {
+			s.strNe = append(s.strNe, [2]strOperand{lo, ro})
+		}
+	}
+	s.atoms = rest
+	if len(s.strEq) == 0 && len(s.strNe) == 0 {
+		return Sat
+	}
+	parent := map[string]string{}
+	var find func(x string) string
+	find = func(x string) string {
+		p, ok := parent[x]
+		if !ok || p == x {
+			parent[x] = x
+			return x
+		}
+		root := find(p)
+		parent[x] = root
+		return root
+	}
+	union := func(a, b string) { parent[find(a)] = find(b) }
+	id := func(o strOperand) string {
+		if o.isConst {
+			return "c:" + o.c
+		}
+		return "v:" + o.v
+	}
+	for _, eq := range s.strEq {
+		union(id(eq[0]), id(eq[1]))
+	}
+	// Two distinct constants in one class -> contradiction.
+	classConst := map[string]string{}
+	for _, eq := range s.strEq {
+		for _, o := range eq {
+			if o.isConst {
+				root := find(id(o))
+				if prev, ok := classConst[root]; ok && prev != o.c {
+					return Unsat
+				}
+				classConst[root] = o.c
+			}
+		}
+	}
+	for _, ne := range s.strNe {
+		if find(id(ne[0])) == find(id(ne[1])) {
+			return Unsat
+		}
+	}
+	return Sat
+}
+
+func strOp(t sym.Term) (strOperand, bool) {
+	switch x := t.(type) {
+	case sym.Const:
+		if sv, ok := x.V.AsString(); ok {
+			return strOperand{isConst: true, c: sv}, true
+		}
+	case *sym.Var:
+		if x.Kind == value.KindString {
+			return strOperand{v: x.Name}, true
+		}
+	}
+	return strOperand{}, false
+}
+
+// linear form: sum(coeffs[name]*name) + k
+type linear struct {
+	coeffs map[string]int64
+	k      int64
+}
+
+// linearize converts an integer term to linear form; ok is false for
+// non-linear terms (Mul of two variables, Div, Mod, field projections, ...).
+func linearize(t sym.Term) (linear, bool) {
+	switch x := t.(type) {
+	case sym.Const:
+		i, ok := x.V.AsInt()
+		if !ok {
+			return linear{}, false
+		}
+		return linear{k: i}, true
+	case *sym.Var:
+		return linear{coeffs: map[string]int64{x.Name: 1}}, true
+	case sym.Bin:
+		switch x.Op {
+		case lang.OpAdd, lang.OpSub:
+			l, lok := linearize(x.L)
+			r, rok := linearize(x.R)
+			if !lok || !rok {
+				return linear{}, false
+			}
+			sign := int64(1)
+			if x.Op == lang.OpSub {
+				sign = -1
+			}
+			out := linear{coeffs: map[string]int64{}, k: l.k + sign*r.k}
+			for n, c := range l.coeffs {
+				out.coeffs[n] += c
+			}
+			for n, c := range r.coeffs {
+				out.coeffs[n] += sign * c
+			}
+			return out, true
+		case lang.OpMul:
+			l, lok := linearize(x.L)
+			r, rok := linearize(x.R)
+			if !lok || !rok {
+				return linear{}, false
+			}
+			// constant * linear only
+			if len(l.coeffs) == 0 {
+				out := linear{coeffs: map[string]int64{}, k: l.k * r.k}
+				for n, c := range r.coeffs {
+					out.coeffs[n] = l.k * c
+				}
+				return out, true
+			}
+			if len(r.coeffs) == 0 {
+				out := linear{coeffs: map[string]int64{}, k: l.k * r.k}
+				for n, c := range l.coeffs {
+					out.coeffs[n] = r.k * c
+				}
+				return out, true
+			}
+			return linear{}, false
+		default:
+			return linear{}, false
+		}
+	default:
+		return linear{}, false
+	}
+}
+
+// atomLinear extracts "lin OP 0" from a comparison atom, normalizing
+// L OP R to (L-R) OP 0. ok is false when either side is non-linear.
+func atomLinear(a sym.Term) (linear, lang.Op, bool) {
+	b, ok := a.(sym.Bin)
+	if !ok || !b.Op.IsComparison() {
+		return linear{}, 0, false
+	}
+	l, lok := linearize(b.L)
+	r, rok := linearize(b.R)
+	if !lok || !rok {
+		return linear{}, 0, false
+	}
+	diff := linear{coeffs: map[string]int64{}, k: l.k - r.k}
+	for n, c := range l.coeffs {
+		diff.coeffs[n] += c
+	}
+	for n, c := range r.coeffs {
+		diff.coeffs[n] -= c
+	}
+	for n, c := range diff.coeffs {
+		if c == 0 {
+			delete(diff.coeffs, n)
+		}
+	}
+	return diff, b.Op, true
+}
+
+// propagate tightens variable domains using the linear atoms. It returns
+// false when some domain becomes empty (Unsat).
+func (s *state) propagate() bool {
+	type linAtom struct {
+		lin linear
+		op  lang.Op
+	}
+	var lins []linAtom
+	for _, a := range s.atoms {
+		if lin, op, ok := atomLinear(a); ok && op != lang.OpNe {
+			lins = append(lins, linAtom{lin, op})
+		}
+	}
+	for round := 0; round < propagationRounds; round++ {
+		changed := false
+		for _, la := range lins {
+			// For each variable x with coefficient c: c*x + rest OP 0.
+			// Bound c*x by the extreme values of rest over current domains.
+			for name, c := range la.lin.coeffs {
+				restLo, restHi, ok := s.restBounds(la.lin, name)
+				if !ok {
+					continue
+				}
+				d := s.domains[name]
+				nd := tighten(d, c, restLo, restHi, la.op)
+				if nd.empty() {
+					return false
+				}
+				if nd != d {
+					s.domains[name] = nd
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return true
+}
+
+// restBounds computes min/max of (lin - coeff(name)*name) over current
+// domains.
+func (s *state) restBounds(l linear, except string) (int64, int64, bool) {
+	lo, hi := l.k, l.k
+	for name, c := range l.coeffs {
+		if name == except {
+			continue
+		}
+		d, ok := s.domains[name]
+		if !ok {
+			return 0, 0, false
+		}
+		a, b := c*d.lo, c*d.hi
+		if a > b {
+			a, b = b, a
+		}
+		lo += a
+		hi += b
+	}
+	return lo, hi, true
+}
+
+// tighten returns the subset of d for x such that c*x + rest OP 0 can hold
+// for some rest in [restLo, restHi].
+func tighten(d iv, c, restLo, restHi int64, op lang.Op) iv {
+	if c == 0 {
+		return d
+	}
+	// c*x OP -rest for some rest in range  =>  c*x OP' bound
+	switch op {
+	case lang.OpEq:
+		// c*x in [-restHi, -restLo]
+		return intersectScaled(d, c, -restHi, -restLo)
+	case lang.OpLt:
+		// c*x < -rest for some rest => c*x <= -restLo - 1
+		return intersectScaled(d, c, minInt64, -restLo-1)
+	case lang.OpLe:
+		return intersectScaled(d, c, minInt64, -restLo)
+	case lang.OpGt:
+		return intersectScaled(d, c, -restHi+1, maxInt64)
+	case lang.OpGe:
+		return intersectScaled(d, c, -restHi, maxInt64)
+	default:
+		return d
+	}
+}
+
+const (
+	minInt64 = -(int64(1) << 62)
+	maxInt64 = int64(1) << 62
+)
+
+// intersectScaled intersects domain d of x with {x : c*x in [lo, hi]}.
+func intersectScaled(d iv, c, lo, hi int64) iv {
+	if c < 0 {
+		c, lo, hi = -c, -hi, -lo
+	}
+	// x in [ceil(lo/c), floor(hi/c)]
+	xlo := divCeil(lo, c)
+	xhi := divFloor(hi, c)
+	if xlo > d.lo {
+		d.lo = xlo
+	}
+	if xhi < d.hi {
+		d.hi = xhi
+	}
+	return d
+}
+
+func divCeil(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a > 0) == (b > 0) {
+		q++
+	}
+	return q
+}
+
+func divFloor(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a > 0) != (b > 0) {
+		q--
+	}
+	return q
+}
+
+// search enumerates assignments over the (propagated) domains, evaluating
+// all atoms. It returns Sat on the first satisfying assignment, Unsat when
+// the full space is exhausted, Unknown when the space exceeds the budget.
+func (s *state) search() Result {
+	// Deterministic variable order: smallest domain first, then name.
+	names := make([]string, 0, len(s.domains))
+	for n := range s.domains {
+		if s.vars[n].Kind == value.KindString {
+			continue // strings were fully handled by stringReasoning
+		}
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		di, dj := s.domains[names[i]].size(), s.domains[names[j]].size()
+		if di != dj {
+			return di < dj
+		}
+		return names[i] < names[j]
+	})
+	budget := int64(searchBudget)
+	space := int64(1)
+	for _, n := range names {
+		sz := s.domains[n].size()
+		if sz == 0 {
+			return Unsat
+		}
+		space *= sz
+		if space > budget || space < 0 {
+			return Unknown
+		}
+	}
+	assign := map[string]value.Value{}
+	lookup := func(v *sym.Var) (value.Value, bool) {
+		val, ok := assign[v.Name]
+		return val, ok
+	}
+	// evalAtoms evaluates all atoms whose variables are fully assigned;
+	// returns false if any evaluates to false (prune), true otherwise.
+	evalReady := func() bool {
+		for _, a := range s.atoms {
+			ready := true
+			for _, v := range sym.Vars(a, nil) {
+				if v.Kind == value.KindString {
+					// Non-(dis)equality string atoms are out of scope;
+					// treat the atom as satisfiable rather than guessing.
+					ready = false
+					break
+				}
+				if _, ok := assign[v.Name]; !ok {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			got, err := sym.Eval(a, lookup)
+			if err != nil {
+				return false // treat evaluation failure as falsifying
+			}
+			if b, ok := got.AsBool(); !ok || !b {
+				return false
+			}
+		}
+		return true
+	}
+	var dfs func(i int) bool
+	dfs = func(i int) bool {
+		if i == len(names) {
+			return evalReady()
+		}
+		n := names[i]
+		d := s.domains[n]
+		for x := d.lo; x <= d.hi; x++ {
+			if s.vars[n].Kind == value.KindBool {
+				assign[n] = value.Bool(x == 1)
+			} else {
+				assign[n] = value.Int(x)
+			}
+			if evalReady() && dfs(i+1) {
+				return true
+			}
+		}
+		delete(assign, n)
+		return false
+	}
+	if dfs(0) {
+		return Sat
+	}
+	return Unsat
+}

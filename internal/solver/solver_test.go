@@ -1,0 +1,277 @@
+package solver
+
+import (
+	"math/rand"
+	"testing"
+
+	"prognosticator/internal/lang"
+	"prognosticator/internal/sym"
+	"prognosticator/internal/value"
+)
+
+func v(name string, lo, hi int64) *sym.Var { return sym.NewInput(name, value.KindInt, lo, hi) }
+func c(i int64) sym.Term                   { return sym.Const{V: value.Int(i)} }
+func cs(s string) sym.Term                 { return sym.Const{V: value.Str(s)} }
+func bin(op lang.Op, l, r sym.Term) sym.Term {
+	return sym.Bin{Op: op, L: l, R: r}
+}
+
+func TestEmptyConjunctionSat(t *testing.T) {
+	if got := Check(nil); got != Sat {
+		t.Fatalf("Check(nil) = %v", got)
+	}
+}
+
+func TestConstantConstraints(t *testing.T) {
+	if got := Check([]sym.Term{sym.Const{V: value.Bool(true)}}); got != Sat {
+		t.Fatalf("true => %v", got)
+	}
+	if got := Check([]sym.Term{sym.Const{V: value.Bool(false)}}); got != Unsat {
+		t.Fatalf("false => %v", got)
+	}
+	if got := Check([]sym.Term{c(3)}); got != Unknown {
+		t.Fatalf("ill-typed constant => %v", got)
+	}
+}
+
+func TestSingleVariableIntervals(t *testing.T) {
+	x := v("x", 0, 10)
+	cases := []struct {
+		atoms []sym.Term
+		want  Result
+	}{
+		{[]sym.Term{bin(lang.OpGt, x, c(5))}, Sat},
+		{[]sym.Term{bin(lang.OpGt, x, c(10))}, Unsat},
+		{[]sym.Term{bin(lang.OpGe, x, c(10))}, Sat},
+		{[]sym.Term{bin(lang.OpLt, x, c(0))}, Unsat},
+		{[]sym.Term{bin(lang.OpLe, x, c(0))}, Sat},
+		{[]sym.Term{bin(lang.OpEq, x, c(7))}, Sat},
+		{[]sym.Term{bin(lang.OpEq, x, c(11))}, Unsat},
+		{[]sym.Term{bin(lang.OpNe, x, c(7))}, Sat},
+		{[]sym.Term{bin(lang.OpGt, x, c(3)), bin(lang.OpLt, x, c(5))}, Sat}, // x=4
+		{[]sym.Term{bin(lang.OpGt, x, c(4)), bin(lang.OpLt, x, c(5))}, Unsat},
+	}
+	for i, cse := range cases {
+		if got := Check(cse.atoms); got != cse.want {
+			t.Errorf("case %d: got %v, want %v", i, got, cse.want)
+		}
+	}
+}
+
+func TestConjunctionSplitting(t *testing.T) {
+	x := v("x", 0, 10)
+	both := bin(lang.OpAnd, bin(lang.OpGt, x, c(4)), bin(lang.OpLt, x, c(5)))
+	if got := Check([]sym.Term{both}); got != Unsat {
+		t.Fatalf("x>4 && x<5 = %v", got)
+	}
+}
+
+func TestMultiVariable(t *testing.T) {
+	x := v("x", 0, 20)
+	y := v("y", 0, 20)
+	// x + y == 40 only satisfiable at x=y=20
+	sum := bin(lang.OpEq, bin(lang.OpAdd, x, y), c(40))
+	if got := Check([]sym.Term{sum}); got != Sat {
+		t.Fatalf("x+y==40 = %v", got)
+	}
+	if got := Check([]sym.Term{sum, bin(lang.OpLt, x, c(20))}); got != Unsat {
+		t.Fatalf("x+y==40 && x<20 = %v", got)
+	}
+	// x < y && y < x unsat
+	if got := Check([]sym.Term{bin(lang.OpLt, x, y), bin(lang.OpLt, y, x)}); got != Unsat {
+		t.Fatalf("x<y && y<x = %v", got)
+	}
+	// transitive chain with equality
+	z := v("z", 0, 20)
+	chain := []sym.Term{
+		bin(lang.OpLt, x, y), bin(lang.OpLt, y, z), bin(lang.OpEq, z, c(1)),
+	}
+	if got := Check(chain); got != Unsat {
+		t.Fatalf("x<y<z==1 over [0,20] = %v", got)
+	}
+	chain[2] = bin(lang.OpEq, c(2), z)
+	if got := Check(chain); got != Sat {
+		t.Fatalf("x<y<z==2 = %v", got)
+	}
+}
+
+func TestCoefficients(t *testing.T) {
+	x := v("x", 0, 10)
+	// 3*x == 7 has no integer solution
+	if got := Check([]sym.Term{bin(lang.OpEq, bin(lang.OpMul, c(3), x), c(7))}); got != Unsat {
+		t.Fatal("3x==7 should be unsat")
+	}
+	if got := Check([]sym.Term{bin(lang.OpEq, bin(lang.OpMul, x, c(3)), c(9))}); got != Sat {
+		t.Fatal("3x==9 should be sat")
+	}
+	// negative coefficient: 5 - x == 7 => x == -2, out of domain
+	if got := Check([]sym.Term{bin(lang.OpEq, bin(lang.OpSub, c(5), x), c(7))}); got != Unsat {
+		t.Fatal("5-x==7 over [0,10] should be unsat")
+	}
+}
+
+func TestNonLinearViaSearch(t *testing.T) {
+	x := v("x", 1, 6)
+	y := v("y", 1, 6)
+	// x*y == 35 => x=5,y=7 impossible; x=7 impossible => unsat... careful:
+	// 35 = 5*7, but y<=6, so unsat.
+	if got := Check([]sym.Term{bin(lang.OpEq, bin(lang.OpMul, x, y), c(35))}); got != Unsat {
+		t.Fatal("x*y==35 over [1,6]^2 should be unsat")
+	}
+	if got := Check([]sym.Term{bin(lang.OpEq, bin(lang.OpMul, x, y), c(30))}); got != Sat {
+		t.Fatal("x*y==30 (5*6) should be sat")
+	}
+	// Mod atom
+	if got := Check([]sym.Term{bin(lang.OpEq, bin(lang.OpMod, x, c(4)), c(3))}); got != Sat {
+		t.Fatal("x%4==3 should be sat (x=3)")
+	}
+}
+
+func TestNotHandling(t *testing.T) {
+	x := v("x", 0, 3)
+	// !(x < 4) is unsat on [0,3] — Not folds via Negate only when built
+	// through sym.Negate; raw Not is still evaluated in search.
+	raw := sym.Not{T: bin(lang.OpLt, x, c(4))}
+	if got := Check([]sym.Term{raw}); got != Unsat {
+		t.Fatalf("!(x<4) = %v", got)
+	}
+	neg := sym.Negate(bin(lang.OpLt, x, c(4)))
+	if got := Check([]sym.Term{neg}); got != Unsat {
+		t.Fatalf("negated (x<4) = %v", got)
+	}
+}
+
+func TestOrEvaluatedInSearch(t *testing.T) {
+	x := v("x", 0, 5)
+	either := bin(lang.OpOr, bin(lang.OpEq, x, c(2)), bin(lang.OpEq, x, c(9)))
+	if got := Check([]sym.Term{either}); got != Sat {
+		t.Fatalf("x==2 || x==9 = %v", got)
+	}
+	neither := bin(lang.OpOr, bin(lang.OpEq, x, c(8)), bin(lang.OpEq, x, c(9)))
+	if got := Check([]sym.Term{neither}); got != Unsat {
+		t.Fatalf("x==8 || x==9 over [0,5] = %v", got)
+	}
+}
+
+func TestStringAtoms(t *testing.T) {
+	s1 := sym.NewInput("s1", value.KindString, 0, 0)
+	s2 := sym.NewInput("s2", value.KindString, 0, 0)
+	eq := func(a, b sym.Term) sym.Term { return bin(lang.OpEq, a, b) }
+	ne := func(a, b sym.Term) sym.Term { return bin(lang.OpNe, a, b) }
+	if got := Check([]sym.Term{eq(s1, cs("a")), eq(s1, cs("b"))}); got != Unsat {
+		t.Fatal("s1==a && s1==b should be unsat")
+	}
+	if got := Check([]sym.Term{eq(s1, cs("a")), eq(s2, cs("a")), ne(s1, s2)}); got != Unsat {
+		t.Fatal("s1==a==s2 && s1!=s2 should be unsat")
+	}
+	if got := Check([]sym.Term{eq(s1, s2), eq(s2, cs("a"))}); got != Sat {
+		t.Fatal("consistent string equalities should be sat")
+	}
+	if got := Check([]sym.Term{ne(s1, s2)}); got != Sat {
+		t.Fatal("s1!=s2 alone should be sat")
+	}
+}
+
+func TestPivotVariablesUnbounded(t *testing.T) {
+	p := sym.NewPivot("T", []sym.Term{v("k", 0, 9)}, "f")
+	// pivot > 10 alone: cannot decide by search (unbounded) => Unknown
+	if got := Check([]sym.Term{bin(lang.OpGt, p, c(10))}); got != Unknown {
+		t.Fatalf("pivot>10 = %v, want unknown", got)
+	}
+	// contradictory intervals on the pivot caught by propagation
+	atoms := []sym.Term{bin(lang.OpGt, p, c(10)), bin(lang.OpLt, p, c(5))}
+	if got := Check(atoms); got != Unsat {
+		t.Fatalf("pivot>10 && pivot<5 = %v, want unsat", got)
+	}
+}
+
+func TestSearchBudgetUnknown(t *testing.T) {
+	// Three variables with huge domains and an atom propagation can't
+	// decide: the search space exceeds the budget.
+	x := v("x", 0, 1_000_000)
+	y := v("y", 0, 1_000_000)
+	z := v("z", 0, 1_000_000)
+	atom := bin(lang.OpEq, bin(lang.OpAdd, bin(lang.OpAdd, x, y), z), c(1_500_000))
+	if got := Check([]sym.Term{atom}); got != Unknown {
+		t.Fatalf("huge search = %v, want unknown", got)
+	}
+}
+
+func TestBoolVariables(t *testing.T) {
+	b := sym.NewInput("b", value.KindBool, 0, 0)
+	if got := Check([]sym.Term{b}); got != Sat {
+		t.Fatalf("bool var alone = %v", got)
+	}
+	contra := []sym.Term{b, sym.Not{T: b}}
+	if got := Check(contra); got != Unsat {
+		t.Fatalf("b && !b = %v", got)
+	}
+}
+
+func TestDivCeilFloor(t *testing.T) {
+	cases := []struct{ a, b, ceil, floor int64 }{
+		{7, 2, 4, 3}, {-7, 2, -3, -4}, {6, 2, 3, 3}, {-6, 2, -3, -3},
+		{7, -2, -3, -4}, {0, 5, 0, 0},
+	}
+	for _, cse := range cases {
+		if got := divCeil(cse.a, cse.b); got != cse.ceil {
+			t.Errorf("divCeil(%d,%d) = %d, want %d", cse.a, cse.b, got, cse.ceil)
+		}
+		if got := divFloor(cse.a, cse.b); got != cse.floor {
+			t.Errorf("divFloor(%d,%d) = %d, want %d", cse.a, cse.b, got, cse.floor)
+		}
+	}
+}
+
+// TestPropAgainstBruteForce cross-checks the solver against exhaustive
+// enumeration on random small constraint systems.
+func TestPropAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	vars := []*sym.Var{v("x", 0, 8), v("y", 0, 8)}
+	randAtom := func() sym.Term {
+		ops := []lang.Op{lang.OpEq, lang.OpNe, lang.OpLt, lang.OpLe, lang.OpGt, lang.OpGe}
+		var l sym.Term = vars[r.Intn(2)]
+		if r.Intn(3) == 0 {
+			l = bin(lang.OpAdd, l, vars[r.Intn(2)])
+		}
+		if r.Intn(4) == 0 {
+			l = bin(lang.OpMul, l, c(int64(r.Intn(3)+1)))
+		}
+		return bin(ops[r.Intn(len(ops))], l, c(int64(r.Intn(20)-2)))
+	}
+	for trial := 0; trial < 400; trial++ {
+		n := 1 + r.Intn(3)
+		atoms := make([]sym.Term, n)
+		for i := range atoms {
+			atoms[i] = randAtom()
+		}
+		want := Unsat
+		for x := int64(0); x <= 8 && want == Unsat; x++ {
+			for y := int64(0); y <= 8 && want == Unsat; y++ {
+				all := true
+				lookup := func(vr *sym.Var) (value.Value, bool) {
+					if vr.Name == "x" {
+						return value.Int(x), true
+					}
+					return value.Int(y), true
+				}
+				for _, a := range atoms {
+					got, err := sym.Eval(a, lookup)
+					if err != nil || !got.MustBool() {
+						all = false
+						break
+					}
+				}
+				if all {
+					want = Sat
+				}
+			}
+		}
+		if got := Check(atoms); got != want {
+			for _, a := range atoms {
+				t.Logf("atom: %s", a)
+			}
+			t.Fatalf("trial %d: Check = %v, brute force = %v", trial, got, want)
+		}
+	}
+}

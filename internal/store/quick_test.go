@@ -1,0 +1,91 @@
+package store
+
+import (
+	"testing"
+	"testing/quick"
+
+	"prognosticator/internal/value"
+)
+
+// testing/quick properties on the MVCC store.
+
+func TestQuickLatestWriteWins(t *testing.T) {
+	f := func(key int16, a, b int32) bool {
+		s := New()
+		k := value.NewKey("Q", value.Int(int64(key)))
+		s.Put(0, k, rec(int64(a)))
+		e := s.BeginEpoch()
+		s.Put(e, k, rec(int64(b)))
+		got, ok := s.Get(e, k)
+		if !ok {
+			return false
+		}
+		f, _ := got.Field("v")
+		old, okOld := s.Get(0, k)
+		if !okOld {
+			return false
+		}
+		fo, _ := old.Field("v")
+		return f.MustInt() == int64(b) && fo.MustInt() == int64(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDeleteHidesOnlyFromLaterEpochs(t *testing.T) {
+	f := func(key int16, v int32) bool {
+		s := New()
+		k := value.NewKey("Q", value.Int(int64(key)))
+		s.Put(0, k, rec(int64(v)))
+		e := s.BeginEpoch()
+		s.Delete(e, k)
+		_, okOld := s.Get(0, k)
+		_, okNew := s.Get(e, k)
+		return okOld && !okNew
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickStateHashInsensitiveToWriteOrder(t *testing.T) {
+	f := func(keys []int8) bool {
+		if len(keys) == 0 {
+			return true
+		}
+		a, b := New(), New()
+		for _, k := range keys {
+			a.Put(0, value.NewKey("Q", value.Int(int64(k))), rec(int64(k)))
+		}
+		for i := len(keys) - 1; i >= 0; i-- {
+			b.Put(0, value.NewKey("Q", value.Int(int64(keys[i]))), rec(int64(keys[i])))
+		}
+		return a.StateHash(0) == b.StateHash(0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickGCPreservesVisibleState(t *testing.T) {
+	f := func(writes []uint8) bool {
+		s := New()
+		k := value.NewKey("Q", value.Int(1))
+		epoch := uint64(0)
+		for _, w := range writes {
+			epoch = s.BeginEpoch()
+			s.Put(epoch, k, rec(int64(w)))
+		}
+		if epoch == 0 {
+			return true
+		}
+		before, okB := s.Get(epoch, k)
+		s.GC(epoch)
+		after, okA := s.Get(epoch, k)
+		return okB == okA && (!okB || before.Equal(after))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,223 @@
+// Package store implements the replica data store: a sharded, multi-version
+// key/value store with batch-epoch granularity. The paper runs on RocksDB;
+// this substitute provides the two properties the deterministic engine
+// actually relies on: (i) key-granular GET/PUT and (ii) stable snapshots —
+// read-only transactions and the prepare-indirect-keys phase read the state
+// as of the end of the previous batch, while update transactions read and
+// write the current batch's state (§III-C).
+package store
+
+import (
+	"hash/fnv"
+	"sync"
+
+	"prognosticator/internal/value"
+)
+
+// shardCount is a power of two; keys spread across shards by hash.
+const shardCount = 64
+
+// Store is a multi-version key/value store. Versions are stamped with batch
+// epochs: epoch 0 is the populated initial state, and each executed batch
+// advances the epoch by one. All methods are safe for concurrent use.
+type Store struct {
+	shards [shardCount]shard
+	mu     sync.Mutex // guards epoch
+	epoch  uint64
+}
+
+type shard struct {
+	mu    sync.RWMutex
+	items map[value.Encoded]*chain
+}
+
+type chain struct {
+	versions []version // ascending by epoch; at most one per epoch
+}
+
+type version struct {
+	epoch   uint64
+	val     value.Value
+	deleted bool
+}
+
+// New returns an empty store at epoch 0.
+func New() *Store {
+	s := &Store{}
+	for i := range s.shards {
+		s.shards[i].items = make(map[value.Encoded]*chain)
+	}
+	return s
+}
+
+func (s *Store) shardFor(e value.Encoded) *shard {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(e))
+	return &s.shards[h.Sum32()&(shardCount-1)]
+}
+
+// Epoch returns the current batch epoch.
+func (s *Store) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// BeginEpoch advances to the next batch epoch and returns it. The engine
+// calls it once per batch; writes of the batch are stamped with the returned
+// epoch, and snapshot reads of the batch use epoch-1.
+func (s *Store) BeginEpoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.epoch++
+	return s.epoch
+}
+
+// Put writes v for k at the given epoch. Writing twice at one epoch
+// overwrites (conflicting transactions within a batch are serialized by the
+// lock table, so the last write in queue order wins, deterministically).
+func (s *Store) Put(epoch uint64, k value.Key, v value.Value) {
+	s.putVersion(epoch, k, version{epoch: epoch, val: v})
+}
+
+// Delete removes k at the given epoch (a tombstone version).
+func (s *Store) Delete(epoch uint64, k value.Key) {
+	s.putVersion(epoch, k, version{epoch: epoch, deleted: true})
+}
+
+func (s *Store) putVersion(epoch uint64, k value.Key, ver version) {
+	e := k.Encode()
+	sh := s.shardFor(e)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	c, ok := sh.items[e]
+	if !ok {
+		c = &chain{}
+		sh.items[e] = c
+	}
+	if n := len(c.versions); n > 0 && c.versions[n-1].epoch == epoch {
+		c.versions[n-1] = ver
+		return
+	}
+	c.versions = append(c.versions, ver)
+}
+
+// Get returns the value of k visible at the given epoch: the newest version
+// with version.epoch <= epoch. found is false if no such version exists or
+// it is a tombstone.
+func (s *Store) Get(epoch uint64, k value.Key) (value.Value, bool) {
+	e := k.Encode()
+	sh := s.shardFor(e)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	c, ok := sh.items[e]
+	if !ok {
+		return value.Value{}, false
+	}
+	for i := len(c.versions) - 1; i >= 0; i-- {
+		if c.versions[i].epoch <= epoch {
+			if c.versions[i].deleted {
+				return value.Value{}, false
+			}
+			return c.versions[i].val, true
+		}
+	}
+	return value.Value{}, false
+}
+
+// GC drops versions that no reader at epoch >= keepFrom can observe: for
+// each key, all but the newest version with epoch <= keepFrom, plus every
+// newer version, are retained. Tombstones that become the oldest retained
+// version are dropped entirely.
+func (s *Store) GC(keepFrom uint64) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for e, c := range sh.items {
+			idx := -1 // newest version <= keepFrom
+			for j, v := range c.versions {
+				if v.epoch <= keepFrom {
+					idx = j
+				} else {
+					break
+				}
+			}
+			if idx > 0 {
+				c.versions = append(c.versions[:0], c.versions[idx:]...)
+			}
+			if len(c.versions) == 1 && c.versions[0].deleted {
+				delete(sh.items, e)
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// Len returns the number of live keys at the current epoch.
+func (s *Store) Len() int {
+	epoch := s.Epoch()
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, c := range sh.items {
+			for j := len(c.versions) - 1; j >= 0; j-- {
+				if c.versions[j].epoch <= epoch {
+					if !c.versions[j].deleted {
+						n++
+					}
+					break
+				}
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// StateHash returns an order-independent hash of the live state at the
+// given epoch. Two replicas that executed the same batches must produce
+// identical hashes — the determinism check used throughout the tests and by
+// internal/replica.
+func (s *Store) StateHash(epoch uint64) uint64 {
+	var acc uint64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for e, c := range sh.items {
+			for j := len(c.versions) - 1; j >= 0; j-- {
+				if c.versions[j].epoch <= epoch {
+					if !c.versions[j].deleted {
+						h := fnv.New64a()
+						_, _ = h.Write([]byte(e))
+						kh := h.Sum64()
+						acc += kh*31 + c.versions[j].val.Hash()
+					}
+					break
+				}
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return acc
+}
+
+// ForEach calls fn for every live (key, value) pair at the given epoch.
+// Iteration order is unspecified. fn must not call back into the store.
+func (s *Store) ForEach(epoch uint64, fn func(k value.Encoded, v value.Value)) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for e, c := range sh.items {
+			for j := len(c.versions) - 1; j >= 0; j-- {
+				if c.versions[j].epoch <= epoch {
+					if !c.versions[j].deleted {
+						fn(e, c.versions[j].val)
+					}
+					break
+				}
+			}
+		}
+		sh.mu.RUnlock()
+	}
+}

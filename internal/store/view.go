@@ -1,0 +1,83 @@
+package store
+
+import "prognosticator/internal/value"
+
+// ReadView is an immutable snapshot of the store at a fixed epoch. It
+// implements lang.KV (writes panic — read-only transactions must not write;
+// the engine guarantees it by construction) and profile.PivotReader.
+type ReadView struct {
+	s     *Store
+	epoch uint64
+}
+
+// ViewAt returns a read view pinned at the given epoch.
+func (s *Store) ViewAt(epoch uint64) *ReadView { return &ReadView{s: s, epoch: epoch} }
+
+// Epoch returns the snapshot epoch.
+func (v *ReadView) Epoch() uint64 { return v.epoch }
+
+// Get implements lang.KV.
+func (v *ReadView) Get(k value.Key) (value.Value, bool) { return v.s.Get(v.epoch, k) }
+
+// Put implements lang.KV; read views reject writes.
+func (v *ReadView) Put(value.Key, value.Value) {
+	panic("store: write through read-only view")
+}
+
+// Delete implements lang.KV; read views reject writes.
+func (v *ReadView) Delete(value.Key) {
+	panic("store: delete through read-only view")
+}
+
+// ReadPivot implements profile.PivotReader: it reads the record at k and
+// projects the named field. A present record with a missing field reads as
+// integer zero, matching the interpreter's semantics.
+func (v *ReadView) ReadPivot(k value.Key, field string) (value.Value, bool) {
+	rec, ok := v.s.Get(v.epoch, k)
+	if !ok {
+		return value.Value{}, false
+	}
+	f, ok := rec.Field(field)
+	if !ok {
+		return value.Int(0), true
+	}
+	return f, true
+}
+
+// WriteView gives an update transaction access to the current batch's
+// state: reads observe versions up to and including writeEpoch (so earlier
+// transactions of the same batch are visible), writes are stamped with
+// writeEpoch. It implements lang.KV and profile.PivotReader.
+type WriteView struct {
+	s          *Store
+	writeEpoch uint64
+}
+
+// WriterAt returns a write view for the given batch epoch.
+func (s *Store) WriterAt(epoch uint64) *WriteView { return &WriteView{s: s, writeEpoch: epoch} }
+
+// Epoch returns the write epoch.
+func (v *WriteView) Epoch() uint64 { return v.writeEpoch }
+
+// Get implements lang.KV.
+func (v *WriteView) Get(k value.Key) (value.Value, bool) { return v.s.Get(v.writeEpoch, k) }
+
+// Put implements lang.KV.
+func (v *WriteView) Put(k value.Key, val value.Value) { v.s.Put(v.writeEpoch, k, val) }
+
+// Delete implements lang.KV.
+func (v *WriteView) Delete(k value.Key) { v.s.Delete(v.writeEpoch, k) }
+
+// ReadPivot implements profile.PivotReader against the current state; the
+// engine uses it to validate pivots at execution time.
+func (v *WriteView) ReadPivot(k value.Key, field string) (value.Value, bool) {
+	rec, ok := v.s.Get(v.writeEpoch, k)
+	if !ok {
+		return value.Value{}, false
+	}
+	f, ok := rec.Field(field)
+	if !ok {
+		return value.Int(0), true
+	}
+	return f, true
+}

@@ -1,0 +1,133 @@
+package sym
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"prognosticator/internal/lang"
+	"prognosticator/internal/value"
+)
+
+// termJSON is the wire form of a Term. Exactly one of the payload groups is
+// set, selected by T.
+type termJSON struct {
+	T string `json:"t"` // "const" | "var" | "bin" | "not"
+
+	V *value.Value `json:"v,omitempty"` // const
+
+	Name   string     `json:"name,omitempty"` // var
+	Kind   value.Kind `json:"kind,omitempty"`
+	Lo     int64      `json:"lo,omitempty"`
+	Hi     int64      `json:"hi,omitempty"`
+	Origin Origin     `json:"origin,omitempty"`
+	Pivot  *pivotJSON `json:"pivot,omitempty"`
+	List   string     `json:"list,omitempty"`
+	Idx    int        `json:"idx,omitempty"`
+
+	Op lang.Op         `json:"op,omitempty"` // bin
+	L  json.RawMessage `json:"l,omitempty"`
+	R  json.RawMessage `json:"r,omitempty"`
+
+	Inner json.RawMessage `json:"inner,omitempty"` // not
+}
+
+type pivotJSON struct {
+	Table string            `json:"table"`
+	Key   []json.RawMessage `json:"key"`
+	Field string            `json:"field"`
+}
+
+// MarshalTerm encodes a term to JSON. Nil terms encode as JSON null.
+func MarshalTerm(t Term) ([]byte, error) {
+	if t == nil {
+		return []byte("null"), nil
+	}
+	switch x := t.(type) {
+	case Const:
+		v := x.V
+		return json.Marshal(termJSON{T: "const", V: &v})
+	case *Var:
+		tj := termJSON{T: "var", Name: x.Name, Kind: x.Kind, Lo: x.Lo, Hi: x.Hi, Origin: x.Origin, List: x.List, Idx: x.Idx}
+		if x.Pivot != nil {
+			pj := pivotJSON{Table: x.Pivot.Table, Field: x.Pivot.Field}
+			for _, k := range x.Pivot.Key {
+				raw, err := MarshalTerm(k)
+				if err != nil {
+					return nil, err
+				}
+				pj.Key = append(pj.Key, raw)
+			}
+			tj.Pivot = &pj
+		}
+		return json.Marshal(tj)
+	case Bin:
+		l, err := MarshalTerm(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := MarshalTerm(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(termJSON{T: "bin", Op: x.Op, L: l, R: r})
+	case Not:
+		inner, err := MarshalTerm(x.T)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(termJSON{T: "not", Inner: inner})
+	default:
+		return nil, fmt.Errorf("sym: marshal unknown term %T", t)
+	}
+}
+
+// UnmarshalTerm decodes a term encoded by MarshalTerm. JSON null decodes to
+// a nil term.
+func UnmarshalTerm(data []byte) (Term, error) {
+	if string(data) == "null" {
+		return nil, nil
+	}
+	var tj termJSON
+	if err := json.Unmarshal(data, &tj); err != nil {
+		return nil, fmt.Errorf("sym: unmarshal term: %w", err)
+	}
+	switch tj.T {
+	case "const":
+		if tj.V == nil {
+			return nil, fmt.Errorf("sym: const term without value")
+		}
+		return Const{V: *tj.V}, nil
+	case "var":
+		v := &Var{Name: tj.Name, Kind: tj.Kind, Lo: tj.Lo, Hi: tj.Hi, Origin: tj.Origin, List: tj.List, Idx: tj.Idx}
+		if tj.Pivot != nil {
+			ref := &PivotRef{Table: tj.Pivot.Table, Field: tj.Pivot.Field}
+			for _, raw := range tj.Pivot.Key {
+				k, err := UnmarshalTerm(raw)
+				if err != nil {
+					return nil, err
+				}
+				ref.Key = append(ref.Key, k)
+			}
+			v.Pivot = ref
+		}
+		return v, nil
+	case "bin":
+		l, err := UnmarshalTerm(tj.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := UnmarshalTerm(tj.R)
+		if err != nil {
+			return nil, err
+		}
+		return Bin{Op: tj.Op, L: l, R: r}, nil
+	case "not":
+		inner, err := UnmarshalTerm(tj.Inner)
+		if err != nil {
+			return nil, err
+		}
+		return Not{T: inner}, nil
+	default:
+		return nil, fmt.Errorf("sym: unmarshal unknown term tag %q", tj.T)
+	}
+}

@@ -1,0 +1,364 @@
+// Package sym implements symbolic scalar terms: the expressions stored in
+// symbolic stores, path constraints and transaction profiles. A term is a
+// function of transaction inputs (direct) and, possibly, of pivot items —
+// values that must be read from the data store (indirect, §III-B of the
+// paper).
+package sym
+
+import (
+	"fmt"
+	"strings"
+
+	"prognosticator/internal/lang"
+	"prognosticator/internal/value"
+)
+
+// Origin classifies a symbolic variable.
+type Origin int
+
+// Variable origins: transaction inputs vs pivot items read from the store.
+const (
+	OriginInput Origin = iota + 1
+	OriginPivot
+)
+
+// Term is a symbolic scalar expression.
+type Term interface {
+	termNode()
+	// String returns the canonical rendering; two terms are considered
+	// identical iff their renderings are equal.
+	String() string
+}
+
+// Const is a concrete scalar embedded in a symbolic expression.
+type Const struct{ V value.Value }
+
+// Var is a symbolic variable: either a transaction input (with its declared
+// integer domain when Kind is int) or a pivot value read from the store.
+type Var struct {
+	// Name is globally unique within one analysis. Input variables use the
+	// parameter name (possibly with an index suffix for list elements);
+	// pivot variables use a canonical "pivot:" name derived from their key.
+	Name   string
+	Kind   value.Kind
+	Lo, Hi int64 // int domain; meaningful only for input ints
+	Origin Origin
+	// Pivot identifies the store item and field this variable stands for;
+	// non-nil iff Origin == OriginPivot.
+	Pivot *PivotRef
+	// List/Idx identify an element of a list-valued input parameter: when
+	// List is non-empty this variable is element Idx of parameter List.
+	// Runtime instantiation resolves it by indexing the concrete input.
+	List string
+	Idx  int
+}
+
+// NewListElem returns the input variable standing for element idx of the
+// list parameter listName. elemKind/lo/hi describe the element domain.
+func NewListElem(listName string, idx int, elemKind value.Kind, lo, hi int64) *Var {
+	return &Var{
+		Name: fmt.Sprintf("%s[%d]", listName, idx),
+		Kind: elemKind, Lo: lo, Hi: hi,
+		Origin: OriginInput, List: listName, Idx: idx,
+	}
+}
+
+// PivotRef names a store item field whose value a dependent transaction must
+// read before its key-set is known. Key parts are themselves terms (they may
+// depend on inputs or on other pivots).
+type PivotRef struct {
+	Table string
+	Key   []Term
+	Field string
+}
+
+// ID returns the canonical identity of the pivot reference.
+func (p *PivotRef) ID() string {
+	parts := make([]string, len(p.Key))
+	for i, k := range p.Key {
+		parts[i] = k.String()
+	}
+	return fmt.Sprintf("%s[%s].%s", p.Table, strings.Join(parts, ","), p.Field)
+}
+
+// Bin applies a binary operator to two terms.
+type Bin struct {
+	Op   lang.Op
+	L, R Term
+}
+
+// Not negates a boolean term.
+type Not struct{ T Term }
+
+func (Const) termNode() {}
+func (*Var) termNode()  {}
+func (Bin) termNode()   {}
+func (Not) termNode()   {}
+
+// String implements Term.
+func (c Const) String() string { return c.V.String() }
+
+// String implements Term.
+func (v *Var) String() string { return v.Name }
+
+// String implements Term.
+func (b Bin) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L.String(), b.Op, b.R.String())
+}
+
+// String implements Term.
+func (n Not) String() string { return fmt.Sprintf("!(%s)", n.T.String()) }
+
+// NewInput returns a fresh input variable.
+func NewInput(name string, kind value.Kind, lo, hi int64) *Var {
+	return &Var{Name: name, Kind: kind, Lo: lo, Hi: hi, Origin: OriginInput}
+}
+
+// NewPivot returns a pivot variable for the given store item field. The
+// variable's name encodes the pivot identity, so two reads of the same item
+// field yield interchangeable variables.
+func NewPivot(table string, key []Term, field string) *Var {
+	ref := &PivotRef{Table: table, Key: key, Field: field}
+	return &Var{Name: "pivot:" + ref.ID(), Kind: value.KindInvalid, Origin: OriginPivot, Pivot: ref}
+}
+
+// Equal reports structural equality via canonical rendering.
+func Equal(a, b Term) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.String() == b.String()
+}
+
+// IsConst reports whether t is a concrete constant, returning its value.
+func IsConst(t Term) (value.Value, bool) {
+	c, ok := t.(Const)
+	if !ok {
+		return value.Value{}, false
+	}
+	return c.V, true
+}
+
+// Vars appends all distinct variables of t to out (deduplicated by name) and
+// returns the extended slice.
+func Vars(t Term, out []*Var) []*Var {
+	switch x := t.(type) {
+	case Const:
+		return out
+	case *Var:
+		for _, v := range out {
+			if v.Name == x.Name {
+				return out
+			}
+		}
+		out = append(out, x)
+		if x.Pivot != nil {
+			for _, k := range x.Pivot.Key {
+				out = Vars(k, out)
+			}
+		}
+		return out
+	case Bin:
+		return Vars(x.R, Vars(x.L, out))
+	case Not:
+		return Vars(x.T, out)
+	default:
+		return out
+	}
+}
+
+// HasPivot reports whether t depends (directly or through nested pivot keys)
+// on any store value. A term without pivots is "direct" in the paper's
+// terminology: computable from the transaction's input alone.
+func HasPivot(t Term) bool {
+	for _, v := range Vars(t, nil) {
+		if v.Origin == OriginPivot {
+			return true
+		}
+	}
+	return false
+}
+
+// Pivots returns the distinct pivot references in t, in first-occurrence
+// order.
+func Pivots(t Term) []*PivotRef {
+	var refs []*PivotRef
+	for _, v := range Vars(t, nil) {
+		if v.Pivot != nil {
+			dup := false
+			for _, r := range refs {
+				if r.ID() == v.Pivot.ID() {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				refs = append(refs, v.Pivot)
+			}
+		}
+	}
+	return refs
+}
+
+// Eval computes the concrete value of t given a binding for every variable.
+// The lookup receives the variable (input or pivot) and must return its
+// concrete value; Eval fails if a binding is missing or a concrete operator
+// application fails.
+func Eval(t Term, lookup func(*Var) (value.Value, bool)) (value.Value, error) {
+	switch x := t.(type) {
+	case Const:
+		return x.V, nil
+	case *Var:
+		v, ok := lookup(x)
+		if !ok {
+			return value.Value{}, fmt.Errorf("sym: no binding for %s", x.Name)
+		}
+		return v, nil
+	case Bin:
+		l, err := Eval(x.L, lookup)
+		if err != nil {
+			return value.Value{}, err
+		}
+		r, err := Eval(x.R, lookup)
+		if err != nil {
+			return value.Value{}, err
+		}
+		v, err := lang.EvalBin(x.Op, l, r)
+		if err != nil {
+			return value.Value{}, fmt.Errorf("sym: eval %s: %w", t.String(), err)
+		}
+		return v, nil
+	case Not:
+		v, err := Eval(x.T, lookup)
+		if err != nil {
+			return value.Value{}, err
+		}
+		b, ok := v.AsBool()
+		if !ok {
+			return value.Value{}, fmt.Errorf("sym: ! on %s", v.Kind())
+		}
+		return value.Bool(!b), nil
+	default:
+		return value.Value{}, fmt.Errorf("sym: unknown term %T", t)
+	}
+}
+
+// Fold simplifies t: constant subexpressions are evaluated, and trivial
+// boolean/arithmetic identities are applied. Folding is applied bottom-up
+// once; it is idempotent.
+func Fold(t Term) Term {
+	switch x := t.(type) {
+	case Bin:
+		l, r := Fold(x.L), Fold(x.R)
+		lc, lok := IsConst(l)
+		rc, rok := IsConst(r)
+		if lok && rok {
+			if v, err := lang.EvalBin(x.Op, lc, rc); err == nil {
+				return Const{V: v}
+			}
+			return Bin{Op: x.Op, L: l, R: r}
+		}
+		// identity / absorbing rules
+		switch x.Op {
+		case lang.OpAdd:
+			if lok && isZero(lc) {
+				return r
+			}
+			if rok && isZero(rc) {
+				return l
+			}
+		case lang.OpSub:
+			if rok && isZero(rc) {
+				return l
+			}
+		case lang.OpMul:
+			if lok && isOne(lc) {
+				return r
+			}
+			if rok && isOne(rc) {
+				return l
+			}
+			if (lok && isZero(lc)) || (rok && isZero(rc)) {
+				return Const{V: value.Int(0)}
+			}
+		case lang.OpAnd:
+			if lok {
+				if b, _ := lc.AsBool(); !b {
+					return Const{V: value.Bool(false)}
+				}
+				return r
+			}
+			if rok {
+				if b, _ := rc.AsBool(); !b {
+					return Const{V: value.Bool(false)}
+				}
+				return l
+			}
+		case lang.OpOr:
+			if lok {
+				if b, _ := lc.AsBool(); b {
+					return Const{V: value.Bool(true)}
+				}
+				return r
+			}
+			if rok {
+				if b, _ := rc.AsBool(); b {
+					return Const{V: value.Bool(true)}
+				}
+				return l
+			}
+		case lang.OpEq:
+			if Equal(l, r) {
+				return Const{V: value.Bool(true)}
+			}
+		case lang.OpNe:
+			if Equal(l, r) {
+				return Const{V: value.Bool(false)}
+			}
+		}
+		return Bin{Op: x.Op, L: l, R: r}
+	case Not:
+		inner := Fold(x.T)
+		if c, ok := IsConst(inner); ok {
+			if b, bok := c.AsBool(); bok {
+				return Const{V: value.Bool(!b)}
+			}
+		}
+		if n, ok := inner.(Not); ok {
+			return n.T // double negation
+		}
+		return Not{T: inner}
+	default:
+		return t
+	}
+}
+
+// Negate returns the folded logical negation of t.
+func Negate(t Term) Term {
+	// Prefer flipping comparisons to wrapping in Not: the solver extracts
+	// more precise atoms from comparisons.
+	if b, ok := t.(Bin); ok {
+		var flipped lang.Op
+		switch b.Op {
+		case lang.OpEq:
+			flipped = lang.OpNe
+		case lang.OpNe:
+			flipped = lang.OpEq
+		case lang.OpLt:
+			flipped = lang.OpGe
+		case lang.OpLe:
+			flipped = lang.OpGt
+		case lang.OpGt:
+			flipped = lang.OpLe
+		case lang.OpGe:
+			flipped = lang.OpLt
+		default:
+			return Fold(Not{T: t})
+		}
+		return Fold(Bin{Op: flipped, L: b.L, R: b.R})
+	}
+	return Fold(Not{T: t})
+}
+
+func isZero(v value.Value) bool { i, ok := v.AsInt(); return ok && i == 0 }
+func isOne(v value.Value) bool  { i, ok := v.AsInt(); return ok && i == 1 }

@@ -1,0 +1,274 @@
+package sym
+
+import (
+	"math/rand"
+	"testing"
+
+	"prognosticator/internal/lang"
+	"prognosticator/internal/value"
+)
+
+func iv(name string, lo, hi int64) *Var { return NewInput(name, value.KindInt, lo, hi) }
+
+func TestStringCanonical(t *testing.T) {
+	a := iv("a", 0, 9)
+	term := Bin{Op: lang.OpAdd, L: a, R: Const{V: value.Int(1)}}
+	if got, want := term.String(), "(a + 1)"; got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+	n := Not{T: Bin{Op: lang.OpLt, L: a, R: Const{V: value.Int(5)}}}
+	if got, want := n.String(), "!((a < 5))"; got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}
+
+func TestPivotIdentity(t *testing.T) {
+	a := iv("a", 0, 9)
+	p1 := NewPivot("DIST", []Term{a}, "lastOrderId")
+	p2 := NewPivot("DIST", []Term{iv("a", 0, 9)}, "lastOrderId")
+	p3 := NewPivot("DIST", []Term{a}, "tax")
+	if p1.Name != p2.Name {
+		t.Fatalf("same pivot gets different names: %q vs %q", p1.Name, p2.Name)
+	}
+	if p1.Name == p3.Name {
+		t.Fatal("different fields must give different pivot names")
+	}
+	if p1.Pivot.ID() != "DIST[a].lastOrderId" {
+		t.Fatalf("pivot ID = %q", p1.Pivot.ID())
+	}
+}
+
+func TestVarsAndPivotDetection(t *testing.T) {
+	a, b := iv("a", 0, 9), iv("b", 0, 9)
+	pv := NewPivot("T", []Term{a}, "f")
+	term := Bin{Op: lang.OpAdd, L: Bin{Op: lang.OpMul, L: a, R: b}, R: pv}
+	vars := Vars(term, nil)
+	names := map[string]bool{}
+	for _, v := range vars {
+		names[v.Name] = true
+	}
+	if !names["a"] || !names["b"] || !names[pv.Name] {
+		t.Fatalf("Vars = %v", names)
+	}
+	if !HasPivot(term) {
+		t.Fatal("term contains a pivot")
+	}
+	if HasPivot(Bin{Op: lang.OpAdd, L: a, R: b}) {
+		t.Fatal("direct term misreported as pivot-dependent")
+	}
+	refs := Pivots(term)
+	if len(refs) != 1 || refs[0].Field != "f" {
+		t.Fatalf("Pivots = %v", refs)
+	}
+}
+
+func TestNestedPivotVars(t *testing.T) {
+	// GET(y) where y itself came from GET(input): pivot key contains a pivot.
+	a := iv("a", 0, 9)
+	inner := NewPivot("T", []Term{a}, "next")
+	outer := NewPivot("U", []Term{inner}, "val")
+	vars := Vars(outer, nil)
+	found := map[string]bool{}
+	for _, v := range vars {
+		found[v.Name] = true
+	}
+	if !found[inner.Name] || !found[outer.Name] || !found["a"] {
+		t.Fatalf("nested pivot vars not collected: %v", found)
+	}
+	if got := len(Pivots(outer)); got != 2 {
+		t.Fatalf("Pivots len = %d, want 2", got)
+	}
+}
+
+func TestEval(t *testing.T) {
+	a := iv("a", 0, 100)
+	term := Bin{Op: lang.OpGt, L: Bin{Op: lang.OpAdd, L: a, R: Const{V: value.Int(1)}}, R: Const{V: value.Int(10)}}
+	lookup := func(v *Var) (value.Value, bool) {
+		if v.Name == "a" {
+			return value.Int(10), true
+		}
+		return value.Value{}, false
+	}
+	got, err := Eval(term, lookup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.MustBool() {
+		t.Fatal("10+1 > 10 should be true")
+	}
+	if _, err := Eval(iv("zz", 0, 1), lookup); err == nil {
+		t.Fatal("missing binding must error")
+	}
+	neg, err := Eval(Not{T: Const{V: value.Bool(true)}}, lookup)
+	if err != nil || neg.MustBool() {
+		t.Fatalf("Not eval: %v, %v", neg, err)
+	}
+}
+
+func TestFoldConstants(t *testing.T) {
+	c := func(i int64) Term { return Const{V: value.Int(i)} }
+	a := iv("a", 0, 9)
+	cases := []struct {
+		in   Term
+		want string
+	}{
+		{Bin{Op: lang.OpAdd, L: c(2), R: c(3)}, "5"},
+		{Bin{Op: lang.OpAdd, L: a, R: c(0)}, "a"},
+		{Bin{Op: lang.OpAdd, L: c(0), R: a}, "a"},
+		{Bin{Op: lang.OpSub, L: a, R: c(0)}, "a"},
+		{Bin{Op: lang.OpMul, L: a, R: c(1)}, "a"},
+		{Bin{Op: lang.OpMul, L: c(1), R: a}, "a"},
+		{Bin{Op: lang.OpMul, L: a, R: c(0)}, "0"},
+		{Bin{Op: lang.OpAnd, L: Const{V: value.Bool(true)}, R: Bin{Op: lang.OpLt, L: a, R: c(5)}}, "(a < 5)"},
+		{Bin{Op: lang.OpAnd, L: Const{V: value.Bool(false)}, R: Bin{Op: lang.OpLt, L: a, R: c(5)}}, "false"},
+		{Bin{Op: lang.OpOr, L: Bin{Op: lang.OpLt, L: a, R: c(5)}, R: Const{V: value.Bool(true)}}, "true"},
+		{Bin{Op: lang.OpOr, L: Bin{Op: lang.OpLt, L: a, R: c(5)}, R: Const{V: value.Bool(false)}}, "(a < 5)"},
+		{Bin{Op: lang.OpEq, L: a, R: a}, "true"},
+		{Bin{Op: lang.OpNe, L: a, R: a}, "false"},
+		{Not{T: Not{T: Bin{Op: lang.OpLt, L: a, R: c(1)}}}, "(a < 1)"},
+		{Not{T: Const{V: value.Bool(false)}}, "true"},
+		{Bin{Op: lang.OpLt, L: c(3), R: c(4)}, "true"},
+	}
+	for i, cse := range cases {
+		if got := Fold(cse.in).String(); got != cse.want {
+			t.Errorf("case %d: Fold(%s) = %s, want %s", i, cse.in.String(), got, cse.want)
+		}
+	}
+}
+
+func TestFoldIdempotent(t *testing.T) {
+	a := iv("a", 0, 9)
+	term := Bin{Op: lang.OpAdd, L: Bin{Op: lang.OpMul, L: a, R: Const{V: value.Int(1)}}, R: Const{V: value.Int(0)}}
+	once := Fold(term)
+	twice := Fold(once)
+	if !Equal(once, twice) {
+		t.Fatalf("Fold not idempotent: %s vs %s", once, twice)
+	}
+}
+
+func TestNegateFlipsComparisons(t *testing.T) {
+	a := iv("a", 0, 9)
+	c5 := Const{V: value.Int(5)}
+	cases := map[lang.Op]string{
+		lang.OpLt: "(a >= 5)",
+		lang.OpLe: "(a > 5)",
+		lang.OpGt: "(a <= 5)",
+		lang.OpGe: "(a < 5)",
+		lang.OpEq: "(a != 5)",
+		lang.OpNe: "(a == 5)",
+	}
+	for op, want := range cases {
+		if got := Negate(Bin{Op: op, L: a, R: c5}).String(); got != want {
+			t.Errorf("Negate(a %s 5) = %s, want %s", op, got, want)
+		}
+	}
+	// non-comparison falls back to Not
+	b := NewInput("b", value.KindBool, 0, 0)
+	if got := Negate(b).String(); got != "!(b)" {
+		t.Errorf("Negate(b) = %s", got)
+	}
+}
+
+func TestEqualByRendering(t *testing.T) {
+	a1 := iv("a", 0, 9)
+	a2 := iv("a", 0, 9)
+	if !Equal(Bin{Op: lang.OpAdd, L: a1, R: Const{V: value.Int(1)}},
+		Bin{Op: lang.OpAdd, L: a2, R: Const{V: value.Int(1)}}) {
+		t.Fatal("structurally identical terms must be Equal")
+	}
+	if Equal(a1, Const{V: value.Int(1)}) {
+		t.Fatal("different terms must not be Equal")
+	}
+	if !Equal(nil, nil) || Equal(nil, a1) {
+		t.Fatal("nil handling")
+	}
+}
+
+func randTerm(r *rand.Rand, depth int) Term {
+	if depth == 0 || r.Intn(3) == 0 {
+		switch r.Intn(3) {
+		case 0:
+			return Const{V: value.Int(r.Int63n(20) - 10)}
+		case 1:
+			return iv(string(rune('a'+r.Intn(3))), 0, 9)
+		default:
+			return NewPivot("T", []Term{iv("k", 0, 9)}, string(rune('f'+r.Intn(2))))
+		}
+	}
+	ops := []lang.Op{lang.OpAdd, lang.OpSub, lang.OpMul, lang.OpLt, lang.OpEq}
+	return Bin{Op: ops[r.Intn(len(ops))], L: randTerm(r, depth-1), R: randTerm(r, depth-1)}
+}
+
+func TestPropCodecRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		term := randTerm(r, 3)
+		data, err := MarshalTerm(term)
+		if err != nil {
+			t.Fatalf("marshal %s: %v", term, err)
+		}
+		back, err := UnmarshalTerm(data)
+		if err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if !Equal(term, back) {
+			t.Fatalf("round trip changed term: %s -> %s", term, back)
+		}
+		// pivot metadata must survive
+		if HasPivot(term) != HasPivot(back) {
+			t.Fatalf("pivot flag lost in round trip for %s", term)
+		}
+	}
+}
+
+func TestCodecNil(t *testing.T) {
+	data, err := MarshalTerm(nil)
+	if err != nil || string(data) != "null" {
+		t.Fatalf("nil marshal = %s, %v", data, err)
+	}
+	back, err := UnmarshalTerm(data)
+	if err != nil || back != nil {
+		t.Fatalf("nil unmarshal = %v, %v", back, err)
+	}
+}
+
+func TestCodecErrors(t *testing.T) {
+	if _, err := UnmarshalTerm([]byte(`{"t":"mystery"}`)); err == nil {
+		t.Fatal("unknown tag must error")
+	}
+	if _, err := UnmarshalTerm([]byte(`{garbage`)); err == nil {
+		t.Fatal("malformed JSON must error")
+	}
+	if _, err := UnmarshalTerm([]byte(`{"t":"const"}`)); err == nil {
+		t.Fatal("const without value must error")
+	}
+}
+
+func TestPropFoldPreservesSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 500; i++ {
+		term := randTerm(r, 3)
+		binding := map[string]value.Value{}
+		lookup := func(v *Var) (value.Value, bool) {
+			if b, ok := binding[v.Name]; ok {
+				return b, true
+			}
+			b := value.Int(r.Int63n(10))
+			binding[v.Name] = b
+			return b, true
+		}
+		orig, errO := Eval(term, lookup)
+		folded, errF := Eval(Fold(term), lookup)
+		if (errO == nil) != (errF == nil) {
+			// Folding may only remove errors (e.g. eliminating an
+			// unevaluated operand), never introduce them.
+			if errF != nil {
+				t.Fatalf("fold introduced error for %s: %v", term, errF)
+			}
+			continue
+		}
+		if errO == nil && !orig.Equal(folded) {
+			t.Fatalf("fold changed value of %s: %v vs %v", term, orig, folded)
+		}
+	}
+}

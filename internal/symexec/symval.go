@@ -1,0 +1,122 @@
+// Package symexec implements the symbolic-execution engine at the heart of
+// Prognosticator (§II and §III-B of the paper). It interprets a stored
+// procedure (internal/lang) with symbolic inputs, forks at conditionals,
+// checks path-constraint satisfiability with internal/solver, intercepts
+// GET/PUT/DEL to collect symbolic read-/write-sets, detects pivot items, and
+// assembles the transaction profile tree (internal/profile) with
+// redundant-subtree pruning. A static taint analysis (internal/taint)
+// optionally drives concolic execution: variables that provably cannot flow
+// into any key identity are given concrete values, so branches over them
+// never fork — the paper's "irrelevant variables" optimization.
+package symexec
+
+import (
+	"fmt"
+
+	"prognosticator/internal/sym"
+	"prognosticator/internal/value"
+)
+
+// symval is the symbolic counterpart of value.Value: what a local variable
+// may hold during symbolic execution.
+type symval interface{ isSymval() }
+
+// termVal holds a scalar symbolic term (which may be a concrete constant).
+type termVal struct{ t sym.Term }
+
+// listVal holds a list whose elements are symvals. Produced only for
+// list-valued input parameters.
+type listVal struct{ elems []symval }
+
+// pivotRecVal is the result of a GET: a record whose fields are unknown
+// until run time. Projecting a field yields a pivot variable. When concrete
+// is true (concolic mode, irrelevant destination) fields read as the
+// concrete default instead, so no pivots and no forks arise from it.
+type pivotRecVal struct {
+	table    string
+	key      []sym.Term
+	concrete bool
+}
+
+// recVal is a record built by the program (record literal or SetField
+// overlay on top of a fetched record).
+type recVal struct {
+	fields map[string]symval
+	base   *pivotRecVal // non-nil when overlaying a fetched record
+}
+
+func (termVal) isSymval()      {}
+func (listVal) isSymval()      {}
+func (*pivotRecVal) isSymval() {}
+func (recVal) isSymval()       {}
+
+// field projects a record-like symval.
+func fieldOf(v symval, name string) (symval, error) {
+	switch x := v.(type) {
+	case *pivotRecVal:
+		if x.concrete {
+			// Concrete default record: every field reads as integer zero.
+			// Irrelevance guarantees the choice cannot affect the RWS.
+			return termVal{t: sym.Const{V: value.Int(0)}}, nil
+		}
+		return termVal{t: sym.NewPivot(x.table, x.key, name)}, nil
+	case recVal:
+		if f, ok := x.fields[name]; ok {
+			return f, nil
+		}
+		if x.base != nil {
+			return fieldOf(x.base, name)
+		}
+		return termVal{t: sym.Const{V: value.Int(0)}}, nil
+	default:
+		return nil, fmt.Errorf("symexec: field %q of non-record %T", name, v)
+	}
+}
+
+// setField returns a copy of v with one field overridden.
+func setField(v symval, name string, f symval) (symval, error) {
+	switch x := v.(type) {
+	case *pivotRecVal:
+		return recVal{fields: map[string]symval{name: f}, base: x}, nil
+	case recVal:
+		cp := make(map[string]symval, len(x.fields)+1)
+		for k, e := range x.fields {
+			cp[k] = e
+		}
+		cp[name] = f
+		return recVal{fields: cp, base: x.base}, nil
+	default:
+		return nil, fmt.Errorf("symexec: SetField on non-record %T", v)
+	}
+}
+
+// scalarTerm extracts the term of a scalar symval.
+func scalarTerm(v symval) (sym.Term, error) {
+	tv, ok := v.(termVal)
+	if !ok {
+		return nil, fmt.Errorf("symexec: expected scalar, got %T", v)
+	}
+	return tv.t, nil
+}
+
+// concreteSymval lifts a concrete value into a symval.
+func concreteSymval(v value.Value) symval {
+	switch v.Kind() {
+	case value.KindList:
+		elems := make([]symval, v.Len())
+		for i := range elems {
+			e, _ := v.Index(i)
+			elems[i] = concreteSymval(e)
+		}
+		return listVal{elems: elems}
+	case value.KindRecord:
+		fields := make(map[string]symval, v.Len())
+		for _, name := range v.Fields() {
+			f, _ := v.Field(name)
+			fields[name] = concreteSymval(f)
+		}
+		return recVal{fields: fields}
+	default:
+		return termVal{t: sym.Const{V: v}}
+	}
+}

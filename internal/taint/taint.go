@@ -1,0 +1,240 @@
+// Package taint implements the static information-flow analysis the paper
+// performs with Soot (§III-B, "Avoiding irrelevant paths"): it identifies
+// the *relevant* variables — those with explicit (assignment) or implicit
+// (control-flow) information flow into the identity of any data item read or
+// written — so the symbolic executor can mark every other variable as
+// concrete (concolic execution), collapsing branches that cannot affect the
+// read-/write-set.
+package taint
+
+import (
+	"prognosticator/internal/lang"
+	"prognosticator/internal/value"
+)
+
+// Result reports the relevant-variable set of one program.
+type Result struct {
+	relevant map[string]bool
+}
+
+// Relevant reports whether the named parameter or local can influence the
+// identity of any key accessed by the program.
+func (r *Result) Relevant(name string) bool { return r.relevant[name] }
+
+// RelevantNames returns all relevant names (unordered).
+func (r *Result) RelevantNames() []string {
+	out := make([]string, 0, len(r.relevant))
+	for n := range r.relevant {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Analyze computes the relevant-variable set of p with a backward fixed
+// point. The analysis is variable-granular (field-insensitive) and
+// conservative: everything that might flow into a key is relevant.
+//
+// Rules, applied until no change:
+//   - seed: every variable appearing in a key expression of GET/PUT/DEL;
+//   - explicit flow: if the destination of an assignment (or field store, or
+//     GET result) is relevant, the variables of the assigned expression (or
+//     GET key) are relevant;
+//   - implicit flow: if a branch guards any store operation or any
+//     assignment to a relevant variable, the variables of its condition are
+//     relevant; similarly a loop whose body performs a store operation or a
+//     relevant assignment makes its bound expressions relevant (the
+//     iteration count decides how many items are accessed).
+func Analyze(p *lang.Program) *Result {
+	r := &Result{relevant: map[string]bool{}}
+	for {
+		if !r.pass(p.Body) {
+			break
+		}
+	}
+	return r
+}
+
+// pass walks the body once, returning true if the relevant set grew.
+func (r *Result) pass(body []lang.Stmt) bool {
+	changed := false
+	for _, st := range body {
+		if r.stmt(st) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (r *Result) stmt(st lang.Stmt) bool {
+	switch s := st.(type) {
+	case lang.Assign:
+		if r.relevant[s.Dst] {
+			return r.markExpr(s.E)
+		}
+		return false
+	case lang.SetField:
+		if r.relevant[s.Dst] {
+			return r.markExpr(s.E)
+		}
+		return false
+	case lang.Get:
+		changed := r.markKey(s.Key)
+		// The GET result is a potential pivot: if it is relevant, the key
+		// identifying it is already marked above; nothing further flows.
+		return changed
+	case lang.Put:
+		// Only the key identity matters; the stored value does not flow
+		// into any key by itself (that is the whole point of the
+		// optimization: value-only variables are irrelevant).
+		return r.markKey(s.Key)
+	case lang.Del:
+		return r.markKey(s.Key)
+	case lang.If:
+		changed := r.pass(s.Then)
+		if r.pass(s.Else) {
+			changed = true
+		}
+		if blockTouchesKeys(s.Then, r) || blockTouchesKeys(s.Else, r) {
+			if r.markExpr(s.Cond) {
+				changed = true
+			}
+		}
+		return changed
+	case lang.For:
+		changed := r.pass(s.Body)
+		if blockTouchesKeys(s.Body, r) {
+			if r.markExpr(s.From) {
+				changed = true
+			}
+			if r.markExpr(s.To) {
+				changed = true
+			}
+		}
+		return changed
+	case lang.Emit:
+		return false
+	default:
+		return false
+	}
+}
+
+// BlockTouchesKeys reports whether the block contains any store operation
+// or any assignment to a relevant variable — i.e. whether executing or
+// skipping the block can change the RWS. The symbolic executor uses it to
+// avoid forking at branches that provably cannot affect the profile even
+// when their condition is symbolic (e.g. TPC-C's remote-warehouse counter
+// update: the condition involves key variables, but both arms only touch
+// written values).
+func (r *Result) BlockTouchesKeys(body []lang.Stmt) bool {
+	return blockTouchesKeys(body, r)
+}
+
+// blockTouchesKeys reports whether the block contains any store operation or
+// any assignment to a currently-relevant variable — i.e. whether executing
+// or skipping the block can change the RWS.
+func blockTouchesKeys(body []lang.Stmt, r *Result) bool {
+	for _, st := range body {
+		switch s := st.(type) {
+		case lang.Get, lang.Put, lang.Del:
+			return true
+		case lang.Assign:
+			if r.relevant[s.Dst] {
+				return true
+			}
+		case lang.SetField:
+			if r.relevant[s.Dst] {
+				return true
+			}
+		case lang.If:
+			if blockTouchesKeys(s.Then, r) || blockTouchesKeys(s.Else, r) {
+				return true
+			}
+		case lang.For:
+			if blockTouchesKeys(s.Body, r) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (r *Result) markKey(key []lang.Expr) bool {
+	changed := false
+	for _, e := range key {
+		if r.markExpr(e) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// markExpr marks every variable mentioned by e as relevant, returning true
+// if the set grew.
+func (r *Result) markExpr(e lang.Expr) bool {
+	switch x := e.(type) {
+	case lang.Const:
+		return false
+	case lang.ParamRef:
+		return r.mark(x.Name)
+	case lang.LocalRef:
+		return r.mark(x.Name)
+	case lang.Bin:
+		c1 := r.markExpr(x.L)
+		c2 := r.markExpr(x.R)
+		return c1 || c2
+	case lang.Not:
+		return r.markExpr(x.E)
+	case lang.Field:
+		return r.markExpr(x.E)
+	case lang.Index:
+		c1 := r.markExpr(x.E)
+		c2 := r.markExpr(x.I)
+		return c1 || c2
+	case lang.Rec:
+		changed := false
+		for _, f := range x.Fields {
+			if r.markExpr(f.E) {
+				changed = true
+			}
+		}
+		return changed
+	default:
+		return false
+	}
+}
+
+func (r *Result) mark(name string) bool {
+	if r.relevant[name] {
+		return false
+	}
+	r.relevant[name] = true
+	return true
+}
+
+// SampleValue returns a deterministic concrete value for an irrelevant
+// parameter: the low bound for ints, an empty string, false, or a list of
+// element samples at full capacity. The concrete choice cannot affect the
+// RWS — that is exactly what irrelevance guarantees — so any fixed value is
+// correct.
+func SampleValue(p lang.Param) value.Value {
+	switch p.Kind {
+	case value.KindInt:
+		return value.Int(p.Lo)
+	case value.KindString:
+		return value.Str("")
+	case value.KindBool:
+		return value.Bool(false)
+	case value.KindList:
+		elems := make([]value.Value, p.MaxLen)
+		for i := range elems {
+			if p.Elem != nil {
+				elems[i] = SampleValue(*p.Elem)
+			} else {
+				elems[i] = value.Int(0)
+			}
+		}
+		return value.List(elems...)
+	default:
+		return value.Int(0)
+	}
+}

@@ -1,0 +1,265 @@
+package taint
+
+import (
+	"testing"
+
+	"prognosticator/internal/lang"
+	"prognosticator/internal/value"
+)
+
+func TestKeyVariablesAreRelevant(t *testing.T) {
+	p := &lang.Program{
+		Name: "t",
+		Params: []lang.Param{
+			lang.IntParam("k", 0, 9),
+			lang.IntParam("amount", 0, 9),
+		},
+		Body: []lang.Stmt{
+			lang.GetS("rec", "ACC", lang.P("k")),
+			lang.SetF("rec", "bal", lang.Add(lang.Fld(lang.L("rec"), "bal"), lang.P("amount"))),
+			lang.PutS("ACC", lang.Key(lang.P("k")), lang.L("rec")),
+		},
+	}
+	r := Analyze(p)
+	if !r.Relevant("k") {
+		t.Fatal("key parameter must be relevant")
+	}
+	if r.Relevant("amount") {
+		t.Fatal("value-only parameter must be irrelevant")
+	}
+}
+
+// This is the newOrder shape from the paper's Algorithm 2: the branch on
+// item.quantity only affects the value written, so item quantity inputs are
+// irrelevant while the id list and count are relevant.
+func TestNewOrderShape(t *testing.T) {
+	p := &lang.Program{
+		Name: "newOrder",
+		Params: []lang.Param{
+			lang.IntParam("districtId", 1, 10),
+			lang.IntParam("olCnt", 5, 15),
+			lang.ListParam("olIds", lang.IntParam("", 1, 100), 15, "olCnt"),
+			lang.ListParam("olQty", lang.IntParam("", 1, 10), 15, "olCnt"),
+		},
+		Body: []lang.Stmt{
+			lang.GetS("dist", "DIST", lang.P("districtId")),
+			lang.PutS("DIST", lang.Key(lang.P("districtId")), lang.L("dist")),
+			lang.ForS("i", lang.C(0), lang.P("olCnt"),
+				lang.Set("itemId", lang.Idx(lang.P("olIds"), lang.L("i"))),
+				lang.GetS("item", "STOCK", lang.L("itemId")),
+				lang.IfElse(lang.Le(lang.Fld(lang.L("item"), "qty"), lang.Idx(lang.P("olQty"), lang.L("i"))),
+					[]lang.Stmt{lang.SetF("item", "qty",
+						lang.Sub(lang.Fld(lang.L("item"), "qty"), lang.Idx(lang.P("olQty"), lang.L("i"))))},
+					[]lang.Stmt{lang.SetF("item", "qty",
+						lang.Add(lang.Sub(lang.Fld(lang.L("item"), "qty"), lang.Idx(lang.P("olQty"), lang.L("i"))), lang.C(91)))},
+				),
+				lang.PutS("STOCK", lang.Key(lang.L("itemId")), lang.L("item")),
+			),
+		},
+	}
+	r := Analyze(p)
+	for _, want := range []string{"districtId", "olCnt", "olIds", "itemId", "i"} {
+		if !r.Relevant(want) {
+			t.Errorf("%q must be relevant", want)
+		}
+	}
+	// olQty only affects written values; item holds the stock record whose
+	// fields are only written back, never used as a key.
+	for _, wantNot := range []string{"olQty", "item"} {
+		if r.Relevant(wantNot) {
+			t.Errorf("%q must be irrelevant", wantNot)
+		}
+	}
+}
+
+func TestExplicitFlowChain(t *testing.T) {
+	// c flows to b flows to a, and a is a key ⇒ all relevant.
+	p := &lang.Program{
+		Name:   "chain",
+		Params: []lang.Param{lang.IntParam("c", 0, 9), lang.IntParam("noise", 0, 9)},
+		Body: []lang.Stmt{
+			lang.Set("b", lang.Add(lang.P("c"), lang.C(1))),
+			lang.Set("a", lang.Mul(lang.L("b"), lang.C(2))),
+			lang.Set("junk", lang.P("noise")),
+			lang.GetS("x", "T", lang.L("a")),
+		},
+	}
+	r := Analyze(p)
+	for _, want := range []string{"a", "b", "c"} {
+		if !r.Relevant(want) {
+			t.Errorf("%q must be relevant via explicit flow", want)
+		}
+	}
+	if r.Relevant("junk") || r.Relevant("noise") {
+		t.Error("unrelated variables must stay irrelevant")
+	}
+}
+
+func TestImplicitFlowThroughBranch(t *testing.T) {
+	// The branch condition decides WHICH key is written ⇒ cond var relevant.
+	p := &lang.Program{
+		Name:   "branchy",
+		Params: []lang.Param{lang.IntParam("sel", 0, 1), lang.IntParam("pay", 0, 9)},
+		Body: []lang.Stmt{
+			lang.IfElse(lang.Eq(lang.P("sel"), lang.C(0)),
+				[]lang.Stmt{lang.PutS("T", lang.Key(lang.C(1)), lang.RecE(lang.F("v", lang.P("pay"))))},
+				[]lang.Stmt{lang.PutS("T", lang.Key(lang.C(2)), lang.RecE(lang.F("v", lang.P("pay"))))},
+			),
+		},
+	}
+	r := Analyze(p)
+	if !r.Relevant("sel") {
+		t.Fatal("branch selector guarding PUTs must be relevant (implicit flow)")
+	}
+	if r.Relevant("pay") {
+		t.Fatal("written value must be irrelevant")
+	}
+}
+
+func TestImplicitFlowThroughRelevantAssignment(t *testing.T) {
+	// The branch assigns a variable later used as a key.
+	p := &lang.Program{
+		Name:   "condassign",
+		Params: []lang.Param{lang.IntParam("sel", 0, 1)},
+		Body: []lang.Stmt{
+			lang.Set("k", lang.C(1)),
+			lang.IfS(lang.Eq(lang.P("sel"), lang.C(1)),
+				lang.Set("k", lang.C(2))),
+			lang.GetS("x", "T", lang.L("k")),
+		},
+	}
+	r := Analyze(p)
+	if !r.Relevant("sel") {
+		t.Fatal("condition guarding a key-variable assignment must be relevant")
+	}
+	if !r.Relevant("k") {
+		t.Fatal("key variable must be relevant")
+	}
+}
+
+func TestBranchWithoutKeyEffectIrrelevant(t *testing.T) {
+	p := &lang.Program{
+		Name:   "pure",
+		Params: []lang.Param{lang.IntParam("sel", 0, 1)},
+		Body: []lang.Stmt{
+			lang.Set("v", lang.C(0)),
+			lang.IfS(lang.Eq(lang.P("sel"), lang.C(1)),
+				lang.Set("v", lang.C(9))),
+			lang.PutS("T", lang.Key(lang.C(1)), lang.RecE(lang.F("v", lang.L("v")))),
+		},
+	}
+	r := Analyze(p)
+	if r.Relevant("sel") {
+		t.Fatal("branch only affecting written values must be irrelevant")
+	}
+	if r.Relevant("v") {
+		t.Fatal("written-value variable must be irrelevant")
+	}
+}
+
+func TestLoopBoundRelevantWhenBodyAccessesStore(t *testing.T) {
+	p := &lang.Program{
+		Name:   "loopy",
+		Params: []lang.Param{lang.IntParam("n", 1, 5), lang.IntParam("m", 1, 5)},
+		Body: []lang.Stmt{
+			lang.ForS("i", lang.C(0), lang.P("n"),
+				lang.PutS("T", lang.Key(lang.L("i")), lang.RecE(lang.F("v", lang.C(0))))),
+			lang.Set("acc", lang.C(0)),
+			lang.ForS("j", lang.C(0), lang.P("m"),
+				lang.Set("acc", lang.Add(lang.L("acc"), lang.L("j")))),
+			lang.EmitS("acc", lang.L("acc")),
+		},
+	}
+	r := Analyze(p)
+	if !r.Relevant("n") {
+		t.Fatal("loop bound controlling PUT count must be relevant")
+	}
+	if r.Relevant("m") {
+		t.Fatal("loop bound of a pure accumulation must be irrelevant")
+	}
+}
+
+func TestPivotChainRelevance(t *testing.T) {
+	// y = GET(k); GET(y.next): y is relevant because its field forms a key.
+	p := &lang.Program{
+		Name:   "pivot",
+		Params: []lang.Param{lang.IntParam("k", 0, 9)},
+		Body: []lang.Stmt{
+			lang.GetS("y", "T", lang.P("k")),
+			lang.GetS("z", "U", lang.Fld(lang.L("y"), "next")),
+			lang.EmitS("out", lang.Fld(lang.L("z"), "val")),
+		},
+	}
+	r := Analyze(p)
+	if !r.Relevant("y") {
+		t.Fatal("pivot-carrying local must be relevant")
+	}
+	if r.Relevant("z") {
+		t.Fatal("final read result must be irrelevant")
+	}
+}
+
+func TestFixpointNeedsMultiplePasses(t *testing.T) {
+	// Relevance must propagate backwards across statement order:
+	// a is assigned BEFORE the statement that makes b relevant.
+	p := &lang.Program{
+		Name:   "multipass",
+		Params: []lang.Param{lang.IntParam("src", 0, 9)},
+		Body: []lang.Stmt{
+			lang.Set("a", lang.P("src")),
+			lang.Set("b", lang.L("a")),
+			lang.Set("c", lang.L("b")),
+			lang.GetS("x", "T", lang.L("c")),
+		},
+	}
+	r := Analyze(p)
+	for _, want := range []string{"a", "b", "c", "src"} {
+		if !r.Relevant(want) {
+			t.Errorf("%q must be relevant after fixpoint", want)
+		}
+	}
+}
+
+func TestDelKeyRelevant(t *testing.T) {
+	p := &lang.Program{
+		Name:   "del",
+		Params: []lang.Param{lang.IntParam("k", 0, 9)},
+		Body:   []lang.Stmt{lang.DelS("T", lang.P("k"))},
+	}
+	if !Analyze(p).Relevant("k") {
+		t.Fatal("DEL key must be relevant")
+	}
+}
+
+func TestRelevantNames(t *testing.T) {
+	p := &lang.Program{
+		Name:   "names",
+		Params: []lang.Param{lang.IntParam("k", 0, 9)},
+		Body:   []lang.Stmt{lang.GetS("x", "T", lang.P("k"))},
+	}
+	names := Analyze(p).RelevantNames()
+	if len(names) != 1 || names[0] != "k" {
+		t.Fatalf("RelevantNames = %v", names)
+	}
+}
+
+func TestSampleValue(t *testing.T) {
+	if got := SampleValue(lang.IntParam("x", 5, 15)); got.MustInt() != 5 {
+		t.Fatalf("int sample = %v", got)
+	}
+	if got := SampleValue(lang.StrParam("s")); got.MustString() != "" {
+		t.Fatalf("string sample = %v", got)
+	}
+	lst := SampleValue(lang.ListParam("xs", lang.IntParam("", 3, 9), 4, ""))
+	if lst.Len() != 4 {
+		t.Fatalf("list sample len = %d", lst.Len())
+	}
+	e, _ := lst.Index(0)
+	if e.MustInt() != 3 {
+		t.Fatalf("list elem sample = %v", e)
+	}
+	b := SampleValue(lang.Param{Name: "b", Kind: value.KindBool})
+	if b.MustBool() {
+		t.Fatalf("bool sample = %v", b)
+	}
+}

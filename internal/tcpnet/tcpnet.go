@@ -1,0 +1,179 @@
+// Package tcpnet implements the raft.Transport interface over real TCP
+// sockets with gob-framed messages. Where memnet simulates a network
+// in-process for fault-injection tests, tcpnet carries the same envelope
+// (memnet.Message) over loopback or LAN sockets, letting replicas run as
+// genuinely separate networked processes.
+//
+// Concrete payload types must be registered with Register before use (for
+// Raft: Register(raft.WireTypes()...)).
+package tcpnet
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"prognosticator/internal/memnet"
+)
+
+// Register registers payload types with the gob codec; call once at startup
+// on every process, with the same types in the same order.
+func Register(types ...any) {
+	for _, t := range types {
+		gob.Register(t)
+	}
+}
+
+// Directory maps endpoint names to dialable addresses. For single-process
+// tests, NewDirectory + Listen fill it automatically; distributed
+// deployments construct it from configuration.
+type Directory struct {
+	mu    sync.RWMutex
+	addrs map[string]string
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{addrs: map[string]string{}}
+}
+
+// Set records the address of a named endpoint.
+func (d *Directory) Set(name, addr string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.addrs[name] = addr
+}
+
+// Lookup resolves a name.
+func (d *Directory) Lookup(name string) (string, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	a, ok := d.addrs[name]
+	return a, ok
+}
+
+// Endpoint is one TCP-backed transport endpoint. It implements
+// raft.Transport.
+type Endpoint struct {
+	name  string
+	dir   *Directory
+	ln    net.Listener
+	inbox chan memnet.Message
+
+	mu       sync.Mutex
+	outgoing map[string]*gob.Encoder
+	conns    []net.Conn
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// Listen binds a new endpoint on addr ("127.0.0.1:0" for an ephemeral port)
+// and records its actual address in the directory.
+func Listen(name, addr string, dir *Directory) (*Endpoint, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: listen %s: %w", name, err)
+	}
+	e := &Endpoint{
+		name: name, dir: dir, ln: ln,
+		inbox:    make(chan memnet.Message, 1024),
+		outgoing: map[string]*gob.Encoder{},
+	}
+	dir.Set(name, ln.Addr().String())
+	e.wg.Add(1)
+	go e.acceptLoop()
+	return e, nil
+}
+
+// Addr returns the endpoint's bound address.
+func (e *Endpoint) Addr() string { return e.ln.Addr().String() }
+
+// Inbox implements raft.Transport.
+func (e *Endpoint) Inbox() <-chan memnet.Message { return e.inbox }
+
+// Send implements raft.Transport: best-effort datagram semantics (dial on
+// demand, drop on any error — Raft tolerates loss).
+func (e *Endpoint) Send(to string, payload any) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	enc, ok := e.outgoing[to]
+	if !ok {
+		addr, found := e.dir.Lookup(to)
+		if !found {
+			e.mu.Unlock()
+			return
+		}
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			e.mu.Unlock()
+			return
+		}
+		enc = gob.NewEncoder(conn)
+		e.outgoing[to] = enc
+		e.conns = append(e.conns, conn)
+	}
+	msg := memnet.Message{From: e.name, To: to, Payload: payload}
+	if err := enc.Encode(&msg); err != nil {
+		// Connection broken: forget it so the next Send re-dials.
+		delete(e.outgoing, to)
+	}
+	e.mu.Unlock()
+}
+
+// Close shuts the endpoint down.
+func (e *Endpoint) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	_ = e.ln.Close()
+	for _, c := range e.conns {
+		_ = c.Close()
+	}
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+func (e *Endpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		e.conns = append(e.conns, conn)
+		e.mu.Unlock()
+		e.wg.Add(1)
+		go e.readLoop(conn)
+	}
+}
+
+func (e *Endpoint) readLoop(conn net.Conn) {
+	defer e.wg.Done()
+	dec := gob.NewDecoder(conn)
+	for {
+		var msg memnet.Message
+		if err := dec.Decode(&msg); err != nil {
+			_ = conn.Close()
+			return
+		}
+		select {
+		case e.inbox <- msg:
+		default:
+			// Full inbox drops, like memnet: transports are lossy by
+			// contract and Raft retries.
+		}
+	}
+}

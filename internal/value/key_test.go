@@ -1,0 +1,107 @@
+package value
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKeyEncodeBasic(t *testing.T) {
+	k := NewKey("STOCK", Int(3), Int(17))
+	if got, want := string(k.Encode()), "STOCK/i3/i17"; got != want {
+		t.Fatalf("Encode = %q, want %q", got, want)
+	}
+	if k.String() != "STOCK/i3/i17" {
+		t.Fatalf("String = %q", k.String())
+	}
+}
+
+func TestKeyEncodeKinds(t *testing.T) {
+	k := NewKey("T", Str("ab"), Bool(true), Bool(false))
+	if got, want := string(k.Encode()), "T/sab/b1/b0"; got != want {
+		t.Fatalf("Encode = %q, want %q", got, want)
+	}
+}
+
+func TestKeyEncodeEscaping(t *testing.T) {
+	// A string part containing the separator must not collide with a
+	// two-part key.
+	a := NewKey("T", Str("x/i1"))
+	b := NewKey("T", Str("x"), Int(1))
+	if a.Encode() == b.Encode() {
+		t.Fatalf("escaping failure: %q == %q", a.Encode(), b.Encode())
+	}
+	c := NewKey("T", Str("x%2Fi1"))
+	if a.Encode() == c.Encode() {
+		t.Fatalf("percent escaping failure: %q == %q", a.Encode(), c.Encode())
+	}
+}
+
+func TestKeyEqual(t *testing.T) {
+	a := NewKey("T", Int(1), Str("x"))
+	b := NewKey("T", Int(1), Str("x"))
+	if !a.Equal(b) {
+		t.Fatal("identical keys must be equal")
+	}
+	if a.Equal(NewKey("U", Int(1), Str("x"))) {
+		t.Fatal("different tables must differ")
+	}
+	if a.Equal(NewKey("T", Int(1))) {
+		t.Fatal("different arity must differ")
+	}
+	if a.Equal(NewKey("T", Int(2), Str("x"))) {
+		t.Fatal("different parts must differ")
+	}
+}
+
+func TestKeyCompare(t *testing.T) {
+	ks := []Key{
+		NewKey("A", Int(1)),
+		NewKey("A", Int(2)),
+		NewKey("A", Int(2), Int(0)),
+		NewKey("B"),
+	}
+	for i := range ks {
+		for j := range ks {
+			got := ks[i].Compare(ks[j])
+			if (got < 0) != (i < j) || (got > 0) != (i > j) {
+				t.Errorf("Compare(%v,%v) = %d", ks[i], ks[j], got)
+			}
+		}
+	}
+}
+
+func randomKey(r *rand.Rand) Key {
+	tables := []string{"A", "B", "ORDER/LINE", "C%"}
+	n := r.Intn(3)
+	parts := make([]Value, n)
+	for i := range parts {
+		if r.Intn(2) == 0 {
+			parts[i] = Int(r.Int63n(50))
+		} else {
+			parts[i] = Str(string(rune('a' + r.Intn(4))))
+		}
+	}
+	return NewKey(tables[r.Intn(len(tables))], parts...)
+}
+
+func TestPropKeyEncodeInjective(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		a, b := randomKey(r), randomKey(r)
+		if (a.Encode() == b.Encode()) != a.Equal(b) {
+			t.Fatalf("Encode injectivity violated: %v=%q vs %v=%q", a, a.Encode(), b, b.Encode())
+		}
+	}
+}
+
+func TestQuickKeyStringParts(t *testing.T) {
+	f := func(table, part string) bool {
+		a := NewKey(table, Str(part))
+		b := NewKey(table, Str(part))
+		return a.Encode() == b.Encode() && a.Equal(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

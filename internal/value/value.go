@@ -1,0 +1,440 @@
+// Package value implements the dynamically typed value system shared by the
+// stored-procedure language, the symbolic-execution engine and the data
+// store. Values are immutable by convention: code that receives a Value must
+// not mutate its list or record contents; use the Set*/Append helpers, which
+// copy.
+package value
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind int
+
+// Value kinds. KindInvalid is the zero Kind so that the zero Value is
+// distinguishable from any real value.
+const (
+	KindInvalid Kind = iota
+	KindInt
+	KindString
+	KindBool
+	KindList
+	KindRecord
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	case KindList:
+		return "list"
+	case KindRecord:
+		return "record"
+	default:
+		return "invalid"
+	}
+}
+
+// Value is a dynamically typed database value. The zero Value is invalid.
+type Value struct {
+	kind Kind
+	i    int64
+	s    string
+	b    bool
+	list []Value
+	rec  map[string]Value
+}
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Str returns a string value.
+func Str(s string) Value { return Value{kind: KindString, s: s} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// List returns a list value holding the given elements. The slice is copied.
+func List(elems ...Value) Value {
+	cp := make([]Value, len(elems))
+	copy(cp, elems)
+	return Value{kind: KindList, list: cp}
+}
+
+// Record returns a record value with the given fields. The map is copied.
+func Record(fields map[string]Value) Value {
+	cp := make(map[string]Value, len(fields))
+	for k, v := range fields {
+		cp[k] = v
+	}
+	return Value{kind: KindRecord, rec: cp}
+}
+
+// Kind reports the dynamic kind of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsValid reports whether v holds a value.
+func (v Value) IsValid() bool { return v.kind != KindInvalid }
+
+// AsInt returns the integer payload. It reports false if v is not an int.
+func (v Value) AsInt() (int64, bool) { return v.i, v.kind == KindInt }
+
+// AsString returns the string payload. It reports false if v is not a string.
+func (v Value) AsString() (string, bool) { return v.s, v.kind == KindString }
+
+// AsBool returns the boolean payload. It reports false if v is not a bool.
+func (v Value) AsBool() (bool, bool) { return v.b, v.kind == KindBool }
+
+// MustInt returns the integer payload or panics. Intended for tests and for
+// callers that have already validated the kind.
+func (v Value) MustInt() int64 {
+	if v.kind != KindInt {
+		panic(fmt.Sprintf("value: MustInt on %s", v.kind))
+	}
+	return v.i
+}
+
+// MustString returns the string payload or panics.
+func (v Value) MustString() string {
+	if v.kind != KindString {
+		panic(fmt.Sprintf("value: MustString on %s", v.kind))
+	}
+	return v.s
+}
+
+// MustBool returns the bool payload or panics.
+func (v Value) MustBool() bool {
+	if v.kind != KindBool {
+		panic(fmt.Sprintf("value: MustBool on %s", v.kind))
+	}
+	return v.b
+}
+
+// Len returns the number of elements of a list or fields of a record, and 0
+// for scalars.
+func (v Value) Len() int {
+	switch v.kind {
+	case KindList:
+		return len(v.list)
+	case KindRecord:
+		return len(v.rec)
+	default:
+		return 0
+	}
+}
+
+// Index returns element i of a list value. It reports false when v is not a
+// list or i is out of range.
+func (v Value) Index(i int) (Value, bool) {
+	if v.kind != KindList || i < 0 || i >= len(v.list) {
+		return Value{}, false
+	}
+	return v.list[i], true
+}
+
+// Field returns the named field of a record value. It reports false when v
+// is not a record or the field is absent.
+func (v Value) Field(name string) (Value, bool) {
+	if v.kind != KindRecord {
+		return Value{}, false
+	}
+	f, ok := v.rec[name]
+	return f, ok
+}
+
+// WithField returns a copy of record v with field name set to f. If v is not
+// a record a fresh single-field record is returned.
+func (v Value) WithField(name string, f Value) Value {
+	cp := make(map[string]Value, len(v.rec)+1)
+	for k, e := range v.rec {
+		cp[k] = e
+	}
+	cp[name] = f
+	return Value{kind: KindRecord, rec: cp}
+}
+
+// Fields returns the field names of a record in sorted order.
+func (v Value) Fields() []string {
+	if v.kind != KindRecord {
+		return nil
+	}
+	names := make([]string, 0, len(v.rec))
+	for k := range v.rec {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Elems returns a copy of the elements of a list value.
+func (v Value) Elems() []Value {
+	if v.kind != KindList {
+		return nil
+	}
+	cp := make([]Value, len(v.list))
+	copy(cp, v.list)
+	return cp
+}
+
+// Append returns a copy of list v with elems appended.
+func (v Value) Append(elems ...Value) Value {
+	cp := make([]Value, 0, len(v.list)+len(elems))
+	cp = append(cp, v.list...)
+	cp = append(cp, elems...)
+	return Value{kind: KindList, list: cp}
+}
+
+// Equal reports deep equality of two values. Values of different kinds are
+// never equal.
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindInt:
+		return v.i == o.i
+	case KindString:
+		return v.s == o.s
+	case KindBool:
+		return v.b == o.b
+	case KindList:
+		if len(v.list) != len(o.list) {
+			return false
+		}
+		for i := range v.list {
+			if !v.list[i].Equal(o.list[i]) {
+				return false
+			}
+		}
+		return true
+	case KindRecord:
+		if len(v.rec) != len(o.rec) {
+			return false
+		}
+		for k, e := range v.rec {
+			oe, ok := o.rec[k]
+			if !ok || !e.Equal(oe) {
+				return false
+			}
+		}
+		return true
+	default:
+		return true // two invalid values are equal
+	}
+}
+
+// Compare orders two values. Values order first by kind, then by payload;
+// lists lexicographically; records by sorted field name then field value.
+// The result is -1, 0 or +1.
+func (v Value) Compare(o Value) int {
+	if v.kind != o.kind {
+		return cmpInt(int64(v.kind), int64(o.kind))
+	}
+	switch v.kind {
+	case KindInt:
+		return cmpInt(v.i, o.i)
+	case KindString:
+		return strings.Compare(v.s, o.s)
+	case KindBool:
+		return cmpInt(boolInt(v.b), boolInt(o.b))
+	case KindList:
+		for i := 0; i < len(v.list) && i < len(o.list); i++ {
+			if c := v.list[i].Compare(o.list[i]); c != 0 {
+				return c
+			}
+		}
+		return cmpInt(int64(len(v.list)), int64(len(o.list)))
+	case KindRecord:
+		vf, of := v.Fields(), o.Fields()
+		for i := 0; i < len(vf) && i < len(of); i++ {
+			if c := strings.Compare(vf[i], of[i]); c != 0 {
+				return c
+			}
+			a, _ := v.Field(vf[i])
+			b, _ := o.Field(of[i])
+			if c := a.Compare(b); c != 0 {
+				return c
+			}
+		}
+		return cmpInt(int64(len(vf)), int64(len(of)))
+	default:
+		return 0
+	}
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Hash returns a stable 64-bit hash of the value, suitable for replica state
+// comparison. It is stable across processes (FNV-1a over the canonical
+// encoding).
+func (v Value) Hash() uint64 {
+	h := fnv.New64a()
+	v.hashInto(h)
+	return h.Sum64()
+}
+
+type hasher interface{ Write(p []byte) (int, error) }
+
+func (v Value) hashInto(h hasher) {
+	var tag [1]byte
+	tag[0] = byte(v.kind)
+	_, _ = h.Write(tag[:])
+	switch v.kind {
+	case KindInt:
+		_, _ = h.Write([]byte(strconv.FormatInt(v.i, 10)))
+	case KindString:
+		_, _ = h.Write([]byte(v.s))
+	case KindBool:
+		if v.b {
+			_, _ = h.Write([]byte{1})
+		} else {
+			_, _ = h.Write([]byte{0})
+		}
+	case KindList:
+		for _, e := range v.list {
+			e.hashInto(h)
+		}
+	case KindRecord:
+		for _, k := range v.Fields() {
+			_, _ = h.Write([]byte(k))
+			f, _ := v.Field(k)
+			f.hashInto(h)
+		}
+	}
+}
+
+// String renders the value for debugging and key encoding. The rendering is
+// canonical: equal values render identically.
+func (v Value) String() string {
+	var sb strings.Builder
+	v.render(&sb)
+	return sb.String()
+}
+
+func (v Value) render(sb *strings.Builder) {
+	switch v.kind {
+	case KindInt:
+		sb.WriteString(strconv.FormatInt(v.i, 10))
+	case KindString:
+		sb.WriteString(strconv.Quote(v.s))
+	case KindBool:
+		sb.WriteString(strconv.FormatBool(v.b))
+	case KindList:
+		sb.WriteByte('[')
+		for i, e := range v.list {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			e.render(sb)
+		}
+		sb.WriteByte(']')
+	case KindRecord:
+		sb.WriteByte('{')
+		for i, k := range v.Fields() {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(k)
+			sb.WriteByte(':')
+			f, _ := v.Field(k)
+			f.render(sb)
+		}
+		sb.WriteByte('}')
+	default:
+		sb.WriteString("<invalid>")
+	}
+}
+
+// jsonValue is the wire representation used by MarshalJSON/UnmarshalJSON.
+// The explicit kind tag keeps int/bool/string round trips unambiguous.
+type jsonValue struct {
+	K Kind                  `json:"k"`
+	I int64                 `json:"i,omitempty"`
+	S string                `json:"s,omitempty"`
+	B bool                  `json:"b,omitempty"`
+	L []jsonValue           `json:"l,omitempty"`
+	R map[string]*jsonValue `json:"r,omitempty"`
+}
+
+func (v Value) toJSON() jsonValue {
+	jv := jsonValue{K: v.kind, I: v.i, S: v.s, B: v.b}
+	if v.kind == KindList {
+		jv.L = make([]jsonValue, len(v.list))
+		for i, e := range v.list {
+			jv.L[i] = e.toJSON()
+		}
+	}
+	if v.kind == KindRecord {
+		jv.R = make(map[string]*jsonValue, len(v.rec))
+		for k, e := range v.rec {
+			ejv := e.toJSON()
+			jv.R[k] = &ejv
+		}
+	}
+	return jv
+}
+
+func fromJSON(jv jsonValue) Value {
+	switch jv.K {
+	case KindInt:
+		return Int(jv.I)
+	case KindString:
+		return Str(jv.S)
+	case KindBool:
+		return Bool(jv.B)
+	case KindList:
+		elems := make([]Value, len(jv.L))
+		for i, e := range jv.L {
+			elems[i] = fromJSON(e)
+		}
+		return Value{kind: KindList, list: elems}
+	case KindRecord:
+		rec := make(map[string]Value, len(jv.R))
+		for k, e := range jv.R {
+			rec[k] = fromJSON(*e)
+		}
+		return Value{kind: KindRecord, rec: rec}
+	default:
+		return Value{}
+	}
+}
+
+// MarshalJSON implements json.Marshaler.
+func (v Value) MarshalJSON() ([]byte, error) { return json.Marshal(v.toJSON()) }
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (v *Value) UnmarshalJSON(data []byte) error {
+	var jv jsonValue
+	if err := json.Unmarshal(data, &jv); err != nil {
+		return fmt.Errorf("value: unmarshal: %w", err)
+	}
+	*v = fromJSON(jv)
+	return nil
+}

@@ -1,0 +1,239 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openT(t *testing.T, dir string, opts Options) *Log {
+	t.Helper()
+	l, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = l.Close() })
+	return l
+}
+
+func collect(t *testing.T, dir string) [][]byte {
+	t.Helper()
+	var out [][]byte
+	if err := Replay(dir, func(p []byte) error {
+		cp := make([]byte, len(p))
+		copy(cp, p)
+		out = append(out, cp)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestAppendReplay(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{})
+	want := [][]byte{[]byte("one"), []byte("two"), []byte(""), []byte("four")}
+	for _, rec := range want {
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, dir)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRotationAcrossSegments(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{SegmentSize: 64})
+	var want [][]byte
+	for i := 0; i < 20; i++ {
+		rec := []byte(fmt.Sprintf("record-%02d-padding-padding", i))
+		want = append(want, rec)
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("expected rotation, got %d segments", len(segs))
+	}
+	got := collect(t, dir)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestReopenAppendsNewSegment(t *testing.T) {
+	dir := t.TempDir()
+	l1, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l1.Append([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2 := openT(t, dir, Options{})
+	if err := l2.Append([]byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, dir)
+	if len(got) != 2 || string(got[0]) != "first" || string(got[1]) != "second" {
+		t.Fatalf("replay after reopen = %q", got)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("intact")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("to-be-torn")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last frame: chop 3 bytes off the file.
+	path := filepath.Join(dir, segmentName(0))
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, dir)
+	if len(got) != 1 || string(got[0]) != "intact" {
+		t.Fatalf("replay of torn log = %q", got)
+	}
+}
+
+func TestCorruptPayloadStopsSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range []string{"aaaa", "bbbb", "cccc"} {
+		if err := l.Append([]byte(rec)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the second record's payload.
+	path := filepath.Join(dir, segmentName(0))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := frameHeader + 4 + frameHeader // into second payload
+	data[off] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, dir)
+	if len(got) != 1 || string(got[0]) != "aaaa" {
+		t.Fatalf("replay of corrupted log = %q", got)
+	}
+}
+
+func TestAppendAfterClose(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close = %v", err)
+	}
+	if err := l.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("sync after close = %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("double close = %v", err)
+	}
+}
+
+func TestTooLargeRecord(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{})
+	if err := l.Append(make([]byte, MaxRecordSize+1)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized append = %v", err)
+	}
+}
+
+func TestReplayCallbackError(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{})
+	if err := l.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("stop")
+	err := Replay(dir, func([]byte) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("replay error = %v", err)
+	}
+}
+
+func TestReplayEmptyAndMissingDir(t *testing.T) {
+	if err := Replay(t.TempDir(), func([]byte) error { return errors.New("no") }); err != nil {
+		t.Fatalf("empty dir replay = %v", err)
+	}
+	// Missing directory is not an error (fresh replica).
+	if err := Replay(filepath.Join(t.TempDir(), "nope"), func([]byte) error { return nil }); err != nil {
+		t.Fatalf("missing dir replay = %v", err)
+	}
+}
+
+func TestIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "bogus.wal"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l := openT(t, dir, Options{})
+	if err := l.Append([]byte("real")); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, dir)
+	// bogus.wal has no valid frames; notes.txt skipped entirely.
+	if len(got) != 1 || string(got[0]) != "real" {
+		t.Fatalf("replay with foreign files = %q", got)
+	}
+}

@@ -1,0 +1,121 @@
+package prognosticator_test
+
+import (
+	"os"
+	"testing"
+
+	prog "prognosticator"
+)
+
+// The testdata workload exercises the full source-to-execution pipeline:
+// parse → validate → analyze → classify → execute deterministically.
+
+func loadBank(t *testing.T) []*prog.Program {
+	t.Helper()
+	src, err := os.ReadFile("testdata/bank.txn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs, err := prog.ParseAll(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return progs
+}
+
+func bankTestSchema() *prog.Schema {
+	return prog.NewSchema(
+		prog.TableSpec{Name: "ACCOUNTS", KeyArity: 1},
+		prog.TableSpec{Name: "COUNTERS", KeyArity: 1},
+	)
+}
+
+func TestBankWorkloadParsesAndClassifies(t *testing.T) {
+	progs := loadBank(t)
+	if len(progs) != 4 {
+		t.Fatalf("parsed %d transactions, want 4", len(progs))
+	}
+	reg, err := prog.NewRegistry(bankTestSchema(), progs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]prog.Class{
+		"transfer":    prog.ClassDT, // guard on stored balance
+		"deposit":     prog.ClassIT,
+		"openAccount": prog.ClassDT, // counter pivot
+		"statement":   prog.ClassROT,
+	}
+	for tx, wantClass := range want {
+		got, err := reg.Class(tx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != wantClass {
+			t.Errorf("class(%s) = %v, want %v", tx, got, wantClass)
+		}
+	}
+}
+
+func TestBankWorkloadExecutes(t *testing.T) {
+	progs := loadBank(t)
+	reg, err := prog.NewRegistry(bankTestSchema(), progs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := prog.NewStore()
+	for i := int64(0); i < 20; i++ {
+		st.Put(0, prog.NewKey("ACCOUNTS", prog.Int(i)),
+			prog.RecV(map[string]prog.Value{"bal": prog.Int(100)}))
+	}
+	st.Put(0, prog.NewKey("COUNTERS", prog.Str("accounts")),
+		prog.RecV(map[string]prog.Value{"next": prog.Int(20)}))
+
+	eng := prog.NewEngine(reg, st, prog.EngineConfig{Workers: 4})
+	res, err := eng.ExecuteBatch([]prog.Request{
+		{Seq: 1, TxName: "deposit", Inputs: map[string]prog.Value{
+			"acct": prog.Int(1), "amount": prog.Int(50)}},
+		{Seq: 2, TxName: "transfer", Inputs: map[string]prog.Value{
+			"src": prog.Int(1), "dst": prog.Int(2), "amount": prog.Int(120)}},
+		{Seq: 3, TxName: "openAccount", Inputs: map[string]prog.Value{
+			"initial": prog.Int(7)}},
+		{Seq: 4, TxName: "statement", Inputs: map[string]prog.Value{
+			"first": prog.Int(0)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The statement (ROT) sees the PRE-batch snapshot: 10 accounts x 100.
+	var stmt, open *prog.TxOutcome
+	for i := range res.Outcomes {
+		switch res.Outcomes[i].TxName {
+		case "statement":
+			stmt = &res.Outcomes[i]
+		case "openAccount":
+			open = &res.Outcomes[i]
+		}
+	}
+	if stmt == nil || stmt.Emitted["total"].MustInt() != 1000 {
+		t.Fatalf("statement = %+v", stmt)
+	}
+	if open == nil || open.Emitted["accountId"].MustInt() != 20 {
+		t.Fatalf("openAccount = %+v", open)
+	}
+	// transfer(1->2, 120): deposit made account 1 hold 150, and the
+	// transfer is enqueued as a DT AHEAD of the deposit (IT)... DT-first
+	// means the transfer executes against bal=100 < 120: no transfer.
+	a1, _ := st.Get(st.Epoch(), prog.NewKey("ACCOUNTS", prog.Int(1)))
+	a2, _ := st.Get(st.Epoch(), prog.NewKey("ACCOUNTS", prog.Int(2)))
+	b1, _ := a1.Field("bal")
+	b2, _ := a2.Field("bal")
+	if b1.MustInt() != 150 || b2.MustInt() != 100 {
+		t.Fatalf("balances after batch: %v / %v (transfer must precede deposit under DT-first ordering)", b1, b2)
+	}
+	// The new account exists with its initial balance.
+	a20, ok := st.Get(st.Epoch(), prog.NewKey("ACCOUNTS", prog.Int(20)))
+	if !ok {
+		t.Fatal("opened account missing")
+	}
+	if f, _ := a20.Field("bal"); f.MustInt() != 7 {
+		t.Fatalf("new account bal = %v", f)
+	}
+}
