@@ -1,0 +1,153 @@
+// Command prognolint runs the static-analysis passes (internal/lint) over
+// transaction source files and reports positioned findings.
+//
+// Usage:
+//
+//	prognolint [flags] file.txn...
+//
+//	-json           emit findings as a JSON array instead of text
+//	-fail-on SEV    exit non-zero at/above this severity (error|warning|info;
+//	                default warning)
+//	-soundness N    additionally derive each transaction's SE profile and
+//	                cross-validate it against the concrete interpreter on N
+//	                random samples per store state (plus boundary samples)
+//	-seed S         RNG seed for -soundness sampling (default 1)
+//
+// The schema is inferred from the table accesses across all given files
+// (first access fixes a table's key arity), so source files need no separate
+// schema declaration; conflicting arities surface as schema findings.
+//
+// Exit status: 0 clean (below the -fail-on threshold), 1 findings at or
+// above the threshold, 2 usage or load errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"prognosticator/internal/lang"
+	"prognosticator/internal/lint"
+	"prognosticator/internal/symexec"
+)
+
+// fileFinding is a finding tagged with its source file for output.
+type fileFinding struct {
+	File string `json:"file"`
+	lint.Finding
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("prognolint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	failOn := fs.String("fail-on", "warning", "exit non-zero at/above this severity: error, warning or info")
+	soundness := fs.Int("soundness", 0, "cross-validate SE profiles on this many random samples (0 disables)")
+	seed := fs.Int64("seed", 1, "RNG seed for -soundness sampling")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "prognolint: no input files")
+		fs.Usage()
+		return 2
+	}
+	threshold, err := lint.ParseSeverity(*failOn)
+	if err != nil {
+		fmt.Fprintf(stderr, "prognolint: bad -fail-on %q (want error, warning or info)\n", *failOn)
+		return 2
+	}
+
+	// Parse every file first: the schema is inferred across all of them.
+	type fileProgs struct {
+		path  string
+		progs []*lang.Program
+	}
+	var files []fileProgs
+	var all []*lang.Program
+	for _, path := range fs.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "prognolint: %v\n", err)
+			return 2
+		}
+		progs, err := lang.ParseAll(string(src))
+		if err != nil {
+			fmt.Fprintf(stderr, "prognolint: %s: %v\n", path, err)
+			return 2
+		}
+		files = append(files, fileProgs{path, progs})
+		all = append(all, progs...)
+	}
+
+	linter := lint.New(lint.InferSchema(all...))
+	var findings []fileFinding
+	for _, f := range files {
+		for _, p := range f.progs {
+			for _, fd := range linter.Run(p) {
+				findings = append(findings, fileFinding{File: f.path, Finding: fd})
+			}
+			if *soundness > 0 {
+				findings = append(findings, checkSoundness(f.path, p, *soundness, *seed, stderr)...)
+			}
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []fileFinding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(stderr, "prognolint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, fd := range findings {
+			fmt.Fprintf(stdout, "%s:%s\n", fd.File, fd.Finding.String())
+		}
+		if len(findings) == 0 {
+			fmt.Fprintln(stdout, "prognolint: no findings")
+		}
+	}
+
+	plain := make([]lint.Finding, len(findings))
+	for i, fd := range findings {
+		plain[i] = fd.Finding
+	}
+	if lint.MaxSeverity(plain) >= threshold {
+		return 1
+	}
+	return 0
+}
+
+// checkSoundness derives the profile with the optimized symbolic execution
+// and cross-validates it against the concrete interpreter. Analysis failures
+// are reported as findings, not fatal errors: a file that defeats the
+// symbolic executor is precisely what the lint run should surface.
+func checkSoundness(path string, p *lang.Program, samples int, seed int64, stderr *os.File) []fileFinding {
+	prof, err := symexec.AnalyzeOptimized(p)
+	if err != nil {
+		return []fileFinding{{File: path, Finding: lint.Finding{
+			Prog: p.Name, Pass: "profile-soundness", Path: "profile",
+			Severity: lint.SevError,
+			Message:  fmt.Sprintf("symbolic execution failed: %v", err),
+		}}}
+	}
+	rep, err := lint.CheckSoundness(p, prof, lint.SoundnessOptions{Samples: samples, Seed: seed})
+	if err != nil {
+		fmt.Fprintf(stderr, "prognolint: soundness %s: %v\n", p.Name, err)
+		return nil
+	}
+	var out []fileFinding
+	for _, fd := range rep.Findings() {
+		out = append(out, fileFinding{File: path, Finding: fd})
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"prognosticator/internal/lang"
+	"prognosticator/internal/profile"
+)
+
+// TestRegistryRejectsSchemaMisuse exercises the lang.Schema.Validate path
+// end-to-end: registration (with or without strict lint) must reject unknown
+// tables and key-arity mismatches before any analysis runs.
+func TestRegistryRejectsSchemaMisuse(t *testing.T) {
+	unknown := &lang.Program{
+		Name:   "ghost",
+		Params: []lang.Param{lang.IntParam("id", 0, 9)},
+		Body:   []lang.Stmt{lang.GetS("x", "NOPE", lang.P("id"))},
+	}
+	if _, err := NewRegistry(bankSchema(), unknown); err == nil || !strings.Contains(err.Error(), "unknown table") {
+		t.Fatalf("unknown table not rejected: %v", err)
+	}
+
+	arity := &lang.Program{
+		Name:   "arity",
+		Params: []lang.Param{lang.IntParam("id", 0, 9)},
+		Body:   []lang.Stmt{lang.GetS("x", "ACC", lang.P("id"), lang.P("id"))},
+	}
+	if _, err := NewRegistry(bankSchema(), arity); err == nil || !strings.Contains(err.Error(), "expects 1 key part") {
+		t.Fatalf("key-arity mismatch not rejected: %v", err)
+	}
+}
+
+func TestStrictLintRejectsErrorFindings(t *testing.T) {
+	// Over-unroll loop: passes schema.Validate (textual checks only) but
+	// carries an error-severity lint finding.
+	hot := &lang.Program{
+		Name:   "hot",
+		Params: []lang.Param{lang.IntParam("n", 0, 1000)},
+		Body: []lang.Stmt{
+			lang.Set("s", lang.C(0)),
+			lang.ForS("i", lang.C(0), lang.P("n"),
+				lang.Set("s", lang.Add(lang.L("s"), lang.L("i")))),
+			lang.EmitS("out", lang.L("s")),
+		},
+	}
+	// Default registration succeeds only per schema.Validate; it would then
+	// hit the symbolic executor's budget. Strict lint rejects up front with a
+	// diagnostic instead.
+	_, err := NewRegistryWith(bankSchema(), RegistryOptions{StrictLint: true}, hot)
+	if err == nil || !strings.Contains(err.Error(), "rejected by strict lint") {
+		t.Fatalf("strict lint did not reject: %v", err)
+	}
+	if !strings.Contains(err.Error(), "loop-bound") {
+		t.Errorf("rejection should name the failing pass: %v", err)
+	}
+}
+
+func TestStrictLintAcceptsCleanPrograms(t *testing.T) {
+	r, err := NewRegistryWith(bankSchema(),
+		RegistryOptions{StrictLint: true, SoundnessSamples: 8}, depositProg())
+	if err != nil {
+		t.Fatalf("clean program rejected: %v", err)
+	}
+	if r.Classes["deposit"] != profile.ClassIT {
+		t.Errorf("deposit class = %v, want IT", r.Classes["deposit"])
+	}
+}
+
+func TestStrictLintAllowsWarnings(t *testing.T) {
+	// An unused parameter is warning severity; strict mode must still accept.
+	warned := depositProg()
+	warned.Params = append(warned.Params, lang.IntParam("spare", 0, 9))
+	if _, err := NewRegistryWith(bankSchema(), RegistryOptions{StrictLint: true}, warned); err != nil {
+		t.Fatalf("warning-only program rejected: %v", err)
+	}
+}

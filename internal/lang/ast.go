@@ -1,6 +1,8 @@
 package lang
 
 import (
+	"fmt"
+
 	"prognosticator/internal/value"
 )
 
@@ -90,13 +92,37 @@ func (Field) exprNode()    {}
 func (Index) exprNode()    {}
 func (Rec) exprNode()      {}
 
+// Pos is a source position. The zero value means "unknown" — programs built
+// with the Go constructors (builder.go) carry no positions; programs parsed
+// from source carry the line/column of each statement's first token.
+type Pos struct {
+	Line int `json:"line"`
+	Col  int `json:"col"`
+}
+
+// IsValid reports whether the position carries real source coordinates.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// String renders "line:col", or "-" for an unknown position.
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}
+
 // Stmt is a statement.
-type Stmt interface{ stmtNode() }
+type Stmt interface {
+	stmtNode()
+	// StmtPos returns the statement's source position (zero if unknown).
+	StmtPos() Pos
+}
 
 // Assign sets local Dst to the value of E.
 type Assign struct {
 	Dst string
 	E   Expr
+	Pos Pos
 }
 
 // SetField sets one field of the record held in local Dst.
@@ -104,6 +130,7 @@ type SetField struct {
 	Dst   string
 	Field string
 	E     Expr
+	Pos   Pos
 }
 
 // Get reads the item identified by (Table, Key...) into local Dst. A missing
@@ -112,6 +139,7 @@ type Get struct {
 	Dst   string
 	Table string
 	Key   []Expr
+	Pos   Pos
 }
 
 // Put writes Val (a record) to the item identified by (Table, Key...).
@@ -119,12 +147,14 @@ type Put struct {
 	Table string
 	Key   []Expr
 	Val   Expr
+	Pos   Pos
 }
 
 // Del deletes the item identified by (Table, Key...).
 type Del struct {
 	Table string
 	Key   []Expr
+	Pos   Pos
 }
 
 // If branches on a boolean condition.
@@ -132,6 +162,7 @@ type If struct {
 	Cond Expr
 	Then []Stmt
 	Else []Stmt
+	Pos  Pos
 }
 
 // For runs Body with Var bound to From, From+1, ..., To-1.
@@ -139,12 +170,14 @@ type For struct {
 	Var      string
 	From, To Expr
 	Body     []Stmt
+	Pos      Pos
 }
 
 // Emit records a named output of the transaction (read-only results).
 type Emit struct {
 	Name string
 	E    Expr
+	Pos  Pos
 }
 
 func (Assign) stmtNode()   {}
@@ -155,6 +188,30 @@ func (Del) stmtNode()      {}
 func (If) stmtNode()       {}
 func (For) stmtNode()      {}
 func (Emit) stmtNode()     {}
+
+// StmtPos implements Stmt.
+func (s Assign) StmtPos() Pos { return s.Pos }
+
+// StmtPos implements Stmt.
+func (s SetField) StmtPos() Pos { return s.Pos }
+
+// StmtPos implements Stmt.
+func (s Get) StmtPos() Pos { return s.Pos }
+
+// StmtPos implements Stmt.
+func (s Put) StmtPos() Pos { return s.Pos }
+
+// StmtPos implements Stmt.
+func (s Del) StmtPos() Pos { return s.Pos }
+
+// StmtPos implements Stmt.
+func (s If) StmtPos() Pos { return s.Pos }
+
+// StmtPos implements Stmt.
+func (s For) StmtPos() Pos { return s.Pos }
+
+// StmtPos implements Stmt.
+func (s Emit) StmtPos() Pos { return s.Pos }
 
 // Program is a complete stored procedure.
 type Program struct {

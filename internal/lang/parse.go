@@ -496,6 +496,7 @@ func (p *parser) keyList() (string, []Expr, error) {
 
 func (p *parser) stmt() (Stmt, error) {
 	t := p.cur()
+	pos := Pos{Line: t.line, Col: t.col}
 	if t.kind != tokIdent {
 		return nil, p.errf("expected statement, found %q", t.text)
 	}
@@ -513,14 +514,14 @@ func (p *parser) stmt() (Stmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		return Put{Table: table, Key: key, Val: val}, nil
+		return Put{Table: table, Key: key, Val: val, Pos: pos}, nil
 	case "del":
 		p.pos++
 		table, key, err := p.keyList()
 		if err != nil {
 			return nil, err
 		}
-		return Del{Table: table, Key: key}, nil
+		return Del{Table: table, Key: key, Pos: pos}, nil
 	case "if":
 		p.pos++
 		cond, err := p.expr()
@@ -539,7 +540,7 @@ func (p *parser) stmt() (Stmt, error) {
 				return nil, err
 			}
 		}
-		return If{Cond: cond, Then: thenB, Else: elseB}, nil
+		return If{Cond: cond, Then: thenB, Else: elseB, Pos: pos}, nil
 	case "for":
 		p.pos++
 		v, err := p.ident()
@@ -564,7 +565,7 @@ func (p *parser) stmt() (Stmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		return For{Var: v, From: from, To: to, Body: body}, nil
+		return For{Var: v, From: from, To: to, Body: body, Pos: pos}, nil
 	case "emit":
 		p.pos++
 		name, err := p.ident()
@@ -578,7 +579,7 @@ func (p *parser) stmt() (Stmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		return Emit{Name: name, E: e}, nil
+		return Emit{Name: name, E: e, Pos: pos}, nil
 	}
 	// IDENT-led: assignment, field assignment, or get.
 	name, _ := p.ident()
@@ -594,7 +595,7 @@ func (p *parser) stmt() (Stmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		return SetField{Dst: name, Field: field, E: e}, nil
+		return SetField{Dst: name, Field: field, E: e, Pos: pos}, nil
 	}
 	if err := p.expect("="); err != nil {
 		return nil, err
@@ -605,13 +606,13 @@ func (p *parser) stmt() (Stmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		return Get{Dst: name, Table: table, Key: key}, nil
+		return Get{Dst: name, Table: table, Key: key, Pos: pos}, nil
 	}
 	e, err := p.expr()
 	if err != nil {
 		return nil, err
 	}
-	return Assign{Dst: name, E: e}, nil
+	return Assign{Dst: name, E: e, Pos: pos}, nil
 }
 
 // --- expressions, precedence climbing ---

@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+
+	"prognosticator/internal/lang"
+)
+
+// Node is one CFG node: a single statement, or the synthetic entry/exit.
+// Compound statements (If, For) contribute one node for their own
+// evaluation (condition / bounds-and-test) plus nodes for their nested
+// statements.
+type Node struct {
+	ID int
+	// Stmt is nil for the entry and exit nodes.
+	Stmt lang.Stmt
+	// Pos is the statement's source position (zero if unknown).
+	Pos lang.Pos
+	// Path is the structural path, e.g. "body[2].then[0]".
+	Path string
+	// Succs and Preds are edge lists (node IDs), in construction order.
+	Succs, Preds []int
+
+	// Defs lists the locals this node assigns (Assign/Get/SetField dst,
+	// For induction variable). Uses lists the locals whose current value
+	// this node reads. Both are sorted.
+	Defs, Uses []string
+}
+
+// CFG is the control-flow graph of one program body.
+type CFG struct {
+	Prog  *lang.Program
+	Nodes []*Node
+	Entry int
+	Exit  int
+}
+
+// BuildCFG constructs the CFG of p. The graph is a faithful rendering of the
+// structured control flow: If nodes branch to the heads of both arms (or
+// past them when an arm is empty), For nodes test-and-branch to the body
+// head and to the loop exit, and body tails edge back to the For node.
+func BuildCFG(p *lang.Program) *CFG {
+	b := &cfgBuilder{cfg: &CFG{Prog: p}}
+	entry := b.newNode(nil, "")
+	b.cfg.Entry = entry.ID
+	frontier := b.block(p.Body, "body", []int{entry.ID})
+	exit := b.newNode(nil, "")
+	b.cfg.Exit = exit.ID
+	b.connect(frontier, exit.ID)
+	return b.cfg
+}
+
+type cfgBuilder struct {
+	cfg *CFG
+}
+
+func (b *cfgBuilder) newNode(st lang.Stmt, path string) *Node {
+	n := &Node{ID: len(b.cfg.Nodes), Stmt: st, Path: path}
+	if st != nil {
+		n.Pos = st.StmtPos()
+		n.Defs, n.Uses = stmtDefs(st), stmtUses(st)
+	}
+	b.cfg.Nodes = append(b.cfg.Nodes, n)
+	return n
+}
+
+func (b *cfgBuilder) connect(from []int, to int) {
+	for _, f := range from {
+		b.cfg.Nodes[f].Succs = append(b.cfg.Nodes[f].Succs, to)
+		b.cfg.Nodes[to].Preds = append(b.cfg.Nodes[to].Preds, f)
+	}
+}
+
+// block lays out a statement sequence, connecting preds to its head, and
+// returns the frontier: the node set from which control leaves the block.
+// An empty block returns preds unchanged.
+func (b *cfgBuilder) block(body []lang.Stmt, label string, preds []int) []int {
+	frontier := preds
+	for i, st := range body {
+		path := fmt.Sprintf("%s[%d]", label, i)
+		n := b.newNode(st, path)
+		b.connect(frontier, n.ID)
+		switch s := st.(type) {
+		case lang.If:
+			thenF := b.block(s.Then, path+".then", []int{n.ID})
+			elseF := b.block(s.Else, path+".else", []int{n.ID})
+			// With an empty arm the sub-frontier is {n} itself; dedup so the
+			// join does not receive duplicate edges from a no-op If.
+			frontier = dedupIDs(append(append([]int{}, thenF...), elseF...))
+		case lang.For:
+			bodyF := b.block(s.Body, path+".body", []int{n.ID})
+			// Back edge: end of the body re-tests the loop condition. When
+			// the body is empty the self-edge still models re-testing.
+			b.connect(bodyF, n.ID)
+			frontier = []int{n.ID}
+		default:
+			frontier = []int{n.ID}
+		}
+	}
+	return frontier
+}
+
+func dedupIDs(ids []int) []int {
+	seen := map[int]bool{}
+	out := ids[:0]
+	for _, id := range ids {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// stmtDefs returns the locals the statement assigns.
+func stmtDefs(st lang.Stmt) []string {
+	switch s := st.(type) {
+	case lang.Assign:
+		return []string{s.Dst}
+	case lang.SetField:
+		return []string{s.Dst}
+	case lang.Get:
+		return []string{s.Dst}
+	case lang.For:
+		return []string{s.Var}
+	default:
+		return nil
+	}
+}
+
+// stmtUses returns the locals whose value the statement reads at its own
+// node (not in nested blocks: those have their own nodes). Parameters are
+// always defined and are excluded.
+func stmtUses(st lang.Stmt) []string {
+	var out []string
+	add := func(e lang.Expr) { out = exprLocals(e, out) }
+	switch s := st.(type) {
+	case lang.Assign:
+		add(s.E)
+	case lang.SetField:
+		// Reading-and-updating: the destination record is read before the
+		// field store, so it must already be defined.
+		out = append(out, s.Dst)
+		add(s.E)
+	case lang.Get:
+		for _, k := range s.Key {
+			add(k)
+		}
+	case lang.Put:
+		for _, k := range s.Key {
+			add(k)
+		}
+		add(s.Val)
+	case lang.Del:
+		for _, k := range s.Key {
+			add(k)
+		}
+	case lang.If:
+		add(s.Cond)
+	case lang.For:
+		add(s.From)
+		add(s.To)
+	case lang.Emit:
+		add(s.E)
+	}
+	return sortDedup(out)
+}
+
+// exprLocals appends the LocalRef names in e to out.
+func exprLocals(e lang.Expr, out []string) []string {
+	switch x := e.(type) {
+	case lang.LocalRef:
+		return append(out, x.Name)
+	case lang.Bin:
+		return exprLocals(x.R, exprLocals(x.L, out))
+	case lang.Not:
+		return exprLocals(x.E, out)
+	case lang.Field:
+		return exprLocals(x.E, out)
+	case lang.Index:
+		return exprLocals(x.I, exprLocals(x.E, out))
+	case lang.Rec:
+		for _, f := range x.Fields {
+			out = exprLocals(f.E, out)
+		}
+		return out
+	default:
+		return out
+	}
+}
+
+func sortDedup(names []string) []string {
+	if len(names) == 0 {
+		return nil
+	}
+	seen := map[string]bool{}
+	out := names[:0]
+	for _, n := range names {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

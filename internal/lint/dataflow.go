@@ -1,0 +1,160 @@
+package lint
+
+import "sort"
+
+// Def identifies one definition site: the CFG node assigning Var. The
+// synthetic definition with Node == UndefNode models "no assignment has
+// happened yet" and is generated at the entry for every local of the
+// program; its reaching a use is exactly the may-use-before-assign
+// condition.
+type Def struct {
+	Node int
+	Var  string
+}
+
+// UndefNode is the pseudo-node of synthetic "still undefined" definitions.
+const UndefNode = -1
+
+// ReachingDefs is the solution of the classic forward may-analysis
+//
+//	in(n)  = union of out(p) over predecessors p
+//	out(n) = gen(n) ∪ (in(n) − kill(n))
+//
+// over the definition sites of a CFG, with gen(n) the definitions made at n
+// and kill(n) every other definition of the same variables.
+type ReachingDefs struct {
+	cfg *CFG
+	// in[nodeID] is the set of definitions reaching the node's entry.
+	in []map[Def]bool
+}
+
+// SolveReachingDefs computes the reaching-definitions fixed point with a
+// worklist iteration. Cost is O(nodes × defs) per round; procedure bodies
+// are tiny, so no bitset machinery is warranted.
+func SolveReachingDefs(cfg *CFG) *ReachingDefs {
+	r := &ReachingDefs{cfg: cfg, in: make([]map[Def]bool, len(cfg.Nodes))}
+	out := make([]map[Def]bool, len(cfg.Nodes))
+	for i := range cfg.Nodes {
+		r.in[i] = map[Def]bool{}
+		out[i] = map[Def]bool{}
+	}
+
+	// defsOf[v] lists every definition site of v, for kill sets. vars also
+	// includes locals that are only ever used — they have no real definition
+	// site but still need a synthetic "undefined" one.
+	defsOf := map[string][]Def{}
+	vars := map[string]bool{}
+	for _, n := range cfg.Nodes {
+		for _, v := range n.Defs {
+			defsOf[v] = append(defsOf[v], Def{Node: n.ID, Var: v})
+			vars[v] = true
+		}
+		for _, v := range n.Uses {
+			vars[v] = true
+		}
+	}
+	// The entry generates the synthetic "undefined" definition of every
+	// local; any real definition kills it.
+	entryGen := map[Def]bool{}
+	for v := range vars {
+		u := Def{Node: UndefNode, Var: v}
+		defsOf[v] = append(defsOf[v], u)
+		entryGen[u] = true
+	}
+
+	work := make([]int, 0, len(cfg.Nodes))
+	for _, n := range cfg.Nodes {
+		work = append(work, n.ID)
+	}
+	inWork := make([]bool, len(cfg.Nodes))
+	for _, id := range work {
+		inWork[id] = true
+	}
+	for len(work) > 0 {
+		id := work[0]
+		work = work[1:]
+		inWork[id] = false
+		n := cfg.Nodes[id]
+
+		in := map[Def]bool{}
+		for _, p := range n.Preds {
+			for d := range out[p] {
+				in[d] = true
+			}
+		}
+		r.in[id] = in
+
+		newOut := map[Def]bool{}
+		killed := map[string]bool{}
+		for _, v := range n.Defs {
+			killed[v] = true
+			newOut[Def{Node: id, Var: v}] = true
+		}
+		if id == cfg.Entry {
+			for d := range entryGen {
+				newOut[d] = true
+			}
+		}
+		for d := range in {
+			if !killed[d.Var] {
+				newOut[d] = true
+			}
+		}
+		if !defSetEqual(newOut, out[id]) {
+			out[id] = newOut
+			for _, s := range n.Succs {
+				if !inWork[s] {
+					inWork[s] = true
+					work = append(work, s)
+				}
+			}
+		}
+	}
+	return r
+}
+
+func defSetEqual(a, b map[Def]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for d := range a {
+		if !b[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// In returns the definitions reaching the entry of node id, sorted.
+func (r *ReachingDefs) In(id int) []Def {
+	out := make([]Def, 0, len(r.in[id]))
+	for d := range r.in[id] {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Var != out[j].Var {
+			return out[i].Var < out[j].Var
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+// DefsReaching returns the definition sites of v reaching node id, sorted by
+// node. The synthetic UndefNode definition, when present, sorts first.
+func (r *ReachingDefs) DefsReaching(id int, v string) []Def {
+	var out []Def
+	for d := range r.in[id] {
+		if d.Var == v {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// MaybeUndefined reports whether the local v may still be unassigned when
+// node id executes: the synthetic "undefined" definition reaches the node.
+func (r *ReachingDefs) MaybeUndefined(id int, v string) bool {
+	return r.in[id][Def{Node: UndefNode, Var: v}]
+}

@@ -1,0 +1,271 @@
+// Package lint implements static analysis over the stored-procedure IR
+// (internal/lang): a small dataflow framework (CFG construction, def/use,
+// reaching definitions), a set of lint passes producing positioned findings,
+// and a profile-soundness checker that cross-validates symbolic-execution
+// profiles against the concrete interpreter.
+//
+// The paper's runtime trusts the offline analysis completely: an unsound
+// profile silently breaks determinism, and a procedure the SE engine cannot
+// handle fails at registration time with no actionable diagnostics. The lint
+// passes catch both failure classes before a procedure reaches the
+// sequencer. See cmd/prognolint for the command-line front end.
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"prognosticator/internal/lang"
+	"prognosticator/internal/taint"
+)
+
+// Severity grades a finding.
+type Severity int
+
+// Severities. SevError marks findings that break determinism or analysis
+// (strict registration rejects them); SevWarning marks likely mistakes;
+// SevInfo marks structural facts worth knowing (e.g. reliance on pivot
+// reads) that are not defects.
+const (
+	SevInfo Severity = iota + 1
+	SevWarning
+	SevError
+)
+
+// String returns the lowercase severity name.
+func (s Severity) String() string {
+	switch s {
+	case SevError:
+		return "error"
+	case SevWarning:
+		return "warning"
+	default:
+		return "info"
+	}
+}
+
+// MarshalJSON renders the severity name.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON parses a severity name.
+func (s *Severity) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	sev, err := ParseSeverity(name)
+	if err != nil {
+		return err
+	}
+	*s = sev
+	return nil
+}
+
+// ParseSeverity maps a severity name to its value.
+func ParseSeverity(name string) (Severity, error) {
+	switch name {
+	case "error":
+		return SevError, nil
+	case "warning":
+		return SevWarning, nil
+	case "info":
+		return SevInfo, nil
+	default:
+		return 0, fmt.Errorf("lint: unknown severity %q", name)
+	}
+}
+
+// Finding is one positioned diagnostic.
+type Finding struct {
+	// Prog is the transaction name.
+	Prog string `json:"prog"`
+	// Pass names the lint pass that produced the finding.
+	Pass string `json:"pass"`
+	// Pos is the source position of the offending statement; zero for
+	// programs built with the Go constructors (no source) and for
+	// program-level findings (parameters, profiles).
+	Pos lang.Pos `json:"pos"`
+	// Path is the structural path of the statement (e.g. "body[2].then[0]"),
+	// or a symbolic location like "params" or "profile" for findings not
+	// anchored to a statement. It is stable across formatting changes and is
+	// the position of record for builder-constructed programs.
+	Path     string   `json:"path"`
+	Severity Severity `json:"severity"`
+	Message  string   `json:"message"`
+}
+
+// String renders "prog:line:col: severity: [pass] message", falling back to
+// the structural path when no source position is known.
+func (f Finding) String() string {
+	loc := f.Pos.String()
+	if !f.Pos.IsValid() {
+		loc = f.Path
+	}
+	return fmt.Sprintf("%s:%s: %s: [%s] %s", f.Prog, loc, f.Severity, f.Pass, f.Message)
+}
+
+// Pass is one lint analysis. Passes are stateless; Run returns the findings
+// for a single program.
+type Pass interface {
+	Name() string
+	Run(pc *ProgContext) []Finding
+}
+
+// ProgContext carries everything passes may need, with expensive artifacts
+// (CFG, reaching definitions, taint) computed once and shared.
+type ProgContext struct {
+	Prog   *lang.Program
+	Schema *lang.Schema // may be nil: schema-dependent checks are skipped
+
+	cfg   *CFG
+	reach *ReachingDefs
+	taint *taint.Result
+}
+
+// CFG returns the program's control-flow graph, building it on first use.
+func (pc *ProgContext) CFG() *CFG {
+	if pc.cfg == nil {
+		pc.cfg = BuildCFG(pc.Prog)
+	}
+	return pc.cfg
+}
+
+// Reach returns the reaching-definitions solution, computing it on first use.
+func (pc *ProgContext) Reach() *ReachingDefs {
+	if pc.reach == nil {
+		pc.reach = SolveReachingDefs(pc.CFG())
+	}
+	return pc.reach
+}
+
+// Taint returns the relevant-variable analysis, computing it on first use.
+func (pc *ProgContext) Taint() *taint.Result {
+	if pc.taint == nil {
+		pc.taint = taint.Analyze(pc.Prog)
+	}
+	return pc.taint
+}
+
+// AllPasses returns the default pass pipeline, in execution order.
+func AllPasses() []Pass {
+	return []Pass{
+		paramDomainPass{},
+		schemaPass{},
+		useBeforeAssignPass{},
+		loopBoundPass{},
+		pivotKeyPass{},
+		deadBranchPass{},
+	}
+}
+
+// Linter runs a pass pipeline over programs.
+type Linter struct {
+	// Schema is the data model programs are checked against; nil skips
+	// schema-dependent checks.
+	Schema *lang.Schema
+	// Passes is the pipeline; nil means AllPasses.
+	Passes []Pass
+}
+
+// New returns a Linter with the default pass pipeline.
+func New(schema *lang.Schema) *Linter { return &Linter{Schema: schema} }
+
+// Run lints one program, returning findings in deterministic order
+// (by position, then structural path, then pass, then message).
+func (l *Linter) Run(p *lang.Program) []Finding {
+	passes := l.Passes
+	if passes == nil {
+		passes = AllPasses()
+	}
+	pc := &ProgContext{Prog: p, Schema: l.Schema}
+	var out []Finding
+	for _, pass := range passes {
+		out = append(out, pass.Run(pc)...)
+	}
+	SortFindings(out)
+	return out
+}
+
+// RunAll lints several programs and concatenates their findings (each
+// program's findings sorted, programs in argument order).
+func (l *Linter) RunAll(progs ...*lang.Program) []Finding {
+	var out []Finding
+	for _, p := range progs {
+		out = append(out, l.Run(p)...)
+	}
+	return out
+}
+
+// SortFindings orders findings deterministically.
+func SortFindings(fs []Finding) {
+	sort.SliceStable(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Col != b.Pos.Col {
+			return a.Pos.Col < b.Pos.Col
+		}
+		if a.Path != b.Path {
+			return a.Path < b.Path
+		}
+		if a.Pass != b.Pass {
+			return a.Pass < b.Pass
+		}
+		return a.Message < b.Message
+	})
+}
+
+// MaxSeverity returns the highest severity present, or zero for no findings.
+func MaxSeverity(fs []Finding) Severity {
+	var max Severity
+	for _, f := range fs {
+		if f.Severity > max {
+			max = f.Severity
+		}
+	}
+	return max
+}
+
+// InferSchema derives a schema from the table accesses of the given
+// programs: each referenced table with the key arity of its first access.
+// Conflicting arities surface later as key-arity findings against the
+// inferred spec. It lets prognolint check source files that carry no schema
+// declaration.
+func InferSchema(progs ...*lang.Program) *lang.Schema {
+	arity := map[string]int{}
+	var order []string
+	record := func(table string, key []lang.Expr) {
+		if _, ok := arity[table]; !ok {
+			arity[table] = len(key)
+			order = append(order, table)
+		}
+	}
+	var walk func(body []lang.Stmt)
+	walk = func(body []lang.Stmt) {
+		for _, st := range body {
+			switch s := st.(type) {
+			case lang.Get:
+				record(s.Table, s.Key)
+			case lang.Put:
+				record(s.Table, s.Key)
+			case lang.Del:
+				record(s.Table, s.Key)
+			case lang.If:
+				walk(s.Then)
+				walk(s.Else)
+			case lang.For:
+				walk(s.Body)
+			}
+		}
+	}
+	for _, p := range progs {
+		walk(p.Body)
+	}
+	specs := make([]lang.TableSpec, 0, len(order))
+	for _, t := range order {
+		specs = append(specs, lang.TableSpec{Name: t, KeyArity: arity[t]})
+	}
+	return lang.NewSchema(specs...)
+}

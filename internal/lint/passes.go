@@ -1,0 +1,460 @@
+package lint
+
+import (
+	"fmt"
+
+	"prognosticator/internal/lang"
+	"prognosticator/internal/solver"
+	"prognosticator/internal/sym"
+	"prognosticator/internal/symexec"
+	"prognosticator/internal/value"
+)
+
+// walkStmts visits every statement with its structural path, recursing into
+// If arms and For bodies.
+func walkStmts(body []lang.Stmt, label string, fn func(st lang.Stmt, path string)) {
+	for i, st := range body {
+		path := fmt.Sprintf("%s[%d]", label, i)
+		fn(st, path)
+		switch s := st.(type) {
+		case lang.If:
+			walkStmts(s.Then, path+".then", fn)
+			walkStmts(s.Else, path+".else", fn)
+		case lang.For:
+			walkStmts(s.Body, path+".body", fn)
+		}
+	}
+}
+
+// --- schema: unknown tables and key-arity mismatches, positioned ---
+
+type schemaPass struct{}
+
+func (schemaPass) Name() string { return "schema" }
+
+func (schemaPass) Run(pc *ProgContext) []Finding {
+	if pc.Schema == nil {
+		return nil
+	}
+	var out []Finding
+	check := func(table string, key []lang.Expr, st lang.Stmt, path string) {
+		spec, ok := pc.Schema.Table(table)
+		if !ok {
+			out = append(out, Finding{
+				Prog: pc.Prog.Name, Pass: "schema", Pos: st.StmtPos(), Path: path,
+				Severity: SevError,
+				Message:  fmt.Sprintf("unknown table %q", table),
+			})
+			return
+		}
+		if len(key) != spec.KeyArity {
+			out = append(out, Finding{
+				Prog: pc.Prog.Name, Pass: "schema", Pos: st.StmtPos(), Path: path,
+				Severity: SevError,
+				Message: fmt.Sprintf("table %q expects %d key parts, got %d",
+					table, spec.KeyArity, len(key)),
+			})
+		}
+	}
+	walkStmts(pc.Prog.Body, "body", func(st lang.Stmt, path string) {
+		switch s := st.(type) {
+		case lang.Get:
+			check(s.Table, s.Key, st, path)
+		case lang.Put:
+			check(s.Table, s.Key, st, path)
+		case lang.Del:
+			check(s.Table, s.Key, st, path)
+		}
+	})
+	return out
+}
+
+// --- use-before-assign: dataflow over the CFG ---
+
+type useBeforeAssignPass struct{}
+
+func (useBeforeAssignPass) Name() string { return "use-before-assign" }
+
+func (useBeforeAssignPass) Run(pc *ProgContext) []Finding {
+	cfg := pc.CFG()
+	reach := pc.Reach()
+	var out []Finding
+	for _, n := range cfg.Nodes {
+		if n.Stmt == nil {
+			continue
+		}
+		for _, v := range n.Uses {
+			if reach.MaybeUndefined(n.ID, v) {
+				out = append(out, Finding{
+					Prog: pc.Prog.Name, Pass: "use-before-assign", Pos: n.Pos, Path: n.Path,
+					Severity: SevError,
+					Message:  fmt.Sprintf("local %q may be used before assignment (not defined on every path reaching here)", v),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// --- loop-bound: unrolling must be bounded by the declared input domains ---
+
+type loopBoundPass struct{}
+
+func (loopBoundPass) Name() string { return "loop-bound" }
+
+func (loopBoundPass) Run(pc *ProgContext) []Finding {
+	var out []Finding
+	walkStmts(pc.Prog.Body, "body", func(st lang.Stmt, path string) {
+		s, ok := st.(lang.For)
+		if !ok {
+			return
+		}
+		fromLo, _, fromOK := exprInterval(s.From, pc.Prog)
+		_, toHi, toOK := exprInterval(s.To, pc.Prog)
+		if !fromOK || !toOK {
+			out = append(out, Finding{
+				Prog: pc.Prog.Name, Pass: "loop-bound", Pos: s.Pos, Path: path,
+				Severity: SevError,
+				Message: fmt.Sprintf("bounds of loop %q are not derivable from declared input domains; "+
+					"the symbolic executor cannot bound its unrolling (symexec.ErrBudget risk)", s.Var),
+			})
+			return
+		}
+		if _, isConst := constIntExpr(s.From); !isConst && pc.Taint().BlockTouchesKeys(s.Body) {
+			out = append(out, Finding{
+				Prog: pc.Prog.Name, Pass: "loop-bound", Pos: s.Pos, Path: path,
+				Severity: SevError,
+				Message: fmt.Sprintf("loop %q touches keys but its lower bound is not a constant; "+
+					"the symbolic executor requires a concrete lower bound", s.Var),
+			})
+		}
+		if maxTrip := toHi - fromLo; maxTrip > int64(symexec.DefaultMaxLoopUnroll) {
+			out = append(out, Finding{
+				Prog: pc.Prog.Name, Pass: "loop-bound", Pos: s.Pos, Path: path,
+				Severity: SevError,
+				Message: fmt.Sprintf("loop %q may run up to %d iterations, exceeding the symbolic executor's "+
+					"unroll budget (%d): symexec.ErrBudget risk", s.Var, maxTrip, symexec.DefaultMaxLoopUnroll),
+			})
+		} else if toHi <= fromLo {
+			out = append(out, Finding{
+				Prog: pc.Prog.Name, Pass: "loop-bound", Pos: s.Pos, Path: path,
+				Severity: SevWarning,
+				Message:  fmt.Sprintf("loop %q never executes: upper bound ≤ lower bound over all declared inputs", s.Var),
+			})
+		}
+	})
+	return out
+}
+
+// exprInterval evaluates a conservative [lo, hi] range of an integer
+// expression over the declared parameter domains. ok is false when the
+// range depends on anything other than integer constants and bounded
+// integer parameters (store values, locals, strings, lists).
+func exprInterval(e lang.Expr, prog *lang.Program) (int64, int64, bool) {
+	switch x := e.(type) {
+	case lang.Const:
+		i, ok := x.V.AsInt()
+		return i, i, ok
+	case lang.ParamRef:
+		prm, ok := prog.Param(x.Name)
+		if !ok || prm.Kind != value.KindInt || prm.Lo > prm.Hi {
+			return 0, 0, false
+		}
+		return prm.Lo, prm.Hi, true
+	case lang.Bin:
+		lLo, lHi, lok := exprInterval(x.L, prog)
+		rLo, rHi, rok := exprInterval(x.R, prog)
+		if !lok || !rok {
+			return 0, 0, false
+		}
+		switch x.Op {
+		case lang.OpAdd:
+			return lLo + rLo, lHi + rHi, true
+		case lang.OpSub:
+			return lLo - rHi, lHi - rLo, true
+		case lang.OpMul:
+			c := [4]int64{lLo * rLo, lLo * rHi, lHi * rLo, lHi * rHi}
+			lo, hi := c[0], c[0]
+			for _, v := range c[1:] {
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			return lo, hi, true
+		default:
+			return 0, 0, false
+		}
+	default:
+		return 0, 0, false
+	}
+}
+
+// constIntExpr folds an expression of integer constants; ok is false when
+// any non-constant leaf appears.
+func constIntExpr(e lang.Expr) (int64, bool) {
+	switch x := e.(type) {
+	case lang.Const:
+		return x.V.AsInt()
+	case lang.Bin:
+		l, lok := constIntExpr(x.L)
+		r, rok := constIntExpr(x.R)
+		if !lok || !rok {
+			return 0, false
+		}
+		v, err := lang.EvalBin(x.Op, value.Int(l), value.Int(r))
+		if err != nil {
+			return 0, false
+		}
+		return v.AsInt()
+	default:
+		return 0, false
+	}
+}
+
+// --- pivot-key: GET results flowing into key identity (profile fallback) ---
+
+type pivotKeyPass struct{}
+
+func (pivotKeyPass) Name() string { return "pivot-key" }
+
+func (pivotKeyPass) Run(pc *ProgContext) []Finding {
+	tr := pc.Taint()
+	var out []Finding
+	walkStmts(pc.Prog.Body, "body", func(st lang.Stmt, path string) {
+		s, ok := st.(lang.Get)
+		if !ok {
+			return
+		}
+		if tr.Relevant(s.Dst) {
+			out = append(out, Finding{
+				Prog: pc.Prog.Name, Pass: "pivot-key", Pos: s.Pos, Path: path,
+				Severity: SevInfo,
+				Message: fmt.Sprintf("GET result %q influences the identity of later accesses: the key-set depends "+
+					"on store state (dependent transaction; preparation falls back to pivot reads)", s.Dst),
+			})
+		}
+	})
+	return out
+}
+
+// --- dead-branch: conditions decidable over the declared input domains ---
+
+type deadBranchPass struct{}
+
+func (deadBranchPass) Name() string { return "dead-branch" }
+
+func (deadBranchPass) Run(pc *ProgContext) []Finding {
+	var out []Finding
+	deadBranchWalk(pc.Prog, pc.Prog.Body, "body", nil, &out)
+	return out
+}
+
+// deadBranchWalk threads the path constraint through nested conditionals so
+// that e.g. the inner branch of `if x < 5 { if x > 7 {...} }` is reported.
+func deadBranchWalk(prog *lang.Program, body []lang.Stmt, label string, cons []sym.Term, out *[]Finding) {
+	for i, st := range body {
+		path := fmt.Sprintf("%s[%d]", label, i)
+		switch s := st.(type) {
+		case lang.If:
+			cond, ok := exprTerm(s.Cond, prog)
+			if !ok {
+				// Condition depends on store state or locals: undecidable
+				// here; check the arms independently.
+				deadBranchWalk(prog, s.Then, path+".then", cons, out)
+				deadBranchWalk(prog, s.Else, path+".else", cons, out)
+				continue
+			}
+			cond = sym.Fold(cond)
+			neg := sym.Negate(cond)
+			thenCons := append(append([]sym.Term{}, cons...), cond)
+			elseCons := append(append([]sym.Term{}, cons...), neg)
+			if solver.Check(thenCons) == solver.Unsat {
+				*out = append(*out, Finding{
+					Prog: prog.Name, Pass: "dead-branch", Pos: s.Pos, Path: path,
+					Severity: SevWarning,
+					Message:  "condition is always false over the declared input domains: then-branch is dead",
+				})
+			}
+			if solver.Check(elseCons) == solver.Unsat {
+				msg := "condition is always true over the declared input domains"
+				if len(s.Else) > 0 {
+					msg += ": else-branch is dead"
+				}
+				*out = append(*out, Finding{
+					Prog: prog.Name, Pass: "dead-branch", Pos: s.Pos, Path: path,
+					Severity: SevWarning,
+					Message:  msg,
+				})
+			}
+			deadBranchWalk(prog, s.Then, path+".then", thenCons, out)
+			deadBranchWalk(prog, s.Else, path+".else", elseCons, out)
+		case lang.For:
+			// The induction variable is a local, so conditions inside the
+			// body that mention it are skipped by exprTerm.
+			deadBranchWalk(prog, s.Body, path+".body", cons, out)
+		}
+	}
+}
+
+// exprTerm converts a side-effect-free expression over constants and scalar
+// parameters to a symbolic term for the solver. ok is false when the
+// expression touches locals, store values, lists or records.
+func exprTerm(e lang.Expr, prog *lang.Program) (sym.Term, bool) {
+	switch x := e.(type) {
+	case lang.Const:
+		return sym.Const{V: x.V}, true
+	case lang.ParamRef:
+		prm, ok := prog.Param(x.Name)
+		if !ok {
+			return nil, false
+		}
+		switch prm.Kind {
+		case value.KindInt, value.KindString, value.KindBool:
+			return sym.NewInput(prm.Name, prm.Kind, prm.Lo, prm.Hi), true
+		default:
+			return nil, false
+		}
+	case lang.Bin:
+		l, lok := exprTerm(x.L, prog)
+		r, rok := exprTerm(x.R, prog)
+		if !lok || !rok {
+			return nil, false
+		}
+		return sym.Bin{Op: x.Op, L: l, R: r}, true
+	case lang.Not:
+		t, ok := exprTerm(x.E, prog)
+		if !ok {
+			return nil, false
+		}
+		return sym.Not{T: t}, true
+	default:
+		return nil, false
+	}
+}
+
+// --- param-domain: declarations the analyses depend on ---
+
+type paramDomainPass struct{}
+
+func (paramDomainPass) Name() string { return "param-domain" }
+
+func (paramDomainPass) Run(pc *ProgContext) []Finding {
+	var out []Finding
+	report := func(sev Severity, format string, args ...any) {
+		out = append(out, Finding{
+			Prog: pc.Prog.Name, Pass: "param-domain", Path: "params",
+			Severity: sev, Message: fmt.Sprintf(format, args...),
+		})
+	}
+	used := paramRefs(pc.Prog)
+	for _, prm := range pc.Prog.Params {
+		switch prm.Kind {
+		case value.KindInt:
+			checkIntDomain(prm.Name, prm.Lo, prm.Hi, report)
+		case value.KindList:
+			if prm.MaxLen <= 0 {
+				report(SevError, "list parameter %q has no capacity (MaxLen %d)", prm.Name, prm.MaxLen)
+			}
+			if prm.Elem == nil {
+				report(SevError, "list parameter %q has no element specification", prm.Name)
+			} else if prm.Elem.Kind == value.KindInt {
+				checkIntDomain(prm.Name+" (element)", prm.Elem.Lo, prm.Elem.Hi, report)
+			}
+			if prm.LenParam != "" {
+				lp, ok := pc.Prog.Param(prm.LenParam)
+				switch {
+				case !ok:
+					// Schema.Validate reports unknown length parameters; no
+					// duplicate finding here.
+				case lp.Kind != value.KindInt:
+					report(SevError, "list parameter %q: length parameter %q is %s, want int",
+						prm.Name, prm.LenParam, lp.Kind)
+				case lp.Hi > int64(prm.MaxLen):
+					report(SevError, "list parameter %q: length parameter %q can reach %d, beyond capacity %d "+
+						"(runtime index out of range)", prm.Name, prm.LenParam, lp.Hi, prm.MaxLen)
+				case lp.Lo < 0:
+					report(SevError, "list parameter %q: length parameter %q can be negative (%d)",
+						prm.Name, prm.LenParam, lp.Lo)
+				}
+			}
+		}
+		if !used[prm.Name] {
+			report(SevWarning, "parameter %q is never used", prm.Name)
+		}
+	}
+	return out
+}
+
+func checkIntDomain(name string, lo, hi int64, report func(Severity, string, ...any)) {
+	switch {
+	case lo > hi:
+		report(SevError, "int parameter %q has empty domain [%d..%d]", name, lo, hi)
+	case lo == 0 && hi == 0:
+		report(SevWarning, "int parameter %q has no declared domain (defaults to [0..0]); "+
+			"declare the benchmark bounds so the analyses can use them", name)
+	}
+}
+
+// paramRefs returns the parameter names referenced anywhere in the program,
+// including use as a list length parameter.
+func paramRefs(p *lang.Program) map[string]bool {
+	used := map[string]bool{}
+	var expr func(e lang.Expr)
+	expr = func(e lang.Expr) {
+		switch x := e.(type) {
+		case lang.ParamRef:
+			used[x.Name] = true
+		case lang.Bin:
+			expr(x.L)
+			expr(x.R)
+		case lang.Not:
+			expr(x.E)
+		case lang.Field:
+			expr(x.E)
+		case lang.Index:
+			expr(x.E)
+			expr(x.I)
+		case lang.Rec:
+			for _, f := range x.Fields {
+				expr(f.E)
+			}
+		}
+	}
+	walkStmts(p.Body, "body", func(st lang.Stmt, _ string) {
+		switch s := st.(type) {
+		case lang.Assign:
+			expr(s.E)
+		case lang.SetField:
+			expr(s.E)
+		case lang.Get:
+			for _, k := range s.Key {
+				expr(k)
+			}
+		case lang.Put:
+			for _, k := range s.Key {
+				expr(k)
+			}
+			expr(s.Val)
+		case lang.Del:
+			for _, k := range s.Key {
+				expr(k)
+			}
+		case lang.If:
+			expr(s.Cond)
+		case lang.For:
+			expr(s.From)
+			expr(s.To)
+		case lang.Emit:
+			expr(s.E)
+		}
+	})
+	for _, prm := range p.Params {
+		if prm.LenParam != "" {
+			used[prm.LenParam] = true
+		}
+	}
+	return used
+}

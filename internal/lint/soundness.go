@@ -1,0 +1,481 @@
+package lint
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"prognosticator/internal/lang"
+	"prognosticator/internal/profile"
+	"prognosticator/internal/value"
+)
+
+// The soundness checker cross-validates a symbolic-execution profile
+// against the concrete interpreter: for sampled inputs (domain boundaries
+// plus seeded-random draws) and store states, the key-set obtained by
+// instantiating the profile must exactly equal the read/write-set of the
+// concrete execution. An under-approximation (a key the execution touches
+// but the profile missed) breaks determinism — the scheduler would not lock
+// it; an over-approximation (a predicted key never touched) only costs
+// parallelism. Both are reported, separately.
+
+// MismatchKind distinguishes the two unsoundness directions.
+type MismatchKind int
+
+// Mismatch kinds.
+const (
+	// Over: the profile predicts a key the concrete execution never touches.
+	Over MismatchKind = iota + 1
+	// Under: the concrete execution touches a key the profile missed.
+	Under
+)
+
+// String returns the kind name.
+func (k MismatchKind) String() string {
+	if k == Under {
+		return "under-approximation"
+	}
+	return "over-approximation"
+}
+
+// Mismatch is one disagreement between profile and oracle.
+type Mismatch struct {
+	Kind  MismatchKind
+	Key   value.Key
+	Write bool
+	// Inputs is the sampled assignment that exposed the disagreement.
+	Inputs map[string]value.Value
+	// Populated reports whether the store was pre-populated (true) or empty
+	// (false) for this sample.
+	Populated bool
+}
+
+// String renders the mismatch for diagnostics.
+func (m Mismatch) String() string {
+	op := "read"
+	if m.Write {
+		op = "write"
+	}
+	return fmt.Sprintf("%s: %s of %s (inputs %s, populated=%v)",
+		m.Kind, op, m.Key, renderInputs(m.Inputs), m.Populated)
+}
+
+func renderInputs(in map[string]value.Value) string {
+	names := make([]string, 0, len(in))
+	for n := range in {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	s := "{"
+	for i, n := range names {
+		if i > 0 {
+			s += ", "
+		}
+		s += n + ":" + in[n].String()
+	}
+	return s + "}"
+}
+
+// SoundnessOptions configures CheckSoundness.
+type SoundnessOptions struct {
+	// Samples is the number of random input assignments per store state, in
+	// addition to the deterministic boundary assignments. 0 means 32.
+	Samples int
+	// Seed drives the deterministic RNG. 0 means 1.
+	Seed int64
+	// MaxMismatches caps the reported mismatches. 0 means 32.
+	MaxMismatches int
+}
+
+func (o SoundnessOptions) withDefaults() SoundnessOptions {
+	if o.Samples == 0 {
+		o.Samples = 32
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.MaxMismatches == 0 {
+		o.MaxMismatches = 32
+	}
+	return o
+}
+
+// SoundnessReport is the outcome of one profile cross-validation.
+type SoundnessReport struct {
+	TxName string
+	// SamplesRun counts (input, store-state) pairs checked.
+	SamplesRun int
+	// Over and Under hold the mismatches by direction.
+	Over, Under []Mismatch
+	// Errors lists execution or instantiation failures hit while sampling
+	// (e.g. division by zero on a boundary input); they are reported, not
+	// silently skipped.
+	Errors []string
+}
+
+// Sound reports whether no mismatch and no error was found.
+func (r *SoundnessReport) Sound() bool {
+	return len(r.Over) == 0 && len(r.Under) == 0 && len(r.Errors) == 0
+}
+
+// Findings converts the report into lint findings: under-approximations are
+// errors (determinism hazard), over-approximations warnings (lost
+// parallelism), execution failures errors.
+func (r *SoundnessReport) Findings() []Finding {
+	var out []Finding
+	for _, m := range r.Under {
+		out = append(out, Finding{
+			Prog: r.TxName, Pass: "profile-soundness", Path: "profile",
+			Severity: SevError,
+			Message:  "profile misses a key the execution touches: " + m.String(),
+		})
+	}
+	for _, m := range r.Over {
+		out = append(out, Finding{
+			Prog: r.TxName, Pass: "profile-soundness", Path: "profile",
+			Severity: SevWarning,
+			Message:  "profile predicts a key the execution never touches: " + m.String(),
+		})
+	}
+	for _, e := range r.Errors {
+		out = append(out, Finding{
+			Prog: r.TxName, Pass: "profile-soundness", Path: "profile",
+			Severity: SevError,
+			Message:  "sample execution failed: " + e,
+		})
+	}
+	SortFindings(out)
+	return out
+}
+
+// CheckSoundness validates prof against the concrete interpretation of p.
+// Each sampled input assignment is checked against two store states: an
+// empty store (all pivots read as absent) and a store whose read key-set is
+// populated with records carrying seeded-random field values (pivot
+// conditions exercise both outcomes).
+func CheckSoundness(p *lang.Program, prof *profile.Profile, opts SoundnessOptions) (*SoundnessReport, error) {
+	if prof == nil {
+		return nil, fmt.Errorf("lint: soundness: no profile for %s", p.Name)
+	}
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	rep := &SoundnessReport{TxName: p.Name}
+	fields := fieldNames(p)
+
+	samples := boundarySamples(p)
+	for i := 0; i < opts.Samples; i++ {
+		s, err := randomSample(p, rng)
+		if err != nil {
+			return nil, err
+		}
+		samples = append(samples, s)
+	}
+
+	for _, inputs := range samples {
+		// State 1: empty store.
+		if err := checkOne(p, prof, inputs, newStoreKV(), false, rep, opts); err != nil {
+			return nil, err
+		}
+		// State 2: populate the keys the execution reads on the empty store
+		// with records of random field values, then re-check. This flips
+		// pivot-dependent conditions that are constant on an empty store.
+		probe := newStoreKV()
+		res, err := lang.Run(p, inputs, probe)
+		if err != nil {
+			continue // already reported by the empty-store check
+		}
+		populated := newStoreKV()
+		for _, k := range res.Reads {
+			rec := map[string]value.Value{}
+			for _, f := range fields {
+				rec[f] = value.Int(rng.Int63n(maxFieldValue))
+			}
+			populated.Put(k, value.Record(rec))
+		}
+		if err := checkOne(p, prof, inputs, populated, true, rep, opts); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// maxFieldValue bounds random record field values; comfortably above
+// typical parameter domains so comparisons go both ways.
+const maxFieldValue = 1 << 12
+
+// checkOne runs the profile and the oracle against one (inputs, store)
+// pair, recording disagreements into rep.
+func checkOne(p *lang.Program, prof *profile.Profile, inputs map[string]value.Value,
+	st *storeKV, populated bool, rep *SoundnessReport, opts SoundnessOptions) error {
+	rep.SamplesRun++
+
+	// Instantiate against the pristine store: pivot reads must see the
+	// state the concrete execution starts from.
+	ks, ierr := prof.Instantiate(inputs, st)
+	// The oracle runs on a clone; the concrete execution mutates its store.
+	res, rerr := lang.Run(p, inputs, st.clone())
+	switch {
+	case ierr != nil && rerr != nil:
+		// Both reject the input (e.g. an out-of-domain boundary combination
+		// hitting a division); consistent, nothing to compare.
+		return nil
+	case ierr != nil:
+		rep.addError(fmt.Sprintf("profile instantiation failed where execution succeeds: %v (inputs %s)",
+			ierr, renderInputs(inputs)), opts)
+		return nil
+	case rerr != nil:
+		rep.addError(fmt.Sprintf("concrete execution failed: %v (inputs %s)", rerr, renderInputs(inputs)), opts)
+		return nil
+	}
+
+	diffKeySets(ks.Reads, res.Reads, false, inputs, populated, rep, opts)
+	diffKeySets(ks.Writes, res.Writes, true, inputs, populated, rep, opts)
+	return nil
+}
+
+// diffKeySets compares predicted against observed keys as sets (program
+// order and duplicates are not part of the soundness contract).
+func diffKeySets(predicted, observed []value.Key, write bool,
+	inputs map[string]value.Value, populated bool, rep *SoundnessReport, opts SoundnessOptions) {
+	pred := keySet(predicted)
+	obs := keySet(observed)
+	for _, k := range predicted {
+		if _, ok := obs[k.Encode()]; !ok {
+			rep.addMismatch(Mismatch{Kind: Over, Key: k, Write: write, Inputs: inputs, Populated: populated}, opts)
+			obs[k.Encode()] = k // report each key once per sample
+		}
+	}
+	for _, k := range observed {
+		if _, ok := pred[k.Encode()]; !ok {
+			rep.addMismatch(Mismatch{Kind: Under, Key: k, Write: write, Inputs: inputs, Populated: populated}, opts)
+			pred[k.Encode()] = k
+		}
+	}
+}
+
+func keySet(keys []value.Key) map[value.Encoded]value.Key {
+	m := make(map[value.Encoded]value.Key, len(keys))
+	for _, k := range keys {
+		m[k.Encode()] = k
+	}
+	return m
+}
+
+func (r *SoundnessReport) addMismatch(m Mismatch, opts SoundnessOptions) {
+	if m.Kind == Over {
+		if len(r.Over) < opts.MaxMismatches {
+			r.Over = append(r.Over, m)
+		}
+		return
+	}
+	if len(r.Under) < opts.MaxMismatches {
+		r.Under = append(r.Under, m)
+	}
+}
+
+func (r *SoundnessReport) addError(msg string, opts SoundnessOptions) {
+	if len(r.Errors) < opts.MaxMismatches {
+		r.Errors = append(r.Errors, msg)
+	}
+}
+
+// --- input sampling ---
+
+// boundarySamples returns deterministic assignments exercising domain
+// boundaries: all parameters at their low bound, all at their high bound,
+// and the two alternating low/high patterns.
+func boundarySamples(p *lang.Program) []map[string]value.Value {
+	patterns := [][2]bool{
+		{false, false}, // all lo
+		{true, true},   // all hi
+		{false, true},  // alternate lo/hi
+		{true, false},  // alternate hi/lo
+	}
+	var out []map[string]value.Value
+	for _, pat := range patterns {
+		inputs := map[string]value.Value{}
+		for i, prm := range p.Params {
+			hi := pat[i%2]
+			inputs[prm.Name] = boundaryValue(prm, hi)
+		}
+		out = append(out, inputs)
+	}
+	return out
+}
+
+func boundaryValue(prm lang.Param, hi bool) value.Value {
+	switch prm.Kind {
+	case value.KindInt:
+		if hi {
+			return value.Int(prm.Hi)
+		}
+		return value.Int(prm.Lo)
+	case value.KindString:
+		if hi {
+			return value.Str("zz")
+		}
+		return value.Str("")
+	case value.KindBool:
+		return value.Bool(hi)
+	case value.KindList:
+		elems := make([]value.Value, prm.MaxLen)
+		for i := range elems {
+			if prm.Elem != nil {
+				elems[i] = boundaryValue(*prm.Elem, hi)
+			} else {
+				elems[i] = value.Int(0)
+			}
+		}
+		return value.List(elems...)
+	default:
+		return value.Int(0)
+	}
+}
+
+// randomSample draws one assignment uniformly from the declared domains.
+func randomSample(p *lang.Program, rng *rand.Rand) (map[string]value.Value, error) {
+	inputs := map[string]value.Value{}
+	for _, prm := range p.Params {
+		v, err := randomValue(prm, rng)
+		if err != nil {
+			return nil, fmt.Errorf("lint: soundness: %s: %w", p.Name, err)
+		}
+		inputs[prm.Name] = v
+	}
+	return inputs, nil
+}
+
+func randomValue(prm lang.Param, rng *rand.Rand) (value.Value, error) {
+	switch prm.Kind {
+	case value.KindInt:
+		if prm.Lo > prm.Hi {
+			return value.Value{}, fmt.Errorf("parameter %q has empty domain [%d..%d]", prm.Name, prm.Lo, prm.Hi)
+		}
+		return value.Int(prm.Lo + rng.Int63n(prm.Hi-prm.Lo+1)), nil
+	case value.KindString:
+		return value.Str(fmt.Sprintf("s%d", rng.Intn(4))), nil
+	case value.KindBool:
+		return value.Bool(rng.Intn(2) == 1), nil
+	case value.KindList:
+		elems := make([]value.Value, prm.MaxLen)
+		for i := range elems {
+			if prm.Elem != nil {
+				v, err := randomValue(*prm.Elem, rng)
+				if err != nil {
+					return value.Value{}, err
+				}
+				elems[i] = v
+			} else {
+				elems[i] = value.Int(0)
+			}
+		}
+		return value.List(elems...), nil
+	default:
+		return value.Value{}, fmt.Errorf("parameter %q has unsupported kind %s", prm.Name, prm.Kind)
+	}
+}
+
+// fieldNames collects every record field name the program mentions, sorted;
+// the store populator uses them to synthesize plausible records.
+func fieldNames(p *lang.Program) []string {
+	seen := map[string]bool{}
+	var expr func(e lang.Expr)
+	expr = func(e lang.Expr) {
+		switch x := e.(type) {
+		case lang.Field:
+			seen[x.Name] = true
+			expr(x.E)
+		case lang.Bin:
+			expr(x.L)
+			expr(x.R)
+		case lang.Not:
+			expr(x.E)
+		case lang.Index:
+			expr(x.E)
+			expr(x.I)
+		case lang.Rec:
+			for _, f := range x.Fields {
+				seen[f.Name] = true
+				expr(f.E)
+			}
+		}
+	}
+	walkStmts(p.Body, "body", func(st lang.Stmt, _ string) {
+		switch s := st.(type) {
+		case lang.Assign:
+			expr(s.E)
+		case lang.SetField:
+			seen[s.Field] = true
+			expr(s.E)
+		case lang.Get:
+			for _, k := range s.Key {
+				expr(k)
+			}
+		case lang.Put:
+			for _, k := range s.Key {
+				expr(k)
+			}
+			expr(s.Val)
+		case lang.Del:
+			for _, k := range s.Key {
+				expr(k)
+			}
+		case lang.If:
+			expr(s.Cond)
+		case lang.For:
+			expr(s.From)
+			expr(s.To)
+		case lang.Emit:
+			expr(s.E)
+		}
+	})
+	out := make([]string, 0, len(seen))
+	for f := range seen {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --- storeKV: the in-memory store used as the oracle substrate ---
+
+// storeKV is a flat KV implementing both the interpreter's store interface
+// and the profile instantiator's pivot reader.
+type storeKV struct {
+	m map[value.Encoded]value.Value
+}
+
+func newStoreKV() *storeKV { return &storeKV{m: map[value.Encoded]value.Value{}} }
+
+func (kv *storeKV) clone() *storeKV {
+	c := newStoreKV()
+	for k, v := range kv.m {
+		c.m[k] = v
+	}
+	return c
+}
+
+// Get implements lang.KV.
+func (kv *storeKV) Get(k value.Key) (value.Value, bool) {
+	v, ok := kv.m[k.Encode()]
+	return v, ok
+}
+
+// Put implements lang.KV.
+func (kv *storeKV) Put(k value.Key, v value.Value) { kv.m[k.Encode()] = v }
+
+// Delete implements lang.KV.
+func (kv *storeKV) Delete(k value.Key) { delete(kv.m, k.Encode()) }
+
+// ReadPivot implements profile.PivotReader.
+func (kv *storeKV) ReadPivot(k value.Key, field string) (value.Value, bool) {
+	rec, ok := kv.m[k.Encode()]
+	if !ok {
+		return value.Value{}, false
+	}
+	f, ok := rec.Field(field)
+	if !ok {
+		return value.Value{}, false
+	}
+	return f, true
+}

@@ -1,0 +1,209 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+
+	"prognosticator/internal/lang"
+	"prognosticator/internal/profile"
+	"prognosticator/internal/sym"
+	"prognosticator/internal/symexec"
+	"prognosticator/internal/value"
+)
+
+func analyze(t *testing.T, src string) (*lang.Program, *profile.Profile) {
+	t.Helper()
+	p := mustParse(t, src)
+	prof, err := symexec.AnalyzeOptimized(p)
+	if err != nil {
+		t.Fatalf("AnalyzeOptimized: %v", err)
+	}
+	return p, prof
+}
+
+const transferSrc = `
+transaction transfer(src int[0..9], dst int[0..9], amount int[1..100]) {
+    s = get ACCOUNTS[src]
+    d = get ACCOUNTS[dst]
+    if s.bal >= amount {
+        s.bal = s.bal - amount
+        d.bal = d.bal + amount
+        put ACCOUNTS[src] = s
+        put ACCOUNTS[dst] = d
+    }
+}`
+
+func TestSoundnessCleanProfile(t *testing.T) {
+	p, prof := analyze(t, transferSrc)
+	rep, err := CheckSoundness(p, prof, SoundnessOptions{Samples: 16})
+	if err != nil {
+		t.Fatalf("CheckSoundness: %v", err)
+	}
+	if !rep.Sound() {
+		t.Fatalf("SE-derived profile flagged unsound: over=%v under=%v errs=%v",
+			rep.Over, rep.Under, rep.Errors)
+	}
+	// 4 boundary samples + 16 random, each against 2 store states.
+	if rep.SamplesRun != 40 {
+		t.Errorf("SamplesRun = %d, want 40", rep.SamplesRun)
+	}
+}
+
+func TestSoundnessCleanLoopsAndLists(t *testing.T) {
+	src := `
+transaction sweep(first int[0..5], count int[1..4]) {
+    total = 0
+    for i = 0 .. count {
+        a = get ACCOUNTS[first + i]
+        total = total + a.bal
+    }
+    emit total = total
+}`
+	p, prof := analyze(t, src)
+	rep, err := CheckSoundness(p, prof, SoundnessOptions{Samples: 16})
+	if err != nil {
+		t.Fatalf("CheckSoundness: %v", err)
+	}
+	if !rep.Sound() {
+		t.Fatalf("loop profile flagged unsound: over=%v under=%v errs=%v",
+			rep.Over, rep.Under, rep.Errors)
+	}
+}
+
+func TestSoundnessCleanDependentProfile(t *testing.T) {
+	// The RUBiS allocate-from-counter pattern: the written key is a pivot.
+	src := `
+transaction alloc(initial int[0..100]) {
+    c = get COUNTERS["x"]
+    id = c.next
+    put ITEMS[id] = {v: initial}
+    c.next = id + 1
+    put COUNTERS["x"] = c
+}`
+	p, prof := analyze(t, src)
+	if prof.Class() != profile.ClassDT {
+		t.Fatalf("expected DT profile, got %v", prof.Class())
+	}
+	rep, err := CheckSoundness(p, prof, SoundnessOptions{Samples: 16})
+	if err != nil {
+		t.Fatalf("CheckSoundness: %v", err)
+	}
+	if !rep.Sound() {
+		t.Fatalf("DT profile flagged unsound: over=%v under=%v errs=%v",
+			rep.Over, rep.Under, rep.Errors)
+	}
+}
+
+// corrupt deep-copies nothing: tests mutate the freshly-analyzed profile.
+
+func TestSoundnessDetectsOverApproximation(t *testing.T) {
+	p, prof := analyze(t, transferSrc)
+	// Inject a phantom read the execution never performs.
+	prof.Root.Seg = append(prof.Root.Seg, profile.Access{
+		Table: "ACCOUNTS",
+		Key:   []sym.Term{sym.Const{V: value.Int(9999)}},
+	})
+	rep, err := CheckSoundness(p, prof, SoundnessOptions{Samples: 8})
+	if err != nil {
+		t.Fatalf("CheckSoundness: %v", err)
+	}
+	if len(rep.Over) == 0 {
+		t.Fatalf("phantom access not reported as over-approximation")
+	}
+	if len(rep.Under) != 0 {
+		t.Errorf("unexpected under-approximations: %v", rep.Under)
+	}
+	m := rep.Over[0]
+	if m.Kind != Over || m.Write {
+		t.Errorf("mismatch %v, want an over-approximated read", m)
+	}
+	// Over-approximations cost parallelism, not determinism: warning.
+	fs := rep.Findings()
+	if MaxSeverity(fs) != SevWarning {
+		t.Errorf("over-approximation findings %v, want max severity warning", fs)
+	}
+	if !strings.Contains(fs[0].Message, "never touches") {
+		t.Errorf("unexpected message %q", fs[0].Message)
+	}
+}
+
+func TestSoundnessDetectsUnderApproximation(t *testing.T) {
+	p, prof := analyze(t, transferSrc)
+	// Drop the first access (the read of ACCOUNTS[src]): the execution
+	// touches a key the profile no longer predicts.
+	if len(prof.Root.Seg) == 0 {
+		t.Fatalf("profile root has no access segment to corrupt")
+	}
+	prof.Root.Seg = prof.Root.Seg[1:]
+	rep, err := CheckSoundness(p, prof, SoundnessOptions{Samples: 8})
+	if err != nil {
+		t.Fatalf("CheckSoundness: %v", err)
+	}
+	if len(rep.Under) == 0 {
+		t.Fatalf("missing access not reported as under-approximation")
+	}
+	// Under-approximation breaks determinism: error severity.
+	fs := rep.Findings()
+	if MaxSeverity(fs) != SevError {
+		t.Errorf("under-approximation findings %v, want max severity error", fs)
+	}
+	found := false
+	for _, f := range fs {
+		if f.Severity == SevError && strings.Contains(f.Message, "misses a key") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no misses-a-key error in %v", fs)
+	}
+}
+
+func TestSoundnessDetectsWrongBranchSense(t *testing.T) {
+	p, prof := analyze(t, transferSrc)
+	// Swap the branch arms at the root condition: the profile now predicts
+	// the write set exactly when the execution does not perform it.
+	if prof.Root.Cond == nil {
+		t.Fatalf("expected a conditional profile root")
+	}
+	prof.Root.True, prof.Root.False = prof.Root.False, prof.Root.True
+	rep, err := CheckSoundness(p, prof, SoundnessOptions{Samples: 16})
+	if err != nil {
+		t.Fatalf("CheckSoundness: %v", err)
+	}
+	if len(rep.Over) == 0 || len(rep.Under) == 0 {
+		t.Fatalf("swapped branches should produce both directions: over=%v under=%v",
+			rep.Over, rep.Under)
+	}
+}
+
+func TestSoundnessDeterministic(t *testing.T) {
+	p, prof := analyze(t, transferSrc)
+	prof.Root.Seg = append(prof.Root.Seg, profile.Access{
+		Table: "ACCOUNTS",
+		Key:   []sym.Term{sym.Const{V: value.Int(777)}},
+		Write: true,
+	})
+	run := func() *SoundnessReport {
+		rep, err := CheckSoundness(p, prof, SoundnessOptions{Samples: 8, Seed: 42})
+		if err != nil {
+			t.Fatalf("CheckSoundness: %v", err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if len(a.Over) != len(b.Over) || len(a.Under) != len(b.Under) || a.SamplesRun != b.SamplesRun {
+		t.Fatalf("same seed, different reports: %+v vs %+v", a, b)
+	}
+	for i := range a.Over {
+		if a.Over[i].Key.Encode() != b.Over[i].Key.Encode() {
+			t.Fatalf("same seed, different mismatch keys")
+		}
+	}
+}
+
+func TestSoundnessNilProfile(t *testing.T) {
+	p := mustParse(t, transferSrc)
+	if _, err := CheckSoundness(p, nil, SoundnessOptions{}); err == nil {
+		t.Fatalf("nil profile accepted")
+	}
+}

@@ -8,6 +8,8 @@
 package taint
 
 import (
+	"sort"
+
 	"prognosticator/internal/lang"
 	"prognosticator/internal/value"
 )
@@ -21,12 +23,13 @@ type Result struct {
 // identity of any key accessed by the program.
 func (r *Result) Relevant(name string) bool { return r.relevant[name] }
 
-// RelevantNames returns all relevant names (unordered).
+// RelevantNames returns all relevant names in sorted order.
 func (r *Result) RelevantNames() []string {
 	out := make([]string, 0, len(r.relevant))
 	for n := range r.relevant {
 		out = append(out, n)
 	}
+	sort.Strings(out)
 	return out
 }
 

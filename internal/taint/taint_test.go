@@ -243,6 +243,36 @@ func TestRelevantNames(t *testing.T) {
 	}
 }
 
+func TestRelevantNamesSorted(t *testing.T) {
+	// Several relevant names: the result must come back sorted regardless of
+	// map iteration order.
+	p := &lang.Program{
+		Name: "sorted",
+		Params: []lang.Param{
+			lang.IntParam("z", 0, 9),
+			lang.IntParam("a", 0, 9),
+			lang.IntParam("m", 0, 9),
+		},
+		Body: []lang.Stmt{
+			lang.GetS("x", "T", lang.P("z")),
+			lang.GetS("y", "T", lang.P("a")),
+			lang.GetS("w", "T", lang.P("m")),
+		},
+	}
+	want := []string{"a", "m", "z"}
+	for i := 0; i < 10; i++ {
+		got := Analyze(p).RelevantNames()
+		if len(got) != len(want) {
+			t.Fatalf("RelevantNames = %v, want %v", got, want)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("RelevantNames = %v, want %v", got, want)
+			}
+		}
+	}
+}
+
 func TestSampleValue(t *testing.T) {
 	if got := SampleValue(lang.IntParam("x", 5, 15)); got.MustInt() != 5 {
 		t.Fatalf("int sample = %v", got)

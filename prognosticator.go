@@ -25,6 +25,7 @@ import (
 	"prognosticator/internal/baselines"
 	"prognosticator/internal/engine"
 	"prognosticator/internal/lang"
+	"prognosticator/internal/lint"
 	"prognosticator/internal/profile"
 	"prognosticator/internal/replica"
 	"prognosticator/internal/store"
@@ -161,8 +162,42 @@ type (
 
 // Engine construction.
 var (
-	NewRegistry = engine.NewRegistry
-	NewEngine   = engine.New
+	NewRegistry     = engine.NewRegistry
+	NewRegistryWith = engine.NewRegistryWith
+	NewEngine       = engine.New
+)
+
+// RegistryOptions configures registration (strict lint, soundness checks).
+type RegistryOptions = engine.RegistryOptions
+
+// Static analysis (see cmd/prognolint for the command-line front end).
+type (
+	// Linter runs the static-analysis passes over programs.
+	Linter = lint.Linter
+	// LintFinding is one positioned diagnostic.
+	LintFinding = lint.Finding
+	// LintSeverity grades findings (info/warning/error).
+	LintSeverity = lint.Severity
+	// SoundnessReport is a profile cross-validation result.
+	SoundnessReport = lint.SoundnessReport
+)
+
+// Lint severities.
+const (
+	LintInfo    = lint.SevInfo
+	LintWarning = lint.SevWarning
+	LintError   = lint.SevError
+)
+
+// Static-analysis entry points.
+var (
+	// NewLinter builds a linter with the default pass pipeline.
+	NewLinter = lint.New
+	// InferLintSchema derives a schema from programs' table accesses.
+	InferLintSchema = lint.InferSchema
+	// CheckProfileSoundness cross-validates a profile against the concrete
+	// interpreter on sampled inputs.
+	CheckProfileSoundness = lint.CheckSoundness
 )
 
 // Engine variant knobs.
