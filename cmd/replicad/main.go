@@ -4,17 +4,27 @@
 // replica — and verifies after every batch that all replica state hashes
 // agree. This is the determinism property the whole system exists for.
 //
+// With -chaos, a seeded fault schedule (internal/chaos) runs alongside the
+// workload: replicas are killed and restarted mid-batch (with WAL recovery
+// and occasional WAL tail corruption), the leader is partitioned away, and
+// message loss/delay is injected — after which all replicas must still
+// converge. Chaos requires the mem transport and enables -datadir
+// persistence (a temp directory when unset).
+//
 // Usage:
 //
 //	replicad [-replicas N] [-batches N] [-txs N] [-warehouses N] [-seed N]
+//	         [-transport mem|tcp] [-chaos] [-chaos-seed N] [-datadir DIR]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 	"time"
 
+	"prognosticator/internal/chaos"
 	"prognosticator/internal/engine"
 	"prognosticator/internal/harness"
 	"prognosticator/internal/replica"
@@ -37,7 +47,24 @@ func run() error {
 	warehouses := flag.Int("warehouses", 4, "TPC-C warehouses")
 	seed := flag.Int64("seed", 1, "workload seed")
 	transport := flag.String("transport", "mem", "consensus transport: mem (simulated) or tcp (loopback sockets)")
+	chaosOn := flag.Bool("chaos", false, "run a fault schedule alongside the workload (mem transport only)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "fault schedule seed (with -chaos)")
+	chaosSteps := flag.Int("chaos-steps", 0, "fault schedule length (0 = one step per two batches, with -chaos)")
+	dataDir := flag.String("datadir", "", "persist raft state and replica WALs under this directory (required for crash/restart faults; temp dir when -chaos is set and this is empty)")
 	flag.Parse()
+
+	if *chaosOn && *transport != "mem" {
+		return fmt.Errorf("-chaos requires -transport mem (crash/restart drives the simulated network)")
+	}
+	if *chaosOn && *dataDir == "" {
+		d, err := os.MkdirTemp("", "replicad-chaos-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(d)
+		*dataDir = d
+		fmt.Printf("chaos: persisting state under %s\n", d)
+	}
 
 	cfg := tpcc.DefaultConfig(*warehouses)
 	cfg.Items = 200
@@ -50,6 +77,10 @@ func run() error {
 		Replicas: *replicas,
 		Seed:     *seed,
 		TCP:      *transport == "tcp",
+		DataDir:  *dataDir,
+		// Under chaos a crashed replica lags until it rejoins; a majority
+		// carries the workload forward in the meantime.
+		QuorumSubmit: *chaosOn,
 		NewExecutor: func(id string, st *store.Store) (engine.Executor, error) {
 			tpcc.Populate(st, cfg)
 			// Deliberately different parallelism per replica: determinism
@@ -64,9 +95,38 @@ func run() error {
 	}
 	defer cluster.Stop()
 
+	var injector *chaos.Injector
+	if *chaosOn {
+		steps := *chaosSteps
+		if steps <= 0 {
+			steps = *batches / 2
+		}
+		injector = chaos.New(cluster, chaos.Config{
+			Seed:  *chaosSeed,
+			Steps: steps,
+			Logf: func(format string, args ...any) {
+				fmt.Printf(format+"\n", args...)
+			},
+		})
+		fmt.Printf("chaos: seed=%d plan=%v\n", *chaosSeed, injector.Plan())
+	}
+
 	gen := tpcc.NewGenerator(cfg, *seed)
 	start := time.Now()
+	var wg sync.WaitGroup
+	stepIdx := 0
 	for b := 0; b < *batches; b++ {
+		if injector != nil && stepIdx < injector.Steps() && b%2 == 0 {
+			i := stepIdx
+			stepIdx++
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := injector.Step(i); err != nil {
+					fmt.Fprintln(os.Stderr, "replicad:", err)
+				}
+			}()
+		}
 		reqs := make([]struct {
 			TxName string
 			Inputs map[string]value.Value
@@ -74,15 +134,42 @@ func run() error {
 		for i := range reqs {
 			reqs[i].TxName, reqs[i].Inputs = gen.Next()
 		}
-		if err := cluster.SubmitBatch(reqs, 30*time.Second); err != nil {
+		if err := cluster.SubmitBatch(reqs, 60*time.Second); err != nil {
+			return err
+		}
+		if injector == nil {
+			// Fault-free runs check convergence after every batch; under
+			// chaos, crashed replicas legitimately lag until Quiesce.
+			hashes := cluster.StateHashes()
+			if !cluster.Converged() {
+				return fmt.Errorf("DIVERGENCE after batch %d: %x", b+1, hashes)
+			}
+			fmt.Printf("batch %3d: %d tx committed on %d replicas, state hash %016x ✓\n",
+				b+1, *txs, *replicas, hashes[0])
+		} else {
+			fmt.Printf("batch %3d: %d tx committed (quorum)\n", b+1, *txs)
+		}
+	}
+	wg.Wait()
+	if injector != nil {
+		if err := injector.Quiesce(60 * time.Second); err != nil {
+			return err
+		}
+		if err := cluster.Err(); err != nil {
 			return err
 		}
 		hashes := cluster.StateHashes()
 		if !cluster.Converged() {
-			return fmt.Errorf("DIVERGENCE after batch %d: %x", b+1, hashes)
+			return fmt.Errorf("DIVERGENCE after quiesce: %x", hashes)
 		}
-		fmt.Printf("batch %3d: %d tx committed on %d replicas, state hash %016x ✓\n",
-			b+1, *txs, *replicas, hashes[0])
+		for i := 0; i < cluster.Size(); i++ {
+			if got := cluster.ReplicaAt(i).Batches(); got != *batches {
+				return fmt.Errorf("replica %d reflects %d batches, want %d", i, got, *batches)
+			}
+		}
+		fmt.Printf("\nchaos: converged after quiesce, state hash %016x, every batch applied exactly once\n", hashes[0])
+		fmt.Printf("chaos: faults %s\n", injector.Counters())
+		fmt.Printf("chaos: net %+v\n", cluster.Net.Stats())
 	}
 	elapsed := time.Since(start)
 	total := *batches * *txs

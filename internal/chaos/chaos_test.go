@@ -1,0 +1,149 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+
+	"prognosticator/internal/wal"
+)
+
+func TestPlanIsDeterministic(t *testing.T) {
+	a := New(nil, Config{Seed: 7, Steps: 40})
+	b := New(nil, Config{Seed: 7, Steps: 40})
+	pa, pb := a.Plan(), b.Plan()
+	if len(pa) != 40 || len(pb) != 40 {
+		t.Fatalf("plan lengths %d/%d, want 40", len(pa), len(pb))
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("plans diverge at step %d: %v vs %v", i, pa[i], pb[i])
+		}
+	}
+	c := New(nil, Config{Seed: 8, Steps: 40})
+	same := true
+	for i, f := range c.Plan() {
+		if f != pa[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical plans")
+	}
+}
+
+func TestPlanContainsAnchors(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 99} {
+		in := New(nil, Config{Seed: seed, Steps: 12})
+		have := map[Fault]bool{}
+		for _, f := range in.Plan() {
+			have[f] = true
+		}
+		for _, a := range anchors {
+			if !have[a] {
+				t.Fatalf("seed %d: plan missing anchor %v", seed, a)
+			}
+		}
+	}
+}
+
+func TestPlanPadsToAnchorCount(t *testing.T) {
+	in := New(nil, Config{Seed: 1, Steps: 1})
+	if in.Steps() != len(anchors) {
+		t.Fatalf("steps = %d, want padded to %d", in.Steps(), len(anchors))
+	}
+}
+
+// writeWAL fills dir with a few records and returns the record count.
+func writeWAL(t *testing.T, dir string) int {
+	t.Helper()
+	w, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 6
+	for i := 0; i < n; i++ {
+		if err := w.Append([]byte(fmt.Sprintf("record-%d-payload-with-some-bulk", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestCorruptTailTorn(t *testing.T) {
+	dir := t.TempDir()
+	n := writeWAL(t, dir)
+	if err := CorruptTail(dir, CorruptTorn, rand.New(rand.NewSource(1))); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := wal.Verify(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Truncated {
+		t.Fatal("torn tail not detected")
+	}
+	if stats.Records >= n || stats.Records == 0 {
+		t.Fatalf("surviving records = %d, want a non-empty strict prefix of %d", stats.Records, n)
+	}
+	// Repair must leave a clean log with exactly the surviving prefix.
+	rep, err := wal.Repair(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Records != stats.Records {
+		t.Fatalf("repair kept %d records, verify saw %d", rep.Records, stats.Records)
+	}
+	after, err := wal.Verify(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Truncated {
+		t.Fatalf("still corrupt after repair: %+v", after)
+	}
+}
+
+func TestCorruptTailBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	n := writeWAL(t, dir)
+	if err := CorruptTail(dir, CorruptBitFlip, rand.New(rand.NewSource(2))); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := wal.Verify(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Truncated {
+		t.Fatal("bit flip not detected by record checksums")
+	}
+	if stats.Records >= n {
+		t.Fatalf("surviving records = %d, want < %d", stats.Records, n)
+	}
+}
+
+func TestCorruptTailEmptyLog(t *testing.T) {
+	dir := t.TempDir()
+	// No segments at all.
+	if err := CorruptTail(dir, CorruptTorn, rand.New(rand.NewSource(3))); err != ErrNothingToCorrupt {
+		t.Fatalf("err = %v, want ErrNothingToCorrupt", err)
+	}
+	// An opened-but-never-appended log has one empty segment.
+	w, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := CorruptTail(dir, CorruptBitFlip, rand.New(rand.NewSource(3))); err != ErrNothingToCorrupt {
+		t.Fatalf("err = %v, want ErrNothingToCorrupt", err)
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,90 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"prognosticator/internal/wal"
+)
+
+// CorruptMode selects how CorruptTail damages a WAL.
+type CorruptMode int
+
+const (
+	// CorruptTorn truncates the final segment mid-record, simulating a crash
+	// during an append (a torn write).
+	CorruptTorn CorruptMode = iota
+	// CorruptBitFlip flips one random bit in the tail region of the final
+	// segment, simulating media corruption; the record's checksum catches it.
+	CorruptBitFlip
+)
+
+func (m CorruptMode) String() string {
+	if m == CorruptTorn {
+		return "torn"
+	}
+	return "bitflip"
+}
+
+// ErrNothingToCorrupt is returned when the WAL directory has no non-empty
+// segment to damage.
+var ErrNothingToCorrupt = errors.New("chaos: no wal data to corrupt")
+
+// CorruptTail damages the tail of the last non-empty WAL segment in dir. The
+// damage is confined to the final region of the log, so recovery (which
+// truncates at the first corrupt record) loses at most a bounded suffix —
+// which Raft re-delivery then restores. rng drives how many bytes are torn
+// off or which bit flips.
+func CorruptTail(dir string, mode CorruptMode, rng *rand.Rand) error {
+	segs, err := wal.SegmentPaths(dir)
+	if err != nil {
+		return fmt.Errorf("chaos: corrupt tail: %w", err)
+	}
+	// Last non-empty segment: a freshly rolled segment may be empty.
+	var target string
+	var size int64
+	for i := len(segs) - 1; i >= 0; i-- {
+		info, err := os.Stat(segs[i])
+		if err != nil {
+			return fmt.Errorf("chaos: corrupt tail: %w", err)
+		}
+		if info.Size() > 0 {
+			target, size = segs[i], info.Size()
+			break
+		}
+	}
+	if target == "" {
+		return ErrNothingToCorrupt
+	}
+	switch mode {
+	case CorruptTorn:
+		// Tear off 1..16 bytes (never the whole segment).
+		n := int64(1 + rng.Intn(16))
+		if n >= size {
+			n = size - 1
+		}
+		if n <= 0 {
+			return ErrNothingToCorrupt
+		}
+		if err := os.Truncate(target, size-n); err != nil {
+			return fmt.Errorf("chaos: torn write: %w", err)
+		}
+	case CorruptBitFlip:
+		data, err := os.ReadFile(target)
+		if err != nil {
+			return fmt.Errorf("chaos: bit flip: %w", err)
+		}
+		// Flip a bit in the final quarter so only the tail records are hit.
+		lo := len(data) * 3 / 4
+		pos := lo + rng.Intn(len(data)-lo)
+		data[pos] ^= byte(1 << uint(rng.Intn(8)))
+		if err := os.WriteFile(target, data, 0o644); err != nil {
+			return fmt.Errorf("chaos: bit flip: %w", err)
+		}
+	default:
+		return fmt.Errorf("chaos: unknown corrupt mode %d", int(mode))
+	}
+	return nil
+}

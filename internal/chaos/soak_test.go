@@ -1,0 +1,242 @@
+package chaos
+
+import (
+	"math/rand"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"prognosticator/internal/engine"
+	"prognosticator/internal/lang"
+	"prognosticator/internal/raft"
+	"prognosticator/internal/replica"
+	"prognosticator/internal/sequencer"
+	"prognosticator/internal/store"
+	"prognosticator/internal/value"
+)
+
+const soakAccounts = 24
+
+// bankRegistry defines the Jepsen-style bank workload: deposits create
+// money, transfers move it between accounts. Transfers touch two rows, so
+// batches carry real read-write conflicts for the deterministic engine to
+// order.
+func bankRegistry(t testing.TB) *engine.Registry {
+	t.Helper()
+	schema := lang.NewSchema(lang.TableSpec{Name: "ACC", KeyArity: 1})
+	deposit := &lang.Program{
+		Name:   "deposit",
+		Params: []lang.Param{lang.IntParam("k", 0, soakAccounts-1), lang.IntParam("amt", 1, 100)},
+		Body: []lang.Stmt{
+			lang.GetS("a", "ACC", lang.P("k")),
+			lang.SetF("a", "bal", lang.Add(lang.Fld(lang.L("a"), "bal"), lang.P("amt"))),
+			lang.PutS("ACC", lang.Key(lang.P("k")), lang.L("a")),
+		},
+	}
+	transfer := &lang.Program{
+		Name: "transfer",
+		Params: []lang.Param{
+			lang.IntParam("src", 0, soakAccounts-1),
+			lang.IntParam("dst", 0, soakAccounts-1),
+			lang.IntParam("amt", 1, 50),
+		},
+		Body: []lang.Stmt{
+			lang.GetS("s", "ACC", lang.P("src")),
+			lang.GetS("d", "ACC", lang.P("dst")),
+			lang.SetF("s", "bal", lang.Sub(lang.Fld(lang.L("s"), "bal"), lang.P("amt"))),
+			lang.SetF("d", "bal", lang.Add(lang.Fld(lang.L("d"), "bal"), lang.P("amt"))),
+			lang.PutS("ACC", lang.Key(lang.P("src")), lang.L("s")),
+			lang.PutS("ACC", lang.Key(lang.P("dst")), lang.L("d")),
+		},
+	}
+	reg, err := engine.NewRegistry(schema, deposit, transfer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+// soakSeed returns the fault-schedule seed, overridable via CHAOS_SEED so CI
+// can sweep seeds and a failing schedule can be replayed locally.
+func soakSeed(t testing.TB) int64 {
+	if s := os.Getenv("CHAOS_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad CHAOS_SEED %q: %v", s, err)
+		}
+		return v
+	}
+	return 1
+}
+
+// TestChaosSoak is the Jepsen-lite convergence soak: a bank workload runs
+// against a 3-replica cluster while a seeded fault schedule kills and
+// restarts replicas mid-batch, corrupts WAL tails, partitions the leader
+// away and injects message loss and delay. When the dust settles, every
+// replica must hash identically to a fault-free reference execution, with
+// every submitted batch applied exactly once.
+func TestChaosSoak(t *testing.T) {
+	seed := soakSeed(t)
+	steps, batches, txsPerBatch := 24, 48, 16
+	if testing.Short() {
+		steps, batches = 12, 24
+	}
+	t.Logf("chaos soak: seed=%d steps=%d batches=%d", seed, steps, batches)
+
+	reg := bankRegistry(t)
+	c, err := replica.NewCluster(replica.ClusterConfig{
+		Replicas: 3,
+		Seed:     seed,
+		NewExecutor: func(id string, st *store.Store) (engine.Executor, error) {
+			return engine.New(reg, st, engine.Config{Workers: 4}), nil
+		},
+		DataDir: t.TempDir(),
+		// Crashed/lagging replicas catch up through Raft; waiting on a
+		// majority keeps the workload moving while a victim is down.
+		QuorumSubmit: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	in := New(c, Config{Seed: seed, Steps: steps, Logf: t.Logf})
+	t.Logf("fault plan: %v", in.Plan())
+
+	// Fault-free reference: the same batches applied exactly once each, in
+	// submission order, at synthetic indices. Absolute sequence numbers only
+	// fix intra-batch order, so the reference reaches the same state the
+	// cluster must converge to.
+	refStore := store.New()
+	refExec := engine.New(reg, refStore, engine.Config{Workers: 4})
+
+	workRng := rand.New(rand.NewSource(seed * 31))
+	makeBatch := func() []struct {
+		TxName string
+		Inputs map[string]value.Value
+	} {
+		var reqs []struct {
+			TxName string
+			Inputs map[string]value.Value
+		}
+		for i := 0; i < txsPerBatch; i++ {
+			if workRng.Intn(3) == 0 {
+				reqs = append(reqs, struct {
+					TxName string
+					Inputs map[string]value.Value
+				}{"deposit", map[string]value.Value{
+					"k":   value.Int(workRng.Int63n(soakAccounts)),
+					"amt": value.Int(1 + workRng.Int63n(100)),
+				}})
+				continue
+			}
+			src := workRng.Int63n(soakAccounts)
+			dst := workRng.Int63n(soakAccounts)
+			if dst == src {
+				dst = (src + 1) % soakAccounts
+			}
+			reqs = append(reqs, struct {
+				TxName string
+				Inputs map[string]value.Value
+			}{"transfer", map[string]value.Value{
+				"src": value.Int(src), "dst": value.Int(dst),
+				"amt": value.Int(1 + workRng.Int63n(50)),
+			}})
+		}
+		return reqs
+	}
+
+	// Interleave: fire the next fault from a goroutine while batches are in
+	// flight, so kills land mid-batch. Step serializes internally.
+	var wg sync.WaitGroup
+	stepIdx := 0
+	stepEvery := batches / steps
+	if stepEvery < 1 {
+		stepEvery = 1
+	}
+	for b := 0; b < batches; b++ {
+		if b%stepEvery == 0 && stepIdx < in.Steps() {
+			i := stepIdx
+			stepIdx++
+			delay := time.Duration(workRng.Intn(20)) * time.Millisecond
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				time.Sleep(delay)
+				if err := in.Step(i); err != nil {
+					t.Errorf("chaos step %d: %v", i, err)
+				}
+			}()
+		}
+		reqs := makeBatch()
+		if err := c.SubmitBatch(reqs, 60*time.Second); err != nil {
+			t.Fatalf("batch %d: %v", b, err)
+		}
+		// Mirror into the reference executor (exactly once, same order).
+		ereqs := make([]engine.Request, len(reqs))
+		for i, r := range reqs {
+			ereqs[i] = engine.Request{TxName: r.TxName, Inputs: r.Inputs}
+		}
+		data, err := sequencer.EncodeBatch(ereqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch, err := sequencer.DecodeBatch(raft.Committed{Index: uint64(b + 1), Cmd: data})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := refExec.ExecuteBatch(batch.Requests); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+
+	if err := in.Quiesce(60 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Convergence: all replicas identical, and identical to the reference.
+	if !c.Converged() {
+		t.Fatalf("replicas diverged after quiesce: %v", c.StateHashes())
+	}
+	want := refStore.StateHash(refStore.Epoch())
+	for i, h := range c.StateHashes() {
+		if h != want {
+			t.Fatalf("replica %d state %x != fault-free reference %x", i, h, want)
+		}
+	}
+	// Exactly once: every replica's state reflects each batch a single time
+	// (replayed-from-WAL + live-applied, duplicates and redeliveries
+	// excluded).
+	for i := 0; i < c.Size(); i++ {
+		rep := c.ReplicaAt(i)
+		if rep.Batches() != batches {
+			t.Errorf("replica %d reflects %d batches, want %d (deduped=%d redelivered=%d)",
+				i, rep.Batches(), batches, rep.Deduped(), rep.Redelivered())
+		}
+	}
+
+	counters := in.Counters()
+	t.Logf("fault counters: %s", counters)
+	stats := c.Net.Stats()
+	t.Logf("net stats: %+v", stats)
+	if stats.Delivered == 0 {
+		t.Fatal("network delivered nothing")
+	}
+	if counters.Value("partition-leader") > 0 && stats.DroppedPartition == 0 {
+		t.Error("partition applied but no partition drops counted")
+	}
+	if counters.Value("loss") > 0 && stats.DroppedLoss == 0 {
+		t.Error("loss applied but no loss drops counted")
+	}
+	kills := counters.Value("kill-leader") + counters.Value("kill-random")
+	restarts := counters.Value("restart") + counters.Value("restart-corrupt") + counters.Value("quiesce-restarts")
+	if kills > restarts {
+		t.Errorf("%d kills but only %d restarts — a replica was left down", kills, restarts)
+	}
+}

@@ -294,13 +294,61 @@ func boundarySamples(p *lang.Program) []map[string]value.Value {
 	var out []map[string]value.Value
 	for _, pat := range patterns {
 		inputs := map[string]value.Value{}
+		// Scalars first: a list's effective length may reference an int
+		// parameter (LenParam), which must be assigned before the list is
+		// built.
 		for i, prm := range p.Params {
-			hi := pat[i%2]
-			inputs[prm.Name] = boundaryValue(prm, hi)
+			if prm.Kind != value.KindList {
+				inputs[prm.Name] = boundaryValue(prm, pat[i%2])
+			}
+		}
+		for i, prm := range p.Params {
+			if prm.Kind == value.KindList {
+				inputs[prm.Name] = boundaryList(prm, pat[i%2], effectiveLen(prm, inputs))
+			}
 		}
 		out = append(out, inputs)
 	}
 	return out
+}
+
+// effectiveLen returns the list length a sample should use: the sampled
+// value of the declared length parameter clamped to [0, MaxLen], or the full
+// MaxLen capacity when the list declares no length parameter. Sampling the
+// effective length (rather than always filling to capacity) exercises the
+// short-list paths a loop bounded by the length parameter takes.
+func effectiveLen(prm lang.Param, inputs map[string]value.Value) int {
+	if prm.LenParam == "" {
+		return prm.MaxLen
+	}
+	v, ok := inputs[prm.LenParam]
+	if !ok {
+		return prm.MaxLen
+	}
+	n, ok := v.AsInt()
+	if !ok {
+		return prm.MaxLen
+	}
+	if n < 0 {
+		return 0
+	}
+	if n > int64(prm.MaxLen) {
+		return prm.MaxLen
+	}
+	return int(n)
+}
+
+// boundaryList builds an n-element list of boundary element values.
+func boundaryList(prm lang.Param, hi bool, n int) value.Value {
+	elems := make([]value.Value, n)
+	for i := range elems {
+		if prm.Elem != nil {
+			elems[i] = boundaryValue(*prm.Elem, hi)
+		} else {
+			elems[i] = value.Int(0)
+		}
+	}
+	return value.List(elems...)
 }
 
 func boundaryValue(prm lang.Param, hi bool) value.Value {
@@ -318,31 +366,57 @@ func boundaryValue(prm lang.Param, hi bool) value.Value {
 	case value.KindBool:
 		return value.Bool(hi)
 	case value.KindList:
-		elems := make([]value.Value, prm.MaxLen)
-		for i := range elems {
-			if prm.Elem != nil {
-				elems[i] = boundaryValue(*prm.Elem, hi)
-			} else {
-				elems[i] = value.Int(0)
-			}
-		}
-		return value.List(elems...)
+		// Nested element lists have no LenParam reference of their own; fill
+		// to capacity. Top-level lists go through boundaryList instead.
+		return boundaryList(prm, hi, prm.MaxLen)
 	default:
 		return value.Int(0)
 	}
 }
 
 // randomSample draws one assignment uniformly from the declared domains.
+// Lists are drawn after scalars so their effective length can follow the
+// sampled value of their LenParam.
 func randomSample(p *lang.Program, rng *rand.Rand) (map[string]value.Value, error) {
 	inputs := map[string]value.Value{}
 	for _, prm := range p.Params {
+		if prm.Kind == value.KindList {
+			continue
+		}
 		v, err := randomValue(prm, rng)
 		if err != nil {
 			return nil, fmt.Errorf("lint: soundness: %s: %w", p.Name, err)
 		}
 		inputs[prm.Name] = v
 	}
+	for _, prm := range p.Params {
+		if prm.Kind != value.KindList {
+			continue
+		}
+		v, err := randomList(prm, rng, effectiveLen(prm, inputs))
+		if err != nil {
+			return nil, fmt.Errorf("lint: soundness: %s: %w", p.Name, err)
+		}
+		inputs[prm.Name] = v
+	}
 	return inputs, nil
+}
+
+// randomList draws an n-element list of random element values.
+func randomList(prm lang.Param, rng *rand.Rand, n int) (value.Value, error) {
+	elems := make([]value.Value, n)
+	for i := range elems {
+		if prm.Elem != nil {
+			v, err := randomValue(*prm.Elem, rng)
+			if err != nil {
+				return value.Value{}, err
+			}
+			elems[i] = v
+		} else {
+			elems[i] = value.Int(0)
+		}
+	}
+	return value.List(elems...), nil
 }
 
 func randomValue(prm lang.Param, rng *rand.Rand) (value.Value, error) {
@@ -357,19 +431,9 @@ func randomValue(prm lang.Param, rng *rand.Rand) (value.Value, error) {
 	case value.KindBool:
 		return value.Bool(rng.Intn(2) == 1), nil
 	case value.KindList:
-		elems := make([]value.Value, prm.MaxLen)
-		for i := range elems {
-			if prm.Elem != nil {
-				v, err := randomValue(*prm.Elem, rng)
-				if err != nil {
-					return value.Value{}, err
-				}
-				elems[i] = v
-			} else {
-				elems[i] = value.Int(0)
-			}
-		}
-		return value.List(elems...), nil
+		// Nested element lists fill to capacity; top-level lists go through
+		// randomList with their effective length.
+		return randomList(prm, rng, prm.MaxLen)
 	default:
 		return value.Value{}, fmt.Errorf("parameter %q has unsupported kind %s", prm.Name, prm.Kind)
 	}

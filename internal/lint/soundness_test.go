@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -198,6 +199,94 @@ func TestSoundnessDeterministic(t *testing.T) {
 		if a.Over[i].Key.Encode() != b.Over[i].Key.Encode() {
 			t.Fatalf("same seed, different mismatch keys")
 		}
+	}
+}
+
+func TestEffectiveLen(t *testing.T) {
+	elem := lang.IntParam("", 0, 9)
+	lst := lang.Param{Name: "ids", Kind: value.KindList, Elem: &elem, MaxLen: 5, LenParam: "n"}
+	cases := []struct {
+		n    value.Value
+		want int
+	}{
+		{value.Int(0), 0},
+		{value.Int(3), 3},
+		{value.Int(5), 5},
+		{value.Int(99), 5},  // clamped to capacity
+		{value.Int(-1), 0},  // clamped to empty
+		{value.Str("x"), 5}, // non-int length parameter: full capacity
+	}
+	for _, c := range cases {
+		if got := effectiveLen(lst, map[string]value.Value{"n": c.n}); got != c.want {
+			t.Errorf("effectiveLen(n=%v) = %d, want %d", c.n, got, c.want)
+		}
+	}
+	// No length parameter declared, or not present in the assignment.
+	noLen := lst
+	noLen.LenParam = ""
+	if got := effectiveLen(noLen, nil); got != 5 {
+		t.Errorf("effectiveLen without LenParam = %d, want 5", got)
+	}
+	if got := effectiveLen(lst, map[string]value.Value{}); got != 5 {
+		t.Errorf("effectiveLen with unassigned LenParam = %d, want 5", got)
+	}
+}
+
+// TestSoundnessSamplesEffectiveListLength: sampled list lengths must track
+// the sampled value of the list's length parameter (not always fill to
+// MaxLen capacity), so loops bounded by the length parameter get exercised
+// on short lists too.
+func TestSoundnessSamplesEffectiveListLength(t *testing.T) {
+	src := `
+transaction batchGet(n int[0..4], ids list[int[0..9]; 8; n]) {
+    total = 0
+    for i = 0..n {
+        a = get ACCOUNTS[ids[i]]
+        total = total + a.bal
+    }
+    emit total = total
+}`
+	p := mustParse(t, src)
+	check := func(inputs map[string]value.Value) {
+		t.Helper()
+		n := inputs["n"].MustInt()
+		lst := inputs["ids"]
+		if got := int64(lst.Len()); got != n {
+			t.Errorf("sampled list length %d for n=%d (inputs %s)", got, n, renderInputs(inputs))
+		}
+	}
+	for _, s := range boundarySamples(p) {
+		check(s)
+	}
+	rng := rand.New(rand.NewSource(7))
+	sawShort := false
+	for i := 0; i < 32; i++ {
+		s, err := randomSample(p, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(s)
+		if s["n"].MustInt() < 4 {
+			sawShort = true
+		}
+	}
+	if !sawShort {
+		t.Error("32 random samples never drew a short list")
+	}
+
+	// End-to-end: the SE-derived profile must stay sound under
+	// effective-length sampling.
+	prof, err := symexec.AnalyzeOptimized(p)
+	if err != nil {
+		t.Fatalf("AnalyzeOptimized: %v", err)
+	}
+	rep, err := CheckSoundness(p, prof, SoundnessOptions{Samples: 16})
+	if err != nil {
+		t.Fatalf("CheckSoundness: %v", err)
+	}
+	if !rep.Sound() {
+		t.Fatalf("length-dependent profile flagged unsound: over=%v under=%v errs=%v",
+			rep.Over, rep.Under, rep.Errors)
 	}
 }
 

@@ -1,8 +1,10 @@
 // Package memnet provides an in-process message network with configurable
-// delay, loss and partitions. It is the transport substrate under the Raft
-// implementation (internal/raft), letting consensus tests exercise leader
-// failure, partition and heal scenarios deterministically within one
-// process.
+// delay, loss, partitions and per-node down states. It is the transport
+// substrate under the Raft implementation (internal/raft), letting consensus
+// and chaos tests exercise leader failure, crash/restart, partition and heal
+// scenarios deterministically within one process. Delivery and drop counters
+// distinguish every drop cause, so tests assert on observable network state
+// instead of sleeping.
 package memnet
 
 import (
@@ -18,6 +20,25 @@ type Message struct {
 	Payload any
 }
 
+// Stats counts delivery outcomes since the network was created. Every Send
+// increments exactly one field, so Delivered plus all drop counters equals
+// the number of Send calls whose destination was registered.
+type Stats struct {
+	// Delivered counts messages placed in a destination inbox.
+	Delivered int64
+	// DroppedLoss counts drops from the configured loss probability.
+	DroppedLoss int64
+	// DroppedOverflow counts drops from a full destination inbox
+	// (backpressure-as-loss, as UDP would behave).
+	DroppedOverflow int64
+	// DroppedPartition counts drops across a partition boundary.
+	DroppedPartition int64
+	// DroppedDown counts drops to or from a node marked down.
+	DroppedDown int64
+	// DroppedClosed counts drops after the network was closed.
+	DroppedClosed int64
+}
+
 // Network is the in-process fabric. All methods are safe for concurrent
 // use.
 type Network struct {
@@ -29,7 +50,10 @@ type Network struct {
 	maxDelay  time.Duration
 	// blocked holds unordered name pairs that cannot communicate.
 	blocked map[[2]string]bool
-	closed  bool
+	// down holds nodes that are crashed: no traffic in or out.
+	down   map[string]bool
+	closed bool
+	stats  Stats
 }
 
 // New returns a network with no loss, no delay and no partitions. The seed
@@ -39,6 +63,7 @@ func New(seed int64) *Network {
 		rng:       rand.New(rand.NewSource(seed)),
 		endpoints: map[string]*Endpoint{},
 		blocked:   map[[2]string]bool{},
+		down:      map[string]bool{},
 	}
 }
 
@@ -66,6 +91,46 @@ func (n *Network) SetDelay(min, max time.Duration) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.minDelay, n.maxDelay = min, max
+}
+
+// SetDown marks a node crashed (true) or recovered (false). A down node
+// neither sends nor receives; drops are counted as DroppedDown.
+func (n *Network) SetDown(name string, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if down {
+		n.down[name] = true
+	} else {
+		delete(n.down, name)
+	}
+}
+
+// Drain discards all messages queued in the named endpoint's inbox and
+// returns how many were discarded. A restarting node drains its inbox so the
+// fresh process does not observe datagrams addressed to its previous life.
+func (n *Network) Drain(name string) int {
+	n.mu.Lock()
+	e, ok := n.endpoints[name]
+	n.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	dropped := 0
+	for {
+		select {
+		case <-e.inbox:
+			dropped++
+		default:
+			return dropped
+		}
+	}
+}
+
+// Stats returns a snapshot of the delivery/drop counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
 }
 
 // Partition splits the network into groups; messages only flow within a
@@ -128,46 +193,69 @@ func (e *Endpoint) Name() string { return e.name }
 func (e *Endpoint) Inbox() <-chan Message { return e.inbox }
 
 // Send delivers payload to the named endpoint, subject to the network's
-// loss, delay and partition configuration. Delivery is asynchronous; a full
-// inbox drops the message (backpressure-as-loss, as UDP would).
+// loss, delay, partition and down configuration. Delivery is asynchronous; a
+// full inbox drops the message (backpressure-as-loss, as UDP would).
 func (e *Endpoint) Send(to string, payload any) {
 	n := e.net
 	n.mu.Lock()
-	if n.closed || n.blocked[pair(e.name, to)] {
+	if n.closed {
+		n.stats.DroppedClosed++
+		n.mu.Unlock()
+		return
+	}
+	if n.down[e.name] || n.down[to] {
+		n.stats.DroppedDown++
+		n.mu.Unlock()
+		return
+	}
+	if n.blocked[pair(e.name, to)] {
+		n.stats.DroppedPartition++
 		n.mu.Unlock()
 		return
 	}
 	if n.dropProb > 0 && n.rng.Float64() < n.dropProb {
+		n.stats.DroppedLoss++
 		n.mu.Unlock()
 		return
 	}
 	dst, ok := n.endpoints[to]
+	if !ok {
+		n.mu.Unlock()
+		return
+	}
 	var delay time.Duration
 	if n.maxDelay > 0 {
 		delay = n.minDelay + time.Duration(n.rng.Int63n(int64(n.maxDelay-n.minDelay)+1))
-	}
-	n.mu.Unlock()
-	if !ok {
-		return
 	}
 	msg := Message{From: e.name, To: to, Payload: payload}
 	if delay == 0 {
 		select {
 		case dst.inbox <- msg:
+			n.stats.Delivered++
 		default:
+			n.stats.DroppedOverflow++
 		}
+		n.mu.Unlock()
 		return
 	}
+	n.mu.Unlock()
 	time.AfterFunc(delay, func() {
 		n.mu.Lock()
-		blocked := n.closed || n.blocked[pair(msg.From, msg.To)]
-		n.mu.Unlock()
-		if blocked {
-			return
-		}
-		select {
-		case dst.inbox <- msg:
+		defer n.mu.Unlock()
+		switch {
+		case n.closed:
+			n.stats.DroppedClosed++
+		case n.down[msg.From] || n.down[msg.To]:
+			n.stats.DroppedDown++
+		case n.blocked[pair(msg.From, msg.To)]:
+			n.stats.DroppedPartition++
 		default:
+			select {
+			case dst.inbox <- msg:
+				n.stats.Delivered++
+			default:
+				n.stats.DroppedOverflow++
+			}
 		}
 	})
 }

@@ -103,6 +103,116 @@ func TestCloseStopsDelivery(t *testing.T) {
 	}
 }
 
+func TestStatsDistinguishDropCauses(t *testing.T) {
+	n := New(8)
+	a, b := n.Endpoint("a"), n.Endpoint("b")
+
+	a.Send("b", 1)
+	if _, ok := recvWithin(t, b, time.Second); !ok {
+		t.Fatal("delivery failed")
+	}
+
+	n.Partition([]string{"a"}, []string{"b"})
+	a.Send("b", 2)
+	n.Heal()
+
+	n.SetLoss(1.0)
+	a.Send("b", 3)
+	n.SetLoss(0)
+
+	n.SetDown("b", true)
+	a.Send("b", 4)
+	n.SetDown("b", false)
+
+	s := n.Stats()
+	if s.Delivered != 1 || s.DroppedPartition != 1 || s.DroppedLoss != 1 || s.DroppedDown != 1 {
+		t.Fatalf("stats = %+v, want exactly one delivery and one drop per cause", s)
+	}
+	if s.DroppedOverflow != 0 || s.DroppedClosed != 0 {
+		t.Fatalf("unexpected overflow/closed drops: %+v", s)
+	}
+
+	n.Close()
+	a.Send("b", 5)
+	if got := n.Stats().DroppedClosed; got != 1 {
+		t.Fatalf("DroppedClosed = %d, want 1", got)
+	}
+}
+
+func TestStatsCountOverflowSeparatelyFromLoss(t *testing.T) {
+	n := New(9)
+	a := n.Endpoint("a")
+	n.Endpoint("b") // registered, never read: the inbox fills up
+	const total = 1100 // inbox capacity is 1024
+	for i := 0; i < total; i++ {
+		a.Send("b", i)
+	}
+	s := n.Stats()
+	if s.Delivered != 1024 {
+		t.Fatalf("Delivered = %d, want 1024 (inbox capacity)", s.Delivered)
+	}
+	if s.DroppedOverflow != total-1024 {
+		t.Fatalf("DroppedOverflow = %d, want %d", s.DroppedOverflow, total-1024)
+	}
+	if s.DroppedLoss != 0 {
+		t.Fatalf("overflow drops misattributed to loss: %+v", s)
+	}
+}
+
+func TestSetDownBlocksBothDirections(t *testing.T) {
+	n := New(10)
+	a, b := n.Endpoint("a"), n.Endpoint("b")
+	n.SetDown("a", true)
+	a.Send("b", "from-down")
+	b.Send("a", "to-down")
+	if _, ok := recvWithin(t, b, 50*time.Millisecond); ok {
+		t.Fatal("down node sent")
+	}
+	if _, ok := recvWithin(t, a, 50*time.Millisecond); ok {
+		t.Fatal("down node received")
+	}
+	if got := n.Stats().DroppedDown; got != 2 {
+		t.Fatalf("DroppedDown = %d, want 2", got)
+	}
+	n.SetDown("a", false)
+	a.Send("b", "recovered")
+	if _, ok := recvWithin(t, b, time.Second); !ok {
+		t.Fatal("recovered node cannot send")
+	}
+}
+
+func TestDelayedMessageToDownNodeDropped(t *testing.T) {
+	n := New(11)
+	a, b := n.Endpoint("a"), n.Endpoint("b")
+	n.SetDelay(50*time.Millisecond, 60*time.Millisecond)
+	a.Send("b", "in-flight")
+	n.SetDown("b", true)
+	if _, ok := recvWithin(t, b, 200*time.Millisecond); ok {
+		t.Fatal("in-flight message reached a node that crashed before delivery")
+	}
+	if got := n.Stats().DroppedDown; got != 1 {
+		t.Fatalf("DroppedDown = %d, want 1", got)
+	}
+}
+
+func TestDrainEmptiesInbox(t *testing.T) {
+	n := New(12)
+	a := n.Endpoint("a")
+	b := n.Endpoint("b")
+	for i := 0; i < 5; i++ {
+		a.Send("b", i)
+	}
+	if got := n.Drain("b"); got != 5 {
+		t.Fatalf("Drain discarded %d, want 5", got)
+	}
+	if _, ok := recvWithin(t, b, 20*time.Millisecond); ok {
+		t.Fatal("message survived drain")
+	}
+	if got := n.Drain("ghost"); got != 0 {
+		t.Fatalf("Drain of unknown endpoint = %d, want 0", got)
+	}
+}
+
 func TestDelayedMessageRespectsLatePartition(t *testing.T) {
 	n := New(7)
 	a, b := n.Endpoint("a"), n.Endpoint("b")

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -119,4 +120,71 @@ func (c *Counter) Value() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.v
+}
+
+// CounterSet is a named collection of counters, created on first use. The
+// chaos harness and the replica layer use one set per deployment to account
+// for faults injected and recoveries performed (kills, restarts, partitions,
+// WAL corruptions, deduplicated batches, replayed batches, ...). Safe for
+// concurrent use.
+type CounterSet struct {
+	mu sync.Mutex
+	m  map[string]*Counter
+}
+
+// NewCounterSet returns an empty set.
+func NewCounterSet() *CounterSet {
+	return &CounterSet{m: map[string]*Counter{}}
+}
+
+// Counter returns the named counter, creating it at zero if needed.
+func (s *CounterSet) Counter(name string) *Counter {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.m[name]
+	if !ok {
+		c = &Counter{}
+		s.m[name] = c
+	}
+	return c
+}
+
+// Add increments the named counter by delta.
+func (s *CounterSet) Add(name string, delta int64) { s.Counter(name).Add(delta) }
+
+// Value returns the named counter's count (zero if never touched).
+func (s *CounterSet) Value(name string) int64 { return s.Counter(name).Value() }
+
+// Snapshot returns a point-in-time copy of every counter.
+func (s *CounterSet) Snapshot() map[string]int64 {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.m))
+	for n := range s.m {
+		names = append(names, n)
+	}
+	counters := make([]*Counter, len(names))
+	for i, n := range names {
+		counters[i] = s.m[n]
+	}
+	s.mu.Unlock()
+	out := make(map[string]int64, len(names))
+	for i, n := range names {
+		out[n] = counters[i].Value()
+	}
+	return out
+}
+
+// String renders the counters as sorted name=value pairs.
+func (s *CounterSet) String() string {
+	snap := s.Snapshot()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = fmt.Sprintf("%s=%d", n, snap[n])
+	}
+	return strings.Join(parts, " ")
 }

@@ -39,9 +39,25 @@ type storageRecord struct {
 	Entries  []Entry `json:"e,omitempty"`
 }
 
-// OpenFileStorage opens (or creates) persistent Raft state in dir.
+// OpenFileStorage opens (or creates) persistent Raft state in dir with the
+// safe default policy: every record fsynced before the append returns (a
+// node must not communicate a term, vote or entry it could forget).
 func OpenFileStorage(dir string) (*FileStorage, error) {
-	l, err := wal.Open(dir, wal.Options{})
+	return OpenFileStorageWith(dir, wal.Options{Sync: wal.SyncAlways})
+}
+
+// OpenFileStorageWith is OpenFileStorage with an explicit WAL configuration.
+// Relaxing the sync policy below SyncAlways trades crash safety for append
+// throughput and is only sound when the fault model excludes machine
+// crashes (e.g. in-process chaos testing, where a "crash" stops goroutines
+// but never loses page-cache writes). Any torn or corrupted tail left by a
+// previous crash is truncated before the log is reopened, so new appends
+// always extend a verified-clean prefix.
+func OpenFileStorageWith(dir string, opts wal.Options) (*FileStorage, error) {
+	if _, err := wal.Repair(dir); err != nil {
+		return nil, fmt.Errorf("raft: storage repair: %w", err)
+	}
+	l, err := wal.Open(dir, opts)
 	if err != nil {
 		return nil, fmt.Errorf("raft: storage: %w", err)
 	}
@@ -59,7 +75,9 @@ func (fs *FileStorage) append(rec storageRecord) error {
 	if err := fs.log.Append(data); err != nil {
 		return fmt.Errorf("raft: storage append: %w", err)
 	}
-	return fs.log.Sync()
+	// Durability is governed by the log's SyncPolicy (SyncAlways by
+	// default), not an unconditional fsync here.
+	return nil
 }
 
 // SaveState implements Storage.

@@ -3,12 +3,17 @@
 // them, an optional write-ahead log for durability, and a state hash for
 // divergence detection. A Cluster helper assembles a full in-process
 // deployment (N replicas + dispatchers) for the examples, tests and
-// cmd/replicad.
+// cmd/replicad — including per-replica crash and rejoin: a crashed node's
+// store is rebuilt by replaying its WAL, then caught up through Raft to the
+// live commit index, while apply-time batch-ID deduplication makes client
+// resubmission after an ambiguous leader change idempotent.
 package replica
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -32,6 +37,14 @@ type Replica struct {
 	mu          sync.Mutex
 	lastApplied uint64 // raft index of last applied batch
 	batches     int
+	// appliedIDs maps each applied batch's idempotency ID to the raft index
+	// of its first (and only executed) occurrence. Rebuilt from the WAL on
+	// recovery, so deduplication decisions are identical across crashes and
+	// across replicas: every replica sees the same committed sequence and
+	// skips the same duplicates.
+	appliedIDs  map[string]uint64
+	deduped     int // duplicate batches skipped (idempotent resubmission)
+	redelivered int // already-applied entries re-delivered by raft after restart
 	stopCh      chan struct{}
 	stopOnce    sync.Once
 	wg          sync.WaitGroup
@@ -39,7 +52,25 @@ type Replica struct {
 
 // New returns a replica applying batches through exec. wlog may be nil.
 func New(id string, exec engine.Executor, st *store.Store, wlog *wal.Log) *Replica {
-	return &Replica{ID: id, exec: exec, st: st, log: wlog, stopCh: make(chan struct{})}
+	return &Replica{
+		ID: id, exec: exec, st: st, log: wlog,
+		appliedIDs: map[string]uint64{},
+		stopCh:     make(chan struct{}),
+	}
+}
+
+// Resume seeds the replica's apply position from a WAL recovery, so that
+// Raft's re-delivery of committed entries from index 1 (there is no
+// snapshotting) skips everything the recovered store already contains. Must
+// be called before Start.
+func (r *Replica) Resume(rep RecoveryReport) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.lastApplied = rep.LastIndex
+	r.batches = rep.Batches
+	for id, idx := range rep.AppliedIDs {
+		r.appliedIDs[id] = idx
+	}
 }
 
 // Start launches the apply loop consuming committed entries.
@@ -70,24 +101,48 @@ func (r *Replica) Stop() {
 }
 
 func (r *Replica) applyOne(c raft.Committed) error {
-	reqs, err := sequencer.DecodeCommitted(c)
+	b, err := sequencer.DecodeBatch(c)
 	if err != nil {
 		return fmt.Errorf("replica %s: %w", r.ID, err)
 	}
-	// Durability first: log the ordered batch, then apply. Recovery
-	// replays the log through a fresh engine; determinism guarantees the
-	// same end state.
+	r.mu.Lock()
+	if c.Index <= r.lastApplied {
+		// Raft re-delivers from index 1 after a restart; the recovered
+		// prefix is already in the store.
+		r.redelivered++
+		r.mu.Unlock()
+		return nil
+	}
+	if b.ID != "" {
+		if _, dup := r.appliedIDs[b.ID]; dup {
+			// A resubmitted batch committed twice (ambiguous leader change
+			// mid-submit): execute the first occurrence only. The duplicate
+			// is not WAL-logged either, so recovery replays it exactly once.
+			r.deduped++
+			r.lastApplied = c.Index
+			r.mu.Unlock()
+			return nil
+		}
+	}
+	r.mu.Unlock()
+	// Durability first: log the ordered batch (with its raft index, so
+	// recovery reconstructs identical sequence numbers), then apply.
+	// Recovery replays the log through a fresh engine; determinism
+	// guarantees the same end state.
 	if r.log != nil {
-		if err := r.log.Append(c.Cmd); err != nil {
+		if err := r.log.Append(envelope(c.Index, c.Cmd)); err != nil {
 			return fmt.Errorf("replica %s: wal: %w", r.ID, err)
 		}
 	}
-	if _, err := r.exec.ExecuteBatch(reqs); err != nil {
+	if _, err := r.exec.ExecuteBatch(b.Requests); err != nil {
 		return fmt.Errorf("replica %s: apply batch %d: %w", r.ID, c.Index, err)
 	}
 	r.mu.Lock()
 	r.lastApplied = c.Index
 	r.batches++
+	if b.ID != "" {
+		r.appliedIDs[b.ID] = c.Index
+	}
 	r.mu.Unlock()
 	return nil
 }
@@ -99,48 +154,142 @@ func (r *Replica) LastApplied() uint64 {
 	return r.lastApplied
 }
 
-// Batches returns the number of applied batches.
+// Batches returns the number of batches this replica's store state
+// reflects: batches executed live plus batches replayed from the WAL at
+// recovery. Duplicates and re-deliveries are never counted, so under an
+// exactly-once workload this equals the number of distinct submitted
+// batches.
 func (r *Replica) Batches() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.batches
 }
 
+// Deduped returns how many duplicate batch resubmissions were skipped.
+func (r *Replica) Deduped() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.deduped
+}
+
+// Redelivered returns how many already-applied entries Raft re-delivered
+// (the catch-up prefix after a restart).
+func (r *Replica) Redelivered() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.redelivered
+}
+
 // StateHash returns the order-independent hash of the replica's current
 // store state.
 func (r *Replica) StateHash() uint64 { return r.st.StateHash(r.st.Epoch()) }
 
-// Recover replays a WAL directory through exec, rebuilding the store state
-// of a crashed replica. It returns the number of batches replayed.
-func Recover(dir string, exec engine.Executor) (int, error) {
-	n := 0
-	err := wal.Replay(dir, func(payload []byte) error {
-		reqs, err := sequencer.DecodeCommitted(raft.Committed{Index: uint64(n + 1), Cmd: payload})
+// --- WAL record envelope ---
+
+// Replica WAL records are framed as an 8-byte little-endian raft index
+// followed by the committed batch payload. Persisting the index keeps
+// recovered sequence numbers (derived from the index) identical to the
+// original execution even when deduplicated batches leave gaps in the
+// logged index sequence.
+const envelopeHeader = 8
+
+func envelope(idx uint64, cmd []byte) []byte {
+	out := make([]byte, envelopeHeader+len(cmd))
+	binary.LittleEndian.PutUint64(out[:envelopeHeader], idx)
+	copy(out[envelopeHeader:], cmd)
+	return out
+}
+
+func parseEnvelope(payload []byte) (uint64, []byte, error) {
+	if len(payload) < envelopeHeader {
+		return 0, nil, fmt.Errorf("replica: wal record too short (%d bytes)", len(payload))
+	}
+	return binary.LittleEndian.Uint64(payload[:envelopeHeader]), payload[envelopeHeader:], nil
+}
+
+// RecoveryReport summarizes a WAL recovery: what was replayed and what, if
+// anything, a corrupted tail cost.
+type RecoveryReport struct {
+	// Batches is the number of batches replayed into the executor.
+	Batches int
+	// LastIndex is the raft index of the last replayed batch (the resume
+	// point: Raft redelivery catches the replica up from here).
+	LastIndex uint64
+	// AppliedIDs maps replayed batch idempotency IDs to their raft index.
+	AppliedIDs map[string]uint64
+	// WAL reports the physical repair: whether a torn or corrupted tail was
+	// truncated and how many bytes of unreplayable suffix were discarded
+	// (those batches are re-fetched through Raft, not lost).
+	WAL wal.Stats
+}
+
+// Recover rebuilds the store state of a crashed replica by replaying its WAL
+// directory through exec. The log is first repaired — truncated at the first
+// torn or corrupted record — so the surviving prefix is exactly what is
+// replayed and subsequent appends extend a verified-clean log. The report
+// says how many batches were replayed, where to resume, and how much the
+// corruption (if any) cost.
+func Recover(dir string, exec engine.Executor) (RecoveryReport, error) {
+	rep := RecoveryReport{AppliedIDs: map[string]uint64{}}
+	st, err := wal.Repair(dir)
+	if err != nil {
+		return rep, fmt.Errorf("replica: recover repair: %w", err)
+	}
+	rep.WAL = st
+	err = wal.Replay(dir, func(payload []byte) error {
+		idx, cmd, err := parseEnvelope(payload)
 		if err != nil {
 			return err
 		}
-		if _, err := exec.ExecuteBatch(reqs); err != nil {
+		b, err := sequencer.DecodeBatch(raft.Committed{Index: idx, Cmd: cmd})
+		if err != nil {
 			return err
 		}
-		n++
+		if _, err := exec.ExecuteBatch(b.Requests); err != nil {
+			return err
+		}
+		rep.Batches++
+		rep.LastIndex = idx
+		if b.ID != "" {
+			rep.AppliedIDs[b.ID] = idx
+		}
 		return nil
 	})
 	if err != nil {
-		return n, fmt.Errorf("replica: recover: %w", err)
+		return rep, fmt.Errorf("replica: recover: %w", err)
 	}
-	return n, nil
+	return rep, nil
 }
 
 // Cluster is an in-process deployment: N Raft nodes, one replica each, and
-// a dispatcher per node. It is the top-level object the examples and
-// cmd/replicad drive. Consensus traffic flows over simulated channels
-// (memnet, the default) or real loopback TCP sockets (tcpnet).
+// a dispatcher per node. It is the top-level object the examples, tests,
+// cmd/replicad and the chaos harness drive. Consensus traffic flows over
+// simulated channels (memnet, the default) or real loopback TCP sockets
+// (tcpnet). With DataDir set, every node persists its Raft state and its
+// replica WAL, enabling per-replica Crash and Restart.
+//
+// The exported slices are stable for the lifetime of the cluster object;
+// their ELEMENTS are replaced by Restart. Code that may run concurrently
+// with crash/restart (the chaos harness, SubmitBatch retries) must use the
+// accessor methods, which lock.
 type Cluster struct {
 	Net         *memnet.Network // nil when running over TCP
 	Endpoints   []*tcpnet.Endpoint
 	Nodes       []*raft.Node
 	Replicas    []*Replica
 	Dispatchers []*sequencer.Dispatcher
+
+	cfg      ClusterConfig
+	ids      []string
+	dataDir  string
+	idPrefix string // boot nonce making batch IDs unique across cluster lifetimes
+
+	mu          sync.Mutex
+	down        []bool
+	generations []int
+	storages    []*raft.FileStorage
+	wlogs       []*wal.Log
+	batchSeq    uint64
 
 	errMu sync.Mutex
 	err   error
@@ -150,13 +299,30 @@ type Cluster struct {
 type ClusterConfig struct {
 	Replicas int
 	Seed     int64
-	// NewExecutor builds each replica's executor over its private store.
+	// NewExecutor builds each replica's executor over its private store. It
+	// is called again on Restart: the factory must produce the same initial
+	// state (e.g. the same Populate) so WAL replay rebuilds on top of it.
 	NewExecutor func(replicaID string, st *store.Store) (engine.Executor, error)
 	// Raft overrides the consensus timing (zero = defaults).
 	Raft raft.Config
 	// TCP routes consensus over real loopback sockets instead of the
-	// in-process simulated network.
+	// in-process simulated network. Crash/Restart require the memnet
+	// transport.
 	TCP bool
+	// DataDir enables durability: node i persists its Raft state under
+	// DataDir/<id>/raft and its replica WAL under DataDir/<id>/wal.
+	// Required for Crash/Restart (a node restarting without persisted
+	// term/vote could double-vote).
+	DataDir string
+	// WALSync selects the replica WAL fsync policy (default SyncOS: the
+	// in-process fault model crashes goroutines, not machines).
+	WALSync wal.SyncPolicy
+	// QuorumSubmit makes SubmitBatch report success once a majority of
+	// replicas applied the batch (the committed entry is durable; laggards
+	// catch up through Raft). Default false waits for every live replica —
+	// the right semantics when callers compare all state hashes immediately
+	// after submit.
+	QuorumSubmit bool
 }
 
 // NewCluster assembles and starts an in-process cluster.
@@ -167,11 +333,23 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.NewExecutor == nil {
 		return nil, fmt.Errorf("replica: cluster needs a NewExecutor factory")
 	}
-	c := &Cluster{}
-	ids := make([]string, cfg.Replicas)
-	for i := range ids {
-		ids[i] = fmt.Sprintf("replica-%d", i)
+	c := &Cluster{
+		cfg:      cfg,
+		dataDir:  cfg.DataDir,
+		idPrefix: fmt.Sprintf("%x", time.Now().UnixNano()),
 	}
+	n := cfg.Replicas
+	c.ids = make([]string, n)
+	for i := range c.ids {
+		c.ids[i] = fmt.Sprintf("replica-%d", i)
+	}
+	c.Nodes = make([]*raft.Node, n)
+	c.Replicas = make([]*Replica, n)
+	c.Dispatchers = make([]*sequencer.Dispatcher, n)
+	c.down = make([]bool, n)
+	c.generations = make([]int, n)
+	c.storages = make([]*raft.FileStorage, n)
+	c.wlogs = make([]*wal.Log, n)
 	var dir *tcpnet.Directory
 	if cfg.TCP {
 		tcpnet.Register(raft.WireTypes()...)
@@ -179,33 +357,224 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	} else {
 		c.Net = memnet.New(cfg.Seed)
 	}
-	for i, id := range ids {
-		var node *raft.Node
-		if cfg.TCP {
-			ep, err := tcpnet.Listen(id, "127.0.0.1:0", dir)
-			if err != nil {
-				return nil, fmt.Errorf("replica: cluster transport for %s: %w", id, err)
-			}
-			c.Endpoints = append(c.Endpoints, ep)
-			node = raft.NewNodeWithTransport(id, ids, ep, cfg.Raft, cfg.Seed+int64(i)*7919)
-		} else {
-			node = raft.NewNode(id, ids, c.Net, cfg.Raft, cfg.Seed+int64(i)*7919)
+	for i := range c.ids {
+		if err := c.startNode(i, dir); err != nil {
+			return nil, err
 		}
-		st := store.New()
-		exec, err := cfg.NewExecutor(id, st)
-		if err != nil {
-			return nil, fmt.Errorf("replica: cluster executor for %s: %w", id, err)
-		}
-		rep := New(id, exec, st, nil)
-		c.Nodes = append(c.Nodes, node)
-		c.Replicas = append(c.Replicas, rep)
-		c.Dispatchers = append(c.Dispatchers, sequencer.NewDispatcher(node))
 	}
 	for i := range c.Nodes {
-		c.Nodes[i].Start()
-		c.Replicas[i].Start(c.Nodes[i].Apply(), c.recordErr)
+		c.launch(i)
 	}
 	return c, nil
+}
+
+// startNode builds (or rebuilds, on restart) node i: transport endpoint,
+// raft node with optional persistent storage, a fresh store recovered from
+// the replica WAL, and a dispatcher. It does not start the event loops.
+// Callers hold no cluster lock; the built components are installed under
+// c.mu.
+func (c *Cluster) startNode(i int, dir *tcpnet.Directory) error {
+	id := c.ids[i]
+	c.mu.Lock()
+	gen := c.generations[i]
+	c.mu.Unlock()
+	seed := c.cfg.Seed + int64(i)*7919 + int64(gen)*104729
+	var node *raft.Node
+	if c.cfg.TCP {
+		ep, err := tcpnet.Listen(id, "127.0.0.1:0", dir)
+		if err != nil {
+			return fmt.Errorf("replica: cluster transport for %s: %w", id, err)
+		}
+		c.Endpoints = append(c.Endpoints, ep)
+		node = raft.NewNodeWithTransport(id, c.ids, ep, c.cfg.Raft, seed)
+	} else {
+		node = raft.NewNode(id, c.ids, c.Net, c.cfg.Raft, seed)
+	}
+	var storage *raft.FileStorage
+	if c.dataDir != "" {
+		stg, err := raft.OpenFileStorage(filepath.Join(c.dataDir, id, "raft"))
+		if err != nil {
+			return fmt.Errorf("replica: cluster raft storage for %s: %w", id, err)
+		}
+		if err := node.UseStorage(stg); err != nil {
+			_ = stg.Close()
+			return fmt.Errorf("replica: cluster raft storage for %s: %w", id, err)
+		}
+		storage = stg
+	}
+	st := store.New()
+	exec, err := c.cfg.NewExecutor(id, st)
+	if err != nil {
+		if storage != nil {
+			_ = storage.Close()
+		}
+		return fmt.Errorf("replica: cluster executor for %s: %w", id, err)
+	}
+	var wlog *wal.Log
+	var recovered RecoveryReport
+	if c.dataDir != "" {
+		wdir := c.WALDir(i)
+		recovered, err = Recover(wdir, exec)
+		if err != nil {
+			_ = storage.Close()
+			return fmt.Errorf("replica: cluster recovery for %s: %w", id, err)
+		}
+		wlog, err = wal.Open(wdir, wal.Options{Sync: c.cfg.WALSync})
+		if err != nil {
+			_ = storage.Close()
+			return fmt.Errorf("replica: cluster wal for %s: %w", id, err)
+		}
+	}
+	rep := New(id, exec, st, wlog)
+	rep.Resume(recovered)
+	c.mu.Lock()
+	c.Nodes[i] = node
+	c.Replicas[i] = rep
+	c.Dispatchers[i] = sequencer.NewDispatcher(node)
+	c.storages[i] = storage
+	c.wlogs[i] = wlog
+	c.mu.Unlock()
+	return nil
+}
+
+// launch starts node i's event loops.
+func (c *Cluster) launch(i int) {
+	node, rep := c.node(i), c.replica(i)
+	node.Start()
+	rep.Start(node.Apply(), c.recordErr)
+}
+
+// --- locked accessors (safe against concurrent Restart) ---
+
+func (c *Cluster) node(i int) *raft.Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.Nodes[i]
+}
+
+func (c *Cluster) replica(i int) *Replica {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.Replicas[i]
+}
+
+func (c *Cluster) dispatcher(i int) *sequencer.Dispatcher {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.Dispatchers[i]
+}
+
+// NodeAt returns node i (safe against concurrent Restart).
+func (c *Cluster) NodeAt(i int) *raft.Node { return c.node(i) }
+
+// ReplicaAt returns replica i (safe against concurrent Restart).
+func (c *Cluster) ReplicaAt(i int) *Replica { return c.replica(i) }
+
+// IDs returns the member names, index-aligned with the replica slices.
+func (c *Cluster) IDs() []string {
+	out := make([]string, len(c.ids))
+	copy(out, c.ids)
+	return out
+}
+
+// Size returns the cluster membership size.
+func (c *Cluster) Size() int { return len(c.ids) }
+
+// WALDir returns replica i's WAL directory ("" without persistence).
+func (c *Cluster) WALDir(i int) string {
+	if c.dataDir == "" {
+		return ""
+	}
+	return filepath.Join(c.dataDir, c.ids[i], "wal")
+}
+
+// RaftDir returns node i's Raft storage directory ("" without persistence).
+func (c *Cluster) RaftDir(i int) string {
+	if c.dataDir == "" {
+		return ""
+	}
+	return filepath.Join(c.dataDir, c.ids[i], "raft")
+}
+
+// IsDown reports whether replica i is currently crashed.
+func (c *Cluster) IsDown(i int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.down[i]
+}
+
+// DownReplicas returns the indices of currently crashed replicas.
+func (c *Cluster) DownReplicas() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []int
+	for i, d := range c.down {
+		if d {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Crash stops replica i like a process kill: its apply loop and Raft node
+// halt and its WAL and Raft storage files are closed. State survives on
+// disk; the node rejoins via Restart. Requires persistence (DataDir) and the
+// memnet transport.
+func (c *Cluster) Crash(i int) error {
+	if c.cfg.TCP {
+		return fmt.Errorf("replica: crash/restart requires the memnet transport")
+	}
+	if c.dataDir == "" {
+		return fmt.Errorf("replica: crash requires DataDir persistence (a node without persisted term/vote could double-vote on rejoin)")
+	}
+	c.mu.Lock()
+	if c.down[i] {
+		c.mu.Unlock()
+		return fmt.Errorf("replica: %s is already down", c.ids[i])
+	}
+	c.down[i] = true
+	node, rep := c.Nodes[i], c.Replicas[i]
+	storage, wlog := c.storages[i], c.wlogs[i]
+	c.mu.Unlock()
+	// Cut network traffic first (the node is gone from the fabric), then
+	// stop the loops, then close the files they were writing.
+	c.Net.SetDown(c.ids[i], true)
+	rep.Stop()
+	node.Stop()
+	if wlog != nil {
+		_ = wlog.Close()
+	}
+	if storage != nil {
+		_ = storage.Close()
+	}
+	return nil
+}
+
+// Restart rejoins a crashed replica: a fresh store is rebuilt by replaying
+// its (repaired) WAL, the Raft node reloads its persisted term/vote/log, and
+// re-delivery from the live leader catches the replica up to the commit
+// index. The executor is rebuilt through the NewExecutor factory.
+func (c *Cluster) Restart(i int) error {
+	c.mu.Lock()
+	if !c.down[i] {
+		c.mu.Unlock()
+		return fmt.Errorf("replica: %s is not down", c.ids[i])
+	}
+	c.generations[i]++
+	c.mu.Unlock()
+	// A fresh process would not see datagrams addressed to its previous
+	// life: drain the inbox before rejoining the fabric.
+	c.Net.Drain(c.ids[i])
+	c.Net.SetDown(c.ids[i], false)
+	if err := c.startNode(i, nil); err != nil {
+		c.Net.SetDown(c.ids[i], true)
+		return err
+	}
+	c.launch(i)
+	c.mu.Lock()
+	c.down[i] = false
+	c.mu.Unlock()
+	return nil
 }
 
 func (c *Cluster) recordErr(err error) {
@@ -225,11 +594,24 @@ func (c *Cluster) Err() error {
 
 // Stop shuts the cluster down.
 func (c *Cluster) Stop() {
-	for _, r := range c.Replicas {
-		r.Stop()
+	for i := range c.ids {
+		c.replica(i).Stop()
 	}
-	for _, n := range c.Nodes {
-		n.Stop()
+	for i := range c.ids {
+		c.node(i).Stop()
+	}
+	c.mu.Lock()
+	storages, wlogs := c.storages, c.wlogs
+	c.mu.Unlock()
+	for _, w := range wlogs {
+		if w != nil {
+			_ = w.Close()
+		}
+	}
+	for _, s := range storages {
+		if s != nil {
+			_ = s.Close()
+		}
 	}
 	if c.Net != nil {
 		c.Net.Close()
@@ -239,60 +621,139 @@ func (c *Cluster) Stop() {
 	}
 }
 
-// WaitLeader blocks until some node is leader, returning its index.
+// WaitLeader blocks until some live node is leader, returning its index.
+// When several nodes claim leadership (a stale leader isolated in a minority
+// partition never learns it was deposed), the claimant with the highest term
+// wins — only it can commit.
 func (c *Cluster) WaitLeader(within time.Duration) (int, error) {
 	deadline := time.Now().Add(within)
-	for time.Now().Before(deadline) {
-		for i, n := range c.Nodes {
-			if role, _ := n.Status(); role == raft.Leader {
-				return i, nil
+	for {
+		best, bestTerm := -1, uint64(0)
+		for i := range c.ids {
+			if c.IsDown(i) {
+				continue
 			}
+			if role, term := c.node(i).Status(); role == raft.Leader && term > bestTerm {
+				best, bestTerm = i, term
+			}
+		}
+		if best >= 0 {
+			return best, nil
+		}
+		if !time.Now().Before(deadline) {
+			return -1, fmt.Errorf("replica: no leader within %v", within)
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	return -1, fmt.Errorf("replica: no leader within %v", within)
 }
 
-// SubmitBatch routes one batch of requests through the current leader —
-// retrying through the new leader if leadership moves mid-submit — and
-// waits until every replica has applied it.
+// submitAttemptWindow bounds how long one proposal is waited on before the
+// batch is re-proposed (idempotently) through the then-current leader. A
+// proposal can be lost without any error signal when its leader crashes
+// after accepting it but before replicating it.
+const submitAttemptWindow = 2 * time.Second
+
+// SubmitBatch routes one batch of requests through the current leader and
+// waits until the replicas have applied it: every live replica by default, a
+// majority with ClusterConfig.QuorumSubmit. The batch carries a unique
+// idempotency ID, so when its outcome turns ambiguous — the leader crashed
+// or was deposed after Propose, mid-replication — the SAME batch is safely
+// re-proposed through the new leader: replicas execute the first committed
+// occurrence and skip duplicates. Exactly-once application, at-least-once
+// submission.
 func (c *Cluster) SubmitBatch(reqs []struct {
 	TxName string
 	Inputs map[string]value.Value
 }, within time.Duration) error {
+	c.mu.Lock()
+	c.batchSeq++
+	id := fmt.Sprintf("%s-%d", c.idPrefix, c.batchSeq)
+	c.mu.Unlock()
 	deadline := time.Now().Add(within)
-	var idx uint64
 	for {
 		li, err := c.WaitLeader(time.Until(deadline))
 		if err != nil {
 			return err
 		}
-		d := c.Dispatchers[li]
+		d := c.dispatcher(li)
 		for _, r := range reqs {
 			d.Submit(r.TxName, r.Inputs)
 		}
-		idx, err = d.Flush()
-		if err == nil {
-			break
+		idx, err := d.FlushAs(id)
+		if err != nil {
+			// Leadership moved between WaitLeader and Flush: drop this
+			// node's buffer (the batch was never proposed) and re-route.
+			d.Discard()
+			if !errors.Is(err, sequencer.ErrNotLeader) {
+				return err
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("replica: no stable leader within %v", within)
+			}
+			time.Sleep(5 * time.Millisecond)
+			continue
 		}
-		// Leadership moved between WaitLeader and Flush: drop this
-		// node's buffer (the batch was never proposed) and re-route.
-		d.Discard()
-		if !errors.Is(err, sequencer.ErrNotLeader) {
-			return err
+		window := time.Now().Add(submitAttemptWindow)
+		if window.After(deadline) {
+			window = deadline
 		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("replica: no stable leader within %v", within)
+		for time.Now().Before(window) {
+			if err := c.Err(); err != nil {
+				return err
+			}
+			if c.appliedBy(idx) {
+				return nil
+			}
+			time.Sleep(2 * time.Millisecond)
 		}
-		time.Sleep(5 * time.Millisecond)
+		if !time.Now().Before(deadline) {
+			return fmt.Errorf("replica: batch %s (index %d) not applied within %v", id, idx, within)
+		}
+		// Ambiguous: the proposal may or may not have committed. Re-propose
+		// the same ID through whoever leads now; apply-time dedup makes the
+		// retry idempotent.
 	}
-	for time.Now().Before(deadline) {
+}
+
+// appliedBy reports whether enough replicas have applied entry idx: all live
+// replicas, or a majority of the membership with QuorumSubmit.
+func (c *Cluster) appliedBy(idx uint64) bool {
+	applied, live := 0, 0
+	for i := range c.ids {
+		if c.IsDown(i) {
+			continue
+		}
+		live++
+		if c.replica(i).LastApplied() >= idx {
+			applied++
+		}
+	}
+	if c.cfg.QuorumSubmit {
+		return applied >= len(c.ids)/2+1
+	}
+	return live > 0 && applied == live
+}
+
+// WaitCaughtUp blocks until every live replica has applied at least the
+// leader's current commit index (and a leader exists). After a Restart and a
+// Heal, this is the quiesce point where all state hashes must agree.
+func (c *Cluster) WaitCaughtUp(within time.Duration) error {
+	deadline := time.Now().Add(within)
+	for {
 		if err := c.Err(); err != nil {
 			return err
 		}
+		li, err := c.WaitLeader(time.Until(deadline))
+		if err != nil {
+			return err
+		}
+		target := c.node(li).CommitIndex()
 		done := true
-		for _, rep := range c.Replicas {
-			if rep.LastApplied() < idx {
+		for i := range c.ids {
+			if c.IsDown(i) {
+				continue
+			}
+			if c.replica(i).LastApplied() < target {
 				done = false
 				break
 			}
@@ -300,16 +761,19 @@ func (c *Cluster) SubmitBatch(reqs []struct {
 		if done {
 			return nil
 		}
-		time.Sleep(2 * time.Millisecond)
+		if !time.Now().Before(deadline) {
+			return fmt.Errorf("replica: not caught up to index %d within %v", target, within)
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
-	return fmt.Errorf("replica: batch %d not applied everywhere within %v", idx, within)
 }
 
-// StateHashes returns every replica's state hash.
+// StateHashes returns every replica's state hash (crashed replicas report
+// their state as of the crash).
 func (c *Cluster) StateHashes() []uint64 {
-	out := make([]uint64, len(c.Replicas))
-	for i, r := range c.Replicas {
-		out[i] = r.StateHash()
+	out := make([]uint64, len(c.ids))
+	for i := range c.ids {
+		out[i] = c.replica(i).StateHash()
 	}
 	return out
 }

@@ -1,6 +1,7 @@
 package replica
 
 import (
+	"os"
 	"testing"
 	"time"
 
@@ -171,15 +172,277 @@ func TestWALRecoveryRebuildsState(t *testing.T) {
 	// Crash-recover: replay the WAL into a fresh store.
 	st2 := store.New()
 	exec2 := engine.New(reg, st2, engine.Config{Workers: 8})
-	n, err := Recover(dir, exec2)
+	rec, err := Recover(dir, exec2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n != len(batches) {
-		t.Fatalf("recovered %d batches, want %d", n, len(batches))
+	if rec.Batches != len(batches) {
+		t.Fatalf("recovered %d batches, want %d", rec.Batches, len(batches))
+	}
+	if rec.LastIndex != uint64(len(batches)) {
+		t.Fatalf("recovered last index %d, want %d", rec.LastIndex, len(batches))
+	}
+	if rec.WAL.Truncated {
+		t.Fatal("clean WAL reported as truncated")
 	}
 	if got := st2.StateHash(st2.Epoch()); got != want {
 		t.Fatalf("recovered state hash %x != original %x", got, want)
+	}
+}
+
+// writeBatchesToWAL applies n batches through a replica backed by dir's WAL
+// and returns the state hash after each batch (hashes[i] = state after batch
+// i+1).
+func writeBatchesToWAL(t *testing.T, dir string, n int) []uint64 {
+	t.Helper()
+	reg := testRegistry(t)
+	wlog, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := store.New()
+	rep := New("r0", engine.New(reg, st, engine.Config{Workers: 2}), st, wlog)
+	hashes := make([]uint64, 0, n)
+	for b := 0; b < n; b++ {
+		var reqs []engine.Request
+		for i := 0; i < 8; i++ {
+			reqs = append(reqs, engine.Request{TxName: "deposit",
+				Inputs: map[string]value.Value{
+					"k": value.Int(int64((b*3 + i) % 20)), "amt": value.Int(int64(1 + i)),
+				}})
+		}
+		data, err := encodeForTest(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.applyOne(committedForTest(uint64(b+1), data)); err != nil {
+			t.Fatal(err)
+		}
+		hashes = append(hashes, rep.StateHash())
+	}
+	if err := wlog.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return hashes
+}
+
+// TestRecoverTruncatedTail: a crash mid-append leaves a torn final record.
+// Recovery must replay the intact prefix, report the loss, and leave the log
+// physically truncated so new appends extend a clean prefix.
+func TestRecoverTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	hashes := writeBatchesToWAL(t, dir, 5)
+
+	segs, err := wal.SegmentPaths(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments: %v %v", segs, err)
+	}
+	last := segs[len(segs)-1]
+	info, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final record: chop a few bytes off the segment tail.
+	if err := os.Truncate(last, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := testRegistry(t)
+	st := store.New()
+	rec, err := Recover(dir, engine.New(reg, st, engine.Config{Workers: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Batches != 4 {
+		t.Fatalf("replayed %d batches after torn tail, want 4", rec.Batches)
+	}
+	if rec.LastIndex != 4 {
+		t.Fatalf("resume index %d, want 4", rec.LastIndex)
+	}
+	if !rec.WAL.Truncated || rec.WAL.LostBytes <= 0 {
+		t.Fatalf("loss not reported: %+v", rec.WAL)
+	}
+	if got := st.StateHash(st.Epoch()); got != hashes[3] {
+		t.Fatalf("recovered state %x != state after 4 intact batches %x", got, hashes[3])
+	}
+
+	// The repaired log must accept appends and verify clean afterwards.
+	wlog, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wlog.Append([]byte("post-repair")); err != nil {
+		t.Fatal(err)
+	}
+	if err := wlog.Close(); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := wal.Verify(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Truncated {
+		t.Fatalf("log still corrupt after repair: %+v", stats)
+	}
+}
+
+// TestRecoverBitFlippedTail: a flipped bit in the last record's payload fails
+// its checksum; recovery replays only the records before it.
+func TestRecoverBitFlippedTail(t *testing.T) {
+	dir := t.TempDir()
+	hashes := writeBatchesToWAL(t, dir, 5)
+
+	segs, err := wal.SegmentPaths(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments: %v %v", segs, err)
+	}
+	last := segs[len(segs)-1]
+	data, err := os.ReadFile(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x40
+	if err := os.WriteFile(last, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := testRegistry(t)
+	st := store.New()
+	rec, err := Recover(dir, engine.New(reg, st, engine.Config{Workers: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Batches != 4 {
+		t.Fatalf("replayed %d batches after bit flip, want 4", rec.Batches)
+	}
+	if !rec.WAL.Truncated {
+		t.Fatalf("corruption not reported: %+v", rec.WAL)
+	}
+	if got := st.StateHash(st.Epoch()); got != hashes[3] {
+		t.Fatalf("recovered state %x != state after 4 intact batches %x", got, hashes[3])
+	}
+}
+
+// TestApplyDeduplicatesBatchID: the same idempotency ID committed at two raft
+// indices executes once; recovery replays exactly one occurrence and rebuilds
+// the dedup table.
+func TestApplyDeduplicatesBatchID(t *testing.T) {
+	reg := testRegistry(t)
+	dir := t.TempDir()
+	wlog, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := store.New()
+	rep := New("r0", engine.New(reg, st, engine.Config{Workers: 2}), st, wlog)
+
+	reqs := []engine.Request{{TxName: "deposit",
+		Inputs: map[string]value.Value{"k": value.Int(1), "amt": value.Int(10)}}}
+	data, err := sequencer.EncodeBatchID("batch-A", reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.applyOne(committedForTest(1, data)); err != nil {
+		t.Fatal(err)
+	}
+	want := rep.StateHash()
+	// The duplicate (resubmitted after an ambiguous outcome) commits again at
+	// index 2: it must be skipped, not double-deposited.
+	if err := rep.applyOne(committedForTest(2, data)); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Batches() != 1 || rep.Deduped() != 1 {
+		t.Fatalf("batches=%d deduped=%d, want 1/1", rep.Batches(), rep.Deduped())
+	}
+	if rep.LastApplied() != 2 {
+		t.Fatalf("lastApplied=%d, want 2 (dup advances the watermark)", rep.LastApplied())
+	}
+	if rep.StateHash() != want {
+		t.Fatal("duplicate batch changed state")
+	}
+	if err := wlog.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery sees only the first occurrence (dups are not logged).
+	st2 := store.New()
+	rec, err := Recover(dir, engine.New(reg, st2, engine.Config{Workers: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Batches != 1 {
+		t.Fatalf("recovered %d batches, want 1", rec.Batches)
+	}
+	if idx, ok := rec.AppliedIDs["batch-A"]; !ok || idx != 1 {
+		t.Fatalf("dedup table not rebuilt: %v", rec.AppliedIDs)
+	}
+	if got := st2.StateHash(st2.Epoch()); got != want {
+		t.Fatalf("recovered state %x != original %x", got, want)
+	}
+}
+
+// TestClusterCrashRestartCatchUp: crash a follower mid-workload, keep
+// submitting, restart it, and require it to recover its WAL prefix and catch
+// up through Raft to full convergence.
+func TestClusterCrashRestartCatchUp(t *testing.T) {
+	cfg := clusterConfig(t, 3, nil)
+	cfg.DataDir = t.TempDir()
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	submit := func(n int) {
+		t.Helper()
+		for b := 0; b < n; b++ {
+			var reqs []struct {
+				TxName string
+				Inputs map[string]value.Value
+			}
+			for i := 0; i < 10; i++ {
+				reqs = append(reqs, deposit(int64(i%12), int64(1+i)))
+			}
+			if err := c.SubmitBatch(reqs, 15*time.Second); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	submit(3)
+	li, err := c.WaitLeader(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash a follower so the remaining pair keeps committing.
+	victim := (li + 1) % c.Size()
+	if err := c.Crash(victim); err != nil {
+		t.Fatal(err)
+	}
+	if !c.IsDown(victim) || len(c.DownReplicas()) != 1 {
+		t.Fatal("down bookkeeping wrong after crash")
+	}
+	submit(3)
+
+	if err := c.Restart(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitCaughtUp(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Converged() {
+		t.Fatalf("restarted replica diverged: %v", c.StateHashes())
+	}
+	rep := c.ReplicaAt(victim)
+	if rep.Batches() != 6 {
+		t.Fatalf("restarted replica reflects %d batches, want 6", rep.Batches())
+	}
+	// Raft re-delivered the recovered prefix; the replica must have skipped it.
+	if rep.Redelivered() == 0 {
+		t.Fatal("expected redelivered entries to be skipped after restart")
+	}
+	if c.Err() != nil {
+		t.Fatal(c.Err())
 	}
 }
 

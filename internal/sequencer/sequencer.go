@@ -23,13 +23,18 @@ var ErrNotLeader = errors.New("sequencer: not leader")
 
 // Batch is the unit of consensus: an ordered list of transaction
 // invocations. Request sequence numbers are assigned at decode time from
-// the Raft index, so they are identical on every replica.
+// the Raft index, so they are identical on every replica. ID, when
+// non-empty, is a client-assigned idempotency token: a batch resubmitted
+// after an ambiguous failure (leader change mid-submit) carries the same ID
+// and is deduplicated at apply time instead of double-executing.
 type Batch struct {
+	ID       string
 	Requests []engine.Request
 }
 
 // wire representation.
 type wireBatch struct {
+	ID       string        `json:"id,omitempty"`
 	Requests []wireRequest `json:"reqs"`
 }
 
@@ -38,9 +43,15 @@ type wireRequest struct {
 	Inputs map[string]value.Value `json:"in"`
 }
 
-// EncodeBatch serializes a batch for proposal.
+// EncodeBatch serializes a batch for proposal without an idempotency ID.
 func EncodeBatch(reqs []engine.Request) ([]byte, error) {
-	wb := wireBatch{Requests: make([]wireRequest, len(reqs))}
+	return EncodeBatchID("", reqs)
+}
+
+// EncodeBatchID serializes a batch carrying the given idempotency ID (empty
+// disables apply-time deduplication for this batch).
+func EncodeBatchID(id string, reqs []engine.Request) ([]byte, error) {
+	wb := wireBatch{ID: id, Requests: make([]wireRequest, len(reqs))}
 	for i, r := range reqs {
 		wb.Requests[i] = wireRequest{TxName: r.TxName, Inputs: r.Inputs}
 	}
@@ -58,23 +69,33 @@ const seqStride = 1 << 20
 // DecodeCommitted turns a committed Raft entry back into requests with
 // replica-consistent sequence numbers derived from the log index.
 func DecodeCommitted(c raft.Committed) ([]engine.Request, error) {
+	b, err := DecodeBatch(c)
+	if err != nil {
+		return nil, err
+	}
+	return b.Requests, nil
+}
+
+// DecodeBatch is DecodeCommitted returning the full batch, including the
+// idempotency ID the submitter attached (empty when none).
+func DecodeBatch(c raft.Committed) (Batch, error) {
 	var wb wireBatch
 	if err := json.Unmarshal(c.Cmd, &wb); err != nil {
-		return nil, fmt.Errorf("sequencer: decode batch at index %d: %w", c.Index, err)
+		return Batch{}, fmt.Errorf("sequencer: decode batch at index %d: %w", c.Index, err)
 	}
 	if len(wb.Requests) > seqStride {
-		return nil, fmt.Errorf("sequencer: batch at index %d has %d requests (max %d)",
+		return Batch{}, fmt.Errorf("sequencer: batch at index %d has %d requests (max %d)",
 			c.Index, len(wb.Requests), seqStride)
 	}
-	reqs := make([]engine.Request, len(wb.Requests))
+	b := Batch{ID: wb.ID, Requests: make([]engine.Request, len(wb.Requests))}
 	for i, wr := range wb.Requests {
-		reqs[i] = engine.Request{
+		b.Requests[i] = engine.Request{
 			Seq:    c.Index*seqStride + uint64(i),
 			TxName: wr.TxName,
 			Inputs: wr.Inputs,
 		}
 	}
-	return reqs, nil
+	return b, nil
 }
 
 // Dispatcher buffers client requests and proposes them as batches through
@@ -112,16 +133,25 @@ func (d *Dispatcher) Pending() int {
 	return len(d.buf)
 }
 
-// Flush proposes the buffered requests as one batch. It returns the Raft
-// index assigned to the batch. On ErrNotLeader the buffer is preserved so
-// the client can retry after re-routing.
+// Flush proposes the buffered requests as one batch without an idempotency
+// ID. It returns the Raft index assigned to the batch. On ErrNotLeader the
+// buffer is preserved so the client can retry after re-routing.
 func (d *Dispatcher) Flush() (uint64, error) {
+	return d.FlushAs("")
+}
+
+// FlushAs is Flush with an explicit idempotency ID. A caller that must
+// resubmit a batch after an ambiguous outcome (the proposal may or may not
+// have committed before leadership moved) re-flushes the same requests with
+// the same ID through the new leader; replicas apply the first committed
+// occurrence and skip any later duplicate.
+func (d *Dispatcher) FlushAs(id string) (uint64, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if len(d.buf) == 0 {
 		return 0, nil
 	}
-	data, err := EncodeBatch(d.buf)
+	data, err := EncodeBatchID(id, d.buf)
 	if err != nil {
 		return 0, err
 	}

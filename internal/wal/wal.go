@@ -2,8 +2,10 @@
 // CRC-framed records. Replicas (internal/replica) log each committed batch's
 // write-set before applying it, so a restarted replica can rebuild its store
 // deterministically. Records survive crashes up to the last fully written
-// frame; a torn tail is detected by CRC/length checks and truncated on
-// recovery, never propagated.
+// frame; a torn or corrupted tail is detected by per-record checksums
+// (covering both the length header and the payload) and truncated on
+// recovery, never propagated. Repair physically removes the damaged suffix
+// so a reopened log continues from a verified-clean prefix.
 package wal
 
 import (
@@ -20,8 +22,10 @@ import (
 	"sync"
 )
 
-// frame layout: 4-byte little-endian payload length, 4-byte CRC32C of the
-// payload, payload bytes.
+// frame layout: 4-byte little-endian payload length, 4-byte CRC32C covering
+// the length field and the payload, payload bytes. Including the length in
+// the checksum means a bit flip in the header cannot redirect the reader
+// into interpreting garbage as a validly framed record.
 const frameHeader = 8
 
 // DefaultSegmentSize is the rotation threshold.
@@ -32,11 +36,44 @@ const MaxRecordSize = 16 << 20
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
+// frameCRC computes the record checksum over the length header and payload.
+func frameCRC(lenField []byte, payload []byte) uint32 {
+	crc := crc32.Checksum(lenField, crcTable)
+	return crc32.Update(crc, crcTable, payload)
+}
+
 // ErrClosed is returned by operations on a closed log.
 var ErrClosed = errors.New("wal: closed")
 
 // ErrTooLarge is returned when a record exceeds MaxRecordSize.
 var ErrTooLarge = errors.New("wal: record too large")
+
+// SyncPolicy selects when appends reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncOS (the default) leaves flushing to the OS page cache: a process
+	// crash loses nothing, a machine crash may lose the unsynced tail.
+	SyncOS SyncPolicy = iota
+	// SyncAlways fsyncs after every append — what consensus state needs
+	// before communicating a promise.
+	SyncAlways
+	// SyncInterval fsyncs every Options.SyncEvery appends (group
+	// durability: bounded loss window, amortized fsync cost).
+	SyncInterval
+)
+
+// String returns the policy name.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	default:
+		return "os"
+	}
+}
 
 // Log is a segmented write-ahead log. All methods are safe for concurrent
 // use.
@@ -48,12 +85,21 @@ type Log struct {
 	curIdx      int
 	curSize     int64
 	closed      bool
+
+	sync        SyncPolicy
+	syncEvery   int
+	sinceSync   int
+	syncedCount int64
 }
 
 // Options configures Open.
 type Options struct {
 	// SegmentSize is the rotation threshold; 0 means DefaultSegmentSize.
 	SegmentSize int64
+	// Sync selects the fsync policy (default SyncOS).
+	Sync SyncPolicy
+	// SyncEvery is the append interval for SyncInterval; 0 means 32.
+	SyncEvery int
 }
 
 // Open opens (or creates) a log in dir. Existing segments are preserved;
@@ -61,6 +107,9 @@ type Options struct {
 func Open(dir string, opts Options) (*Log, error) {
 	if opts.SegmentSize == 0 {
 		opts.SegmentSize = DefaultSegmentSize
+	}
+	if opts.SyncEvery == 0 {
+		opts.SyncEvery = 32
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: open: %w", err)
@@ -73,7 +122,10 @@ func Open(dir string, opts Options) (*Log, error) {
 	if len(segs) > 0 {
 		next = segs[len(segs)-1] + 1
 	}
-	l := &Log{dir: dir, segmentSize: opts.SegmentSize, curIdx: next}
+	l := &Log{
+		dir: dir, segmentSize: opts.SegmentSize, curIdx: next,
+		sync: opts.Sync, syncEvery: opts.SyncEvery,
+	}
 	if err := l.openSegment(); err != nil {
 		return nil, err
 	}
@@ -103,6 +155,23 @@ func listSegments(dir string) ([]int, error) {
 	return out, nil
 }
 
+// SegmentPaths returns the absolute paths of all segments in dir, in log
+// order. A missing directory yields an empty list.
+func SegmentPaths(dir string) ([]string, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	out := make([]string, len(segs))
+	for i, idx := range segs {
+		out[i] = filepath.Join(dir, segmentName(idx))
+	}
+	return out, nil
+}
+
 func (l *Log) openSegment() error {
 	f, err := os.OpenFile(filepath.Join(l.dir, segmentName(l.curIdx)),
 		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -114,8 +183,9 @@ func (l *Log) openSegment() error {
 	return nil
 }
 
-// Append writes one record and flushes it to the OS. It returns after the
-// frame is fully written; rotation happens transparently.
+// Append writes one record and flushes it to the OS; the configured
+// SyncPolicy decides whether it is also fsynced. It returns after the frame
+// is fully written; rotation happens transparently.
 func (l *Log) Append(payload []byte) error {
 	if len(payload) > MaxRecordSize {
 		return fmt.Errorf("%w (%d bytes)", ErrTooLarge, len(payload))
@@ -127,7 +197,7 @@ func (l *Log) Append(payload []byte) error {
 	}
 	var hdr [frameHeader]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	binary.LittleEndian.PutUint32(hdr[4:8], frameCRC(hdr[0:4], payload))
 	if _, err := l.cur.Write(hdr[:]); err != nil {
 		return fmt.Errorf("wal: append header: %w", err)
 	}
@@ -135,6 +205,12 @@ func (l *Log) Append(payload []byte) error {
 		return fmt.Errorf("wal: append payload: %w", err)
 	}
 	l.curSize += int64(frameHeader + len(payload))
+	l.sinceSync++
+	if l.sync == SyncAlways || (l.sync == SyncInterval && l.sinceSync >= l.syncEvery) {
+		if err := l.syncLocked(); err != nil {
+			return err
+		}
+	}
 	if l.curSize >= l.segmentSize {
 		if err := l.rotateLocked(); err != nil {
 			return err
@@ -150,10 +226,24 @@ func (l *Log) Sync() error {
 	if l.closed {
 		return ErrClosed
 	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
 	if err := l.cur.Sync(); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
 	}
+	l.sinceSync = 0
+	l.syncedCount++
 	return nil
+}
+
+// Syncs returns the number of fsync calls issued so far (for tests and
+// policy diagnostics).
+func (l *Log) Syncs() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncedCount
 }
 
 func (l *Log) rotateLocked() error {
@@ -178,52 +268,149 @@ func (l *Log) Close() error {
 	return nil
 }
 
-// Replay invokes fn for every intact record across all segments in order.
-// A corrupt or torn frame ends replay of that segment silently (the torn
-// tail is the expected crash artifact); corruption in the middle of a
-// segment also stops that segment's replay — the CRC cannot distinguish the
-// two. Replay may run on an open log but only observes completed appends.
-func Replay(dir string, fn func(payload []byte) error) error {
-	segs, err := listSegments(dir)
-	if err != nil {
-		if os.IsNotExist(err) || errors.Is(err, os.ErrNotExist) {
-			return nil
-		}
-		return err
-	}
-	for _, idx := range segs {
-		if err := replaySegment(filepath.Join(dir, segmentName(idx)), fn); err != nil {
-			return err
-		}
-	}
-	return nil
+// Stats describes the outcome of a verification, replay or repair scan.
+type Stats struct {
+	// Records is the number of intact records before any corruption point.
+	Records int
+	// Truncated reports whether a torn or corrupted record was found.
+	Truncated bool
+	// LostBytes counts the bytes at and after the corruption point, across
+	// all segments (what a Repair would — or did — discard).
+	LostBytes int64
+	// BadSegment is the segment index holding the first corruption
+	// (-1 when the log is clean).
+	BadSegment int
+	// BadOffset is the byte offset of the first corrupt frame within
+	// BadSegment (-1 when the log is clean).
+	BadOffset int64
 }
 
-func replaySegment(path string, fn func(payload []byte) error) error {
+// Replay invokes fn for every intact record across all segments in order.
+// Replay stops at the FIRST torn or corrupted record and does not resume in
+// later segments: everything after a corruption point is treated as lost,
+// never silently skipped over (a mid-log gap would otherwise replay an
+// inconsistent suffix). Use ReplayAll for the corruption details, and Repair
+// to physically truncate the damaged suffix before appending new records.
+// Replay may run on an open log but only observes completed appends.
+func Replay(dir string, fn func(payload []byte) error) error {
+	_, err := ReplayAll(dir, fn)
+	return err
+}
+
+// ReplayAll is Replay returning scan statistics: how many records were
+// intact and how much data (if any) follows the first corruption point. A
+// missing directory is an empty log, not an error.
+func ReplayAll(dir string, fn func(payload []byte) error) (Stats, error) {
+	return scan(dir, fn)
+}
+
+// Verify scans the log without invoking any callback, locating the first
+// corruption point if one exists.
+func Verify(dir string) (Stats, error) {
+	return scan(dir, nil)
+}
+
+// Repair truncates the log at the first corrupt or torn record: the damaged
+// segment is cut back to its last intact frame and all later segments are
+// removed. After Repair, Replay sees a clean log and a reopened Log appends
+// records that extend the verified prefix. The returned Stats describe what
+// was discarded. A clean (or missing) log is left untouched.
+func Repair(dir string) (Stats, error) {
+	st, err := Verify(dir)
+	if err != nil || !st.Truncated {
+		return st, err
+	}
+	if err := os.Truncate(filepath.Join(dir, segmentName(st.BadSegment)), st.BadOffset); err != nil {
+		return st, fmt.Errorf("wal: repair truncate: %w", err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return st, err
+	}
+	for _, idx := range segs {
+		if idx > st.BadSegment {
+			if err := os.Remove(filepath.Join(dir, segmentName(idx))); err != nil {
+				return st, fmt.Errorf("wal: repair remove segment: %w", err)
+			}
+		}
+	}
+	return st, nil
+}
+
+func scan(dir string, fn func(payload []byte) error) (Stats, error) {
+	st := Stats{BadSegment: -1, BadOffset: -1}
+	segs, err := listSegments(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return st, nil
+		}
+		return st, err
+	}
+	for _, idx := range segs {
+		path := filepath.Join(dir, segmentName(idx))
+		if st.Truncated {
+			// Everything after the corruption point is lost.
+			if info, err := os.Stat(path); err == nil {
+				st.LostBytes += info.Size()
+			}
+			continue
+		}
+		records, badOff, size, err := scanSegment(path, fn)
+		st.Records += records
+		if err != nil {
+			return st, err
+		}
+		if badOff >= 0 {
+			st.Truncated = true
+			st.BadSegment = idx
+			st.BadOffset = badOff
+			st.LostBytes += size - badOff
+		}
+	}
+	return st, nil
+}
+
+// scanSegment replays intact frames from path. It returns the record count,
+// the offset of the first corrupt frame (-1 if the segment is clean), and
+// the segment size. Only callback errors are returned as err.
+func scanSegment(path string, fn func(payload []byte) error) (records int, badOff int64, size int64, err error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return fmt.Errorf("wal: replay open: %w", err)
+		return 0, -1, 0, fmt.Errorf("wal: replay open: %w", err)
 	}
 	defer func() { _ = f.Close() }()
+	info, err := f.Stat()
+	if err != nil {
+		return 0, -1, 0, fmt.Errorf("wal: replay stat: %w", err)
+	}
+	size = info.Size()
+	var off int64
 	var hdr [frameHeader]byte
 	for {
-		if _, err := io.ReadFull(f, hdr[:]); err != nil {
-			return nil // clean EOF or torn header: stop this segment
+		if _, rerr := io.ReadFull(f, hdr[:]); rerr != nil {
+			if rerr == io.EOF {
+				return records, -1, size, nil // clean segment end
+			}
+			return records, off, size, nil // torn header
 		}
-		n := binary.LittleEndian.Uint32(hdr[0:4])
+		length := binary.LittleEndian.Uint32(hdr[0:4])
 		crc := binary.LittleEndian.Uint32(hdr[4:8])
-		if n > MaxRecordSize {
-			return nil // corrupt length
+		if length > MaxRecordSize {
+			return records, off, size, nil // corrupt length
 		}
-		payload := make([]byte, n)
-		if _, err := io.ReadFull(f, payload); err != nil {
-			return nil // torn payload
+		payload := make([]byte, length)
+		if _, rerr := io.ReadFull(f, payload); rerr != nil {
+			return records, off, size, nil // torn payload
 		}
-		if crc32.Checksum(payload, crcTable) != crc {
-			return nil // corrupt payload
+		if frameCRC(hdr[0:4], payload) != crc {
+			return records, off, size, nil // corrupt frame
 		}
-		if err := fn(payload); err != nil {
-			return err
+		off += int64(frameHeader) + int64(length)
+		records++
+		if fn != nil {
+			if err := fn(payload); err != nil {
+				return records, -1, size, err
+			}
 		}
 	}
 }

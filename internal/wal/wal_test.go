@@ -196,6 +196,189 @@ func TestTooLargeRecord(t *testing.T) {
 	}
 }
 
+func TestCorruptionStopsReplayAcrossSegments(t *testing.T) {
+	// Corruption in an EARLIER segment must stop replay entirely: records in
+	// later segments are unreachable until Repair, never replayed over a gap.
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("record-%d-padding-padding", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("need >=3 segments, got %d", len(segs))
+	}
+	// Flip a payload byte in the second segment.
+	path := filepath.Join(dir, segmentName(segs[1]))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[frameHeader+2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, dir)
+	if len(got) != 1 {
+		t.Fatalf("replay past corruption: got %d records, want 1", len(got))
+	}
+	st, err := Verify(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Truncated || st.BadSegment != segs[1] || st.BadOffset != 0 {
+		t.Fatalf("verify = %+v", st)
+	}
+	if st.LostBytes == 0 {
+		t.Fatal("verify reported no lost bytes")
+	}
+}
+
+func TestRepairTruncatesCorruptSuffix(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range []string{"aaaa", "bbbb", "cccc"} {
+		if err := l.Append([]byte(rec)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the second record, then repair.
+	path := filepath.Join(dir, segmentName(0))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := frameHeader + 4 + frameHeader
+	data[off] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Repair(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Truncated || st.Records != 1 || st.LostBytes != 2*(frameHeader+4) {
+		t.Fatalf("repair = %+v", st)
+	}
+	// The repaired log replays cleanly and new appends extend the prefix.
+	l2 := openT(t, dir, Options{})
+	if err := l2.Append([]byte("dddd")); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, dir)
+	if len(got) != 2 || string(got[0]) != "aaaa" || string(got[1]) != "dddd" {
+		t.Fatalf("replay after repair = %q", got)
+	}
+	st2, err := Verify(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Truncated {
+		t.Fatalf("repaired log still corrupt: %+v", st2)
+	}
+}
+
+func TestCRCCoversLengthHeader(t *testing.T) {
+	// A bit flip in the length field alone must be detected even when the
+	// payload bytes it frames happen to be readable.
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("abcdefgh")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("ijklmnop")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, segmentName(0))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] ^= 0x04 // length 8 -> 12: would swallow the next frame's header
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, dir); len(got) != 0 {
+		t.Fatalf("corrupt length field yielded records: %q", got)
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{Sync: SyncAlways})
+	for i := 0; i < 3; i++ {
+		if err := l.Append([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := l.Syncs(); got != 3 {
+		t.Fatalf("SyncAlways issued %d fsyncs, want 3", got)
+	}
+
+	l2 := openT(t, t.TempDir(), Options{Sync: SyncInterval, SyncEvery: 2})
+	for i := 0; i < 5; i++ {
+		if err := l2.Append([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := l2.Syncs(); got != 2 {
+		t.Fatalf("SyncInterval(2) issued %d fsyncs after 5 appends, want 2", got)
+	}
+
+	l3 := openT(t, t.TempDir(), Options{})
+	if err := l3.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if got := l3.Syncs(); got != 0 {
+		t.Fatalf("SyncOS issued %d fsyncs, want 0", got)
+	}
+}
+
+func TestSegmentPaths(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{SegmentSize: 16})
+	for i := 0; i < 4; i++ {
+		if err := l.Append([]byte("0123456789abcdef")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	paths, err := SegmentPaths(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 2 {
+		t.Fatalf("segment paths = %v", paths)
+	}
+	// Missing dir: empty, no error.
+	paths, err = SegmentPaths(filepath.Join(dir, "nope"))
+	if err != nil || len(paths) != 0 {
+		t.Fatalf("missing dir = %v, %v", paths, err)
+	}
+}
+
 func TestReplayCallbackError(t *testing.T) {
 	dir := t.TempDir()
 	l := openT(t, dir, Options{})
