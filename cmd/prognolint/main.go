@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	prognolint [flags] file.txn...
+//	prognolint [flags] [file.txn...]
 //
 //	-json           emit findings as a JSON array instead of text
 //	-fail-on SEV    exit non-zero at/above this severity (error|warning|info;
@@ -12,10 +12,14 @@
 //	                cross-validate it against the concrete interpreter on N
 //	                random samples per store state (plus boundary samples)
 //	-seed S         RNG seed for -soundness sampling (default 1)
+//	-workload W,... additionally lint the named built-in workload catalogs
+//	                (tpcc, rubis) against their real schemas
 //
 // The schema is inferred from the table accesses across all given files
 // (first access fixes a table's key arity), so source files need no separate
 // schema declaration; conflicting arities surface as schema findings.
+// Workload catalogs are built from the Go workload packages and checked
+// against their declared schemas instead.
 //
 // Exit status: 0 clean (below the -fail-on threshold), 1 findings at or
 // above the threshold, 2 usage or load errors.
@@ -26,10 +30,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"prognosticator/internal/lang"
 	"prognosticator/internal/lint"
 	"prognosticator/internal/symexec"
+	"prognosticator/internal/workload/rubis"
+	"prognosticator/internal/workload/tpcc"
 )
 
 // fileFinding is a finding tagged with its source file for output.
@@ -49,11 +56,12 @@ func run(args []string, stdout, stderr *os.File) int {
 	failOn := fs.String("fail-on", "warning", "exit non-zero at/above this severity: error, warning or info")
 	soundness := fs.Int("soundness", 0, "cross-validate SE profiles on this many random samples (0 disables)")
 	seed := fs.Int64("seed", 1, "RNG seed for -soundness sampling")
+	workloads := fs.String("workload", "", "comma-separated built-in workload catalogs to lint (tpcc, rubis)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if fs.NArg() == 0 {
-		fmt.Fprintln(stderr, "prognolint: no input files")
+	if fs.NArg() == 0 && *workloads == "" {
+		fmt.Fprintln(stderr, "prognolint: no input files or -workload")
 		fs.Usage()
 		return 2
 	}
@@ -85,15 +93,38 @@ func run(args []string, stdout, stderr *os.File) int {
 		all = append(all, progs...)
 	}
 
-	linter := lint.New(lint.InferSchema(all...))
 	var findings []fileFinding
-	for _, f := range files {
-		for _, p := range f.progs {
-			for _, fd := range linter.Run(p) {
-				findings = append(findings, fileFinding{File: f.path, Finding: fd})
+	if len(files) > 0 {
+		linter := lint.New(lint.InferSchema(all...))
+		for _, f := range files {
+			for _, p := range f.progs {
+				for _, fd := range linter.Run(p) {
+					findings = append(findings, fileFinding{File: f.path, Finding: fd})
+				}
+				if *soundness > 0 {
+					findings = append(findings, checkSoundness(f.path, p, *soundness, *seed, stderr)...)
+				}
 			}
-			if *soundness > 0 {
-				findings = append(findings, checkSoundness(f.path, p, *soundness, *seed, stderr)...)
+		}
+	}
+
+	if *workloads != "" {
+		for _, name := range strings.Split(*workloads, ",") {
+			name = strings.TrimSpace(name)
+			schema, progs, err := workloadCatalog(name)
+			if err != nil {
+				fmt.Fprintf(stderr, "prognolint: %v\n", err)
+				return 2
+			}
+			label := "workload:" + name
+			linter := lint.New(schema)
+			for _, p := range progs {
+				for _, fd := range linter.Run(p) {
+					findings = append(findings, fileFinding{File: label, Finding: fd})
+				}
+				if *soundness > 0 {
+					findings = append(findings, checkSoundness(label, p, *soundness, *seed, stderr)...)
+				}
 			}
 		}
 	}
@@ -127,12 +158,33 @@ func run(args []string, stdout, stderr *os.File) int {
 	return 0
 }
 
+// workloadCatalog returns the named built-in workload's schema and programs,
+// sized down where the defaults would make symbolic analysis needlessly
+// expensive (newOrder's profile grows with OrderLinesMax; the contention
+// structure the lint checks is unaffected by catalog size).
+func workloadCatalog(name string) (*lang.Schema, []*lang.Program, error) {
+	switch name {
+	case "tpcc":
+		cfg := tpcc.DefaultConfig(2)
+		cfg.Items = 100
+		cfg.CustomersPerDistrict = 20
+		cfg.OrderLinesMax = 8
+		return tpcc.Schema(), tpcc.Programs(cfg), nil
+	case "rubis":
+		return rubis.Schema(), rubis.Programs(rubis.DefaultConfig()), nil
+	default:
+		return nil, nil, fmt.Errorf("unknown workload %q (want tpcc or rubis)", name)
+	}
+}
+
 // checkSoundness derives the profile with the optimized symbolic execution
-// and cross-validates it against the concrete interpreter. Analysis failures
-// are reported as findings, not fatal errors: a file that defeats the
-// symbolic executor is precisely what the lint run should surface.
+// (profile only — the unoptimized comparison run would dominate the lint's
+// runtime on loop-heavy transactions) and cross-validates it against the
+// concrete interpreter. Analysis failures are reported as findings, not
+// fatal errors: a file that defeats the symbolic executor is precisely what
+// the lint run should surface.
 func checkSoundness(path string, p *lang.Program, samples int, seed int64, stderr *os.File) []fileFinding {
-	prof, err := symexec.AnalyzeOptimized(p)
+	prof, err := symexec.AnalyzeProfileOnly(p)
 	if err != nil {
 		return []fileFinding{{File: path, Finding: lint.Finding{
 			Prog: p.Name, Pass: "profile-soundness", Path: "profile",

@@ -8,13 +8,21 @@
 // workload: replicas are killed and restarted mid-batch (with WAL recovery
 // and occasional WAL tail corruption), the leader is partitioned away, and
 // message loss/delay is injected — after which all replicas must still
-// converge. Chaos requires the mem transport and enables -datadir
-// persistence (a temp directory when unset).
+// converge. Chaos enables -datadir persistence (a temp directory when
+// unset) and runs over either transport: over tcp the simulated-network
+// faults (partition, loss, delay) are skipped while crash/restart close and
+// re-listen real sockets.
+//
+// With -snapshot-every N (requires -datadir, implied under -chaos), each
+// replica captures a store snapshot every N applied batches, compacts its
+// raft log below it and prunes its WAL prefix, so crashed replicas recover
+// from snapshot + WAL suffix instead of replaying from index 1.
 //
 // Usage:
 //
 //	replicad [-replicas N] [-batches N] [-txs N] [-warehouses N] [-seed N]
 //	         [-transport mem|tcp] [-chaos] [-chaos-seed N] [-datadir DIR]
+//	         [-snapshot-every N]
 package main
 
 import (
@@ -47,14 +55,15 @@ func run() error {
 	warehouses := flag.Int("warehouses", 4, "TPC-C warehouses")
 	seed := flag.Int64("seed", 1, "workload seed")
 	transport := flag.String("transport", "mem", "consensus transport: mem (simulated) or tcp (loopback sockets)")
-	chaosOn := flag.Bool("chaos", false, "run a fault schedule alongside the workload (mem transport only)")
+	chaosOn := flag.Bool("chaos", false, "run a fault schedule alongside the workload (over tcp, partition/loss/delay faults are skipped)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "fault schedule seed (with -chaos)")
 	chaosSteps := flag.Int("chaos-steps", 0, "fault schedule length (0 = one step per two batches, with -chaos)")
 	dataDir := flag.String("datadir", "", "persist raft state and replica WALs under this directory (required for crash/restart faults; temp dir when -chaos is set and this is empty)")
+	snapshotEvery := flag.Uint64("snapshot-every", 0, "capture a store snapshot and compact the raft log every N applied batches (0 disables; requires -datadir)")
 	flag.Parse()
 
-	if *chaosOn && *transport != "mem" {
-		return fmt.Errorf("-chaos requires -transport mem (crash/restart drives the simulated network)")
+	if *snapshotEvery > 0 && *dataDir == "" && !*chaosOn {
+		return fmt.Errorf("-snapshot-every requires -datadir (snapshot files must land somewhere durable)")
 	}
 	if *chaosOn && *dataDir == "" {
 		d, err := os.MkdirTemp("", "replicad-chaos-")
@@ -74,10 +83,11 @@ func run() error {
 		return err
 	}
 	cluster, err := replica.NewCluster(replica.ClusterConfig{
-		Replicas: *replicas,
-		Seed:     *seed,
-		TCP:      *transport == "tcp",
-		DataDir:  *dataDir,
+		Replicas:      *replicas,
+		Seed:          *seed,
+		TCP:           *transport == "tcp",
+		DataDir:       *dataDir,
+		SnapshotEvery: *snapshotEvery,
 		// Under chaos a crashed replica lags until it rejoins; a majority
 		// carries the workload forward in the meantime.
 		QuorumSubmit: *chaosOn,
@@ -169,7 +179,17 @@ func run() error {
 		}
 		fmt.Printf("\nchaos: converged after quiesce, state hash %016x, every batch applied exactly once\n", hashes[0])
 		fmt.Printf("chaos: faults %s\n", injector.Counters())
-		fmt.Printf("chaos: net %+v\n", cluster.Net.Stats())
+		if cluster.Net != nil {
+			fmt.Printf("chaos: net %+v\n", cluster.Net.Stats())
+		}
+	}
+	if *snapshotEvery > 0 {
+		for i := 0; i < cluster.Size(); i++ {
+			rep := cluster.ReplicaAt(i)
+			fmt.Printf("replica %d: snapshots taken=%d installed=%d raft compacted to %d, dedup entries=%d (watermark %d)\n",
+				i, rep.Snapshots(), rep.SnapshotsInstalled(), cluster.NodeAt(i).SnapshotIndex(),
+				rep.DedupSize(), rep.DedupWatermark())
+		}
 	}
 	elapsed := time.Since(start)
 	total := *batches * *txs

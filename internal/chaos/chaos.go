@@ -261,7 +261,10 @@ func (in *Injector) apply(f Fault) (bool, error) {
 		return true, in.c.Restart(victim)
 
 	case PartitionLeader:
-		if in.partitioned {
+		if in.partitioned || in.c.Net == nil {
+			// Partitions, loss and delay are simulated-network faults; over
+			// TCP (Net == nil) the schedule still runs, these steps just
+			// count as skipped while crash/restart hit real sockets.
 			return false, nil
 		}
 		// Partitioning with a replica already down (3-node cluster: isolated
@@ -291,7 +294,7 @@ func (in *Injector) apply(f Fault) (bool, error) {
 		return true, nil
 
 	case HealPartition:
-		if !in.partitioned {
+		if !in.partitioned || in.c.Net == nil {
 			return false, nil
 		}
 		in.c.Net.Heal()
@@ -299,6 +302,9 @@ func (in *Injector) apply(f Fault) (bool, error) {
 		return true, nil
 
 	case InjectLoss:
+		if in.c.Net == nil {
+			return false, nil
+		}
 		in.mu.Lock()
 		p := 0.05 + in.rng.Float64()*0.20
 		in.mu.Unlock()
@@ -306,10 +312,16 @@ func (in *Injector) apply(f Fault) (bool, error) {
 		return true, nil
 
 	case ClearLoss:
+		if in.c.Net == nil {
+			return false, nil
+		}
 		in.c.Net.SetLoss(0)
 		return true, nil
 
 	case InjectDelay:
+		if in.c.Net == nil {
+			return false, nil
+		}
 		in.mu.Lock()
 		max := time.Duration(1+in.rng.Intn(4)) * time.Millisecond
 		in.mu.Unlock()
@@ -317,6 +329,9 @@ func (in *Injector) apply(f Fault) (bool, error) {
 		return true, nil
 
 	case ClearDelay:
+		if in.c.Net == nil {
+			return false, nil
+		}
 		in.c.Net.SetDelay(0, 0)
 		return true, nil
 	}
@@ -347,9 +362,11 @@ func (in *Injector) Quiesce(within time.Duration) error {
 	in.stepMu.Lock()
 	defer in.stepMu.Unlock()
 	in.partitioned = false
-	in.c.Net.Heal()
-	in.c.Net.SetLoss(0)
-	in.c.Net.SetDelay(0, 0)
+	if in.c.Net != nil {
+		in.c.Net.Heal()
+		in.c.Net.SetLoss(0)
+		in.c.Net.SetDelay(0, 0)
+	}
 	for _, i := range in.c.DownReplicas() {
 		if err := in.c.Restart(i); err != nil {
 			return fmt.Errorf("chaos: quiesce restart %d: %w", i, err)

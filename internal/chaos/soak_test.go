@@ -74,17 +74,26 @@ func soakSeed(t testing.TB) int64 {
 // TestChaosSoak is the Jepsen-lite convergence soak: a bank workload runs
 // against a 3-replica cluster while a seeded fault schedule kills and
 // restarts replicas mid-batch, corrupts WAL tails, partitions the leader
-// away and injects message loss and delay. When the dust settles, every
+// away and injects message loss and delay — with snapshotting enabled, so
+// recovery paths run over compacted logs. When the dust settles, every
 // replica must hash identically to a fault-free reference execution, with
-// every submitted batch applied exactly once.
-func TestChaosSoak(t *testing.T) {
+// every submitted batch applied exactly once and dedup memory fully pruned.
+func TestChaosSoak(t *testing.T) { soakRun(t, false) }
+
+// TestChaosSoakTCP is the same soak over real loopback TCP sockets:
+// simulated-network faults (partition, loss, delay) are skipped, while
+// crash/restart faults close and re-listen real endpoints.
+func TestChaosSoakTCP(t *testing.T) { soakRun(t, true) }
+
+func soakRun(t *testing.T, tcp bool) {
 	seed := soakSeed(t)
 	steps, batches, txsPerBatch := 24, 48, 16
-	if testing.Short() {
+	if testing.Short() || tcp {
 		steps, batches = 12, 24
 	}
-	t.Logf("chaos soak: seed=%d steps=%d batches=%d", seed, steps, batches)
+	t.Logf("chaos soak: seed=%d steps=%d batches=%d tcp=%v", seed, steps, batches, tcp)
 
+	const snapshotEvery = 8
 	reg := bankRegistry(t)
 	c, err := replica.NewCluster(replica.ClusterConfig{
 		Replicas: 3,
@@ -92,7 +101,9 @@ func TestChaosSoak(t *testing.T) {
 		NewExecutor: func(id string, st *store.Store) (engine.Executor, error) {
 			return engine.New(reg, st, engine.Config{Workers: 4}), nil
 		},
-		DataDir: t.TempDir(),
+		DataDir:       t.TempDir(),
+		TCP:           tcp,
+		SnapshotEvery: snapshotEvery,
 		// Crashed/lagging replicas catch up through Raft; waiting on a
 		// majority keeps the workload moving while a victim is down.
 		QuorumSubmit: true,
@@ -148,6 +159,32 @@ func TestChaosSoak(t *testing.T) {
 		return reqs
 	}
 
+	// mirror applies one submitted batch to the reference executor (exactly
+	// once, same order, synthetic index).
+	refIdx := uint64(0)
+	mirror := func(reqs []struct {
+		TxName string
+		Inputs map[string]value.Value
+	}) {
+		t.Helper()
+		ereqs := make([]engine.Request, len(reqs))
+		for i, r := range reqs {
+			ereqs[i] = engine.Request{TxName: r.TxName, Inputs: r.Inputs}
+		}
+		data, err := sequencer.EncodeBatch(ereqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refIdx++
+		batch, err := sequencer.DecodeBatch(raft.Committed{Index: refIdx, Cmd: data})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := refExec.ExecuteBatch(batch.Requests); err != nil {
+			t.Fatal(err)
+		}
+	}
+
 	// Interleave: fire the next fault from a goroutine while batches are in
 	// flight, so kills land mid-batch. Step serializes internally.
 	var wg sync.WaitGroup
@@ -174,22 +211,7 @@ func TestChaosSoak(t *testing.T) {
 		if err := c.SubmitBatch(reqs, 60*time.Second); err != nil {
 			t.Fatalf("batch %d: %v", b, err)
 		}
-		// Mirror into the reference executor (exactly once, same order).
-		ereqs := make([]engine.Request, len(reqs))
-		for i, r := range reqs {
-			ereqs[i] = engine.Request{TxName: r.TxName, Inputs: r.Inputs}
-		}
-		data, err := sequencer.EncodeBatch(ereqs)
-		if err != nil {
-			t.Fatal(err)
-		}
-		batch, err := sequencer.DecodeBatch(raft.Committed{Index: uint64(b + 1), Cmd: data})
-		if err != nil {
-			t.Fatal(err)
-		}
-		if _, err := refExec.ExecuteBatch(batch.Requests); err != nil {
-			t.Fatal(err)
-		}
+		mirror(reqs)
 	}
 	wg.Wait()
 
@@ -199,6 +221,15 @@ func TestChaosSoak(t *testing.T) {
 	if err := c.Err(); err != nil {
 		t.Fatal(err)
 	}
+
+	// One final batch with every replica live: its acknowledgment propagates
+	// the dedup watermark everywhere, so the tables must be empty afterwards.
+	final := makeBatch()
+	if err := c.SubmitBatch(final, 60*time.Second); err != nil {
+		t.Fatalf("final batch: %v", err)
+	}
+	mirror(final)
+	batches++
 
 	// Convergence: all replicas identical, and identical to the reference.
 	if !c.Converged() {
@@ -221,18 +252,50 @@ func TestChaosSoak(t *testing.T) {
 		}
 	}
 
+	// Bounded dedup memory: the final all-live acknowledgment pruned every
+	// entry at or below the watermark, which covers every submitted batch.
+	for i := 0; i < c.Size(); i++ {
+		rep := c.ReplicaAt(i)
+		if size := rep.DedupSize(); size != 0 {
+			t.Errorf("replica %d dedup table holds %d entries after final ack (watermark %d)",
+				i, size, rep.DedupWatermark())
+		}
+	}
+
+	// Snapshotting must have run: the batch count spans several snapshot
+	// intervals, so replicas captured snapshots and compacted their raft logs.
+	taken, compacted := 0, 0
+	for i := 0; i < c.Size(); i++ {
+		taken += c.ReplicaAt(i).Snapshots() + c.ReplicaAt(i).SnapshotsInstalled()
+		if c.NodeAt(i).SnapshotIndex() > 0 {
+			compacted++
+		}
+	}
+	if taken == 0 {
+		t.Errorf("no replica captured or installed a snapshot across %d batches (interval %d)",
+			batches, snapshotEvery)
+	}
+	if compacted == 0 {
+		t.Error("no raft log was compacted despite snapshots being enabled")
+	}
+
 	counters := in.Counters()
 	t.Logf("fault counters: %s", counters)
-	stats := c.Net.Stats()
-	t.Logf("net stats: %+v", stats)
-	if stats.Delivered == 0 {
-		t.Fatal("network delivered nothing")
+	if int(counters.Value("skipped")) >= stepIdx {
+		t.Errorf("all %d fired fault steps were skipped — the schedule exercised nothing", stepIdx)
 	}
-	if counters.Value("partition-leader") > 0 && stats.DroppedPartition == 0 {
-		t.Error("partition applied but no partition drops counted")
-	}
-	if counters.Value("loss") > 0 && stats.DroppedLoss == 0 {
-		t.Error("loss applied but no loss drops counted")
+	if c.Net != nil {
+		stats := c.Net.Stats()
+		t.Logf("net stats: %+v", stats)
+		if stats.Delivered == 0 {
+			t.Fatal("network delivered nothing")
+		}
+		if counters.Value("partition-leader") > 0 && stats.DroppedPartition == 0 {
+			t.Error("partition applied but no partition drops counted")
+		}
+		if counters.Value("loss") > 0 && stats.DroppedLoss == 0 {
+			t.Error("loss applied but no loss drops counted")
+		}
 	}
 	kills := counters.Value("kill-leader") + counters.Value("kill-random")
 	restarts := counters.Value("restart") + counters.Value("restart-corrupt") + counters.Value("quiesce-restarts")

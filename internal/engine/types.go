@@ -238,7 +238,7 @@ func NewRegistryWith(schema *lang.Schema, opts RegistryOptions, programs ...*lan
 					p.Name, formatErrorFindings(fs))
 			}
 		}
-		prof, err := symexec.Analyze(p, symexec.Options{UseTaint: true, Prune: true, SkipUnoptimized: true})
+		prof, err := symexec.AnalyzeProfileOnly(p)
 		if err != nil {
 			return nil, fmt.Errorf("engine: registry: analyze %s: %w", p.Name, err)
 		}

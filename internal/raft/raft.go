@@ -5,11 +5,14 @@
 // transactions within each batch ... by relying on a consensus algorithm
 // [17], [24]").
 //
-// Scope: optional WAL-backed persistence of term/vote/log (see Storage); no
-// snapshotting, so restarted nodes re-deliver committed entries from index
-// 1. Safety properties (election safety — including across restarts — log
-// matching, leader completeness for committed entries) are exercised by the
-// tests in this package over the memnet fault-injecting transport.
+// Scope: optional WAL-backed persistence of term/vote/log (see Storage),
+// plus snapshot-based log compaction: the application hands the node an
+// opaque snapshot of its state machine at a committed index (Compact), the
+// log prefix up to that index is discarded, and followers too far behind the
+// compacted log are caught up with an InstallSnapshot RPC instead of entry
+// replay. Safety properties (election safety — including across restarts —
+// log matching, leader completeness for committed entries) are exercised by
+// the tests in this package over the memnet fault-injecting transport.
 package raft
 
 import (
@@ -50,11 +53,14 @@ type Entry struct {
 }
 
 // Committed is delivered on the apply channel for each committed entry, in
-// log order.
+// log order. When Snapshot is non-nil the record is not a log entry but an
+// installed state-machine snapshot covering every index ≤ Index; the
+// consumer must restore from it instead of applying Cmd.
 type Committed struct {
-	Index uint64 // 1-based log index
-	Term  uint64
-	Cmd   []byte
+	Index    uint64 // 1-based log index
+	Term     uint64
+	Cmd      []byte
+	Snapshot []byte
 }
 
 // Transport moves RPC payloads between nodes. memnet.Endpoint implements it
@@ -101,6 +107,23 @@ type AppendReply struct {
 	ConflictIndex uint64
 }
 
+// InstallSnapshot ships the leader's state-machine snapshot to a follower
+// whose next needed entry has been compacted away. Single-shot (snapshots
+// here are small enough not to need chunking).
+type InstallSnapshot struct {
+	Term     uint64
+	Leader   string
+	Index    uint64 // last log index covered by the snapshot
+	SnapTerm uint64 // term of that entry
+	Data     []byte
+}
+
+// InstallSnapshotReply acknowledges an InstallSnapshot.
+type InstallSnapshotReply struct {
+	Term  uint64
+	Index uint64 // follower's snapshot/commit coverage after handling
+}
+
 // Config tunes timing. Zero values select defaults suitable for in-process
 // tests (short timeouts).
 type Config struct {
@@ -130,11 +153,16 @@ type Node struct {
 	ep    Transport
 	rng   *rand.Rand
 
-	mu          sync.Mutex
-	role        Role
-	term        uint64
-	votedFor    string
+	mu   sync.Mutex
+	role Role
+	term uint64
+
+	votedFor string
+	// log holds the entries AFTER snap.Index: logical index i lives at
+	// log[i-snap.Index-1]. snap is the zero value until the first Compact
+	// or InstallSnapshot.
 	log         []Entry
+	snap        Snapshot
 	commitIndex uint64
 	votes       map[string]bool
 	nextIndex   map[string]uint64
@@ -178,11 +206,13 @@ func NewNodeWithTransport(id string, peers []string, tr Transport, cfg Config, s
 }
 
 // UseStorage attaches persistent state and loads any previously persisted
-// term, vote and log. Must be called before Start. After a crash-restart,
-// committed entries are re-delivered on Apply from index 1 (there is no
-// snapshotting); consumers rebuild or deduplicate by index.
+// term, vote, snapshot and log tail. Must be called before Start. After a
+// crash-restart, committed entries above the snapshot index are re-delivered
+// on Apply; consumers rebuild or deduplicate by index. The commit index
+// starts at the snapshot index — everything below it is covered by the
+// snapshot and is never re-delivered.
 func (n *Node) UseStorage(st Storage) error {
-	term, voted, log, err := st.Load()
+	term, voted, snap, log, err := st.Load()
 	if err != nil {
 		return err
 	}
@@ -191,7 +221,9 @@ func (n *Node) UseStorage(st Storage) error {
 	n.storage = st
 	n.term = term
 	n.votedFor = voted
+	n.snap = snap
 	n.log = log
+	n.commitIndex = snap.Index
 	return nil
 }
 
@@ -225,6 +257,42 @@ func (n *Node) persistAppendLocked(first uint64, entries []Entry) bool {
 		return false
 	}
 	return true
+}
+
+func (n *Node) persistSnapshotLocked() bool {
+	if n.storage == nil || n.persistErr != nil {
+		return n.persistErr == nil
+	}
+	if err := n.storage.SaveSnapshot(n.snap, n.log); err != nil {
+		n.persistErr = err
+		return false
+	}
+	return true
+}
+
+// lastIndexLocked returns the logical index of the last entry (snapshot
+// index if the tail is empty).
+func (n *Node) lastIndexLocked() uint64 {
+	return n.snap.Index + uint64(len(n.log))
+}
+
+// termAtLocked returns the term of the entry at logical index idx, or 0 if
+// idx is 0, below the snapshot, or beyond the log.
+func (n *Node) termAtLocked(idx uint64) uint64 {
+	switch {
+	case idx == n.snap.Index:
+		return n.snap.Term
+	case idx > n.snap.Index && idx <= n.lastIndexLocked():
+		return n.log[idx-n.snap.Index-1].Term
+	default:
+		return 0
+	}
+}
+
+// entryAtLocked returns the entry at logical index idx; idx must be in
+// (snap.Index, lastIndex].
+func (n *Node) entryAtLocked(idx uint64) Entry {
+	return n.log[idx-n.snap.Index-1]
 }
 
 // Apply returns the channel of committed entries, delivered in log order.
@@ -266,6 +334,37 @@ func (n *Node) CommitIndex() uint64 {
 	return n.commitIndex
 }
 
+// SnapshotIndex returns the last log index covered by the node's snapshot
+// (0 if the log has never been compacted).
+func (n *Node) SnapshotIndex() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.snap.Index
+}
+
+// Compact discards the log prefix up to and including index, recording data
+// as the state-machine snapshot at that point. index must be committed;
+// compacting at or below the current snapshot index is a no-op. The
+// application calls this after it has durably captured its own state at
+// index.
+func (n *Node) Compact(index uint64, data []byte) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.persistErr != nil {
+		return n.persistErr
+	}
+	if index <= n.snap.Index || index > n.commitIndex {
+		return nil
+	}
+	term := n.termAtLocked(index)
+	n.log = append([]Entry(nil), n.log[index-n.snap.Index:]...)
+	n.snap = Snapshot{Index: index, Term: term, Data: data}
+	if !n.persistSnapshotLocked() {
+		return n.persistErr
+	}
+	return nil
+}
+
 // Propose appends cmd to the log if this node is the leader. It returns the
 // assigned index and term, and whether the node accepted the proposal.
 // Commitment is signalled later through Apply.
@@ -276,9 +375,9 @@ func (n *Node) Propose(cmd []byte) (uint64, uint64, bool) {
 		return 0, 0, false
 	}
 	n.log = append(n.log, Entry{Term: n.term, Cmd: cmd})
-	idx := uint64(len(n.log))
-	if !n.persistAppendLocked(idx, n.log[idx-1:]) {
-		n.log = n.log[:idx-1]
+	idx := n.lastIndexLocked()
+	if !n.persistAppendLocked(idx, n.log[len(n.log)-1:]) {
+		n.log = n.log[:len(n.log)-1]
 		return 0, 0, false
 	}
 	n.matchIndex[n.id] = idx
@@ -323,10 +422,8 @@ func (n *Node) resetElectionDeadlineLocked() {
 }
 
 func (n *Node) lastLogLocked() (uint64, uint64) {
-	if len(n.log) == 0 {
-		return 0, 0
-	}
-	return uint64(len(n.log)), n.log[len(n.log)-1].Term
+	last := n.lastIndexLocked()
+	return last, n.termAtLocked(last)
 }
 
 func (n *Node) startElectionLocked() {
@@ -388,14 +485,20 @@ func (n *Node) sendAppendLocked(peer string) {
 	if next == 0 {
 		next = 1
 	}
-	prevIdx := next - 1
-	var prevTerm uint64
-	if prevIdx > 0 && prevIdx <= uint64(len(n.log)) {
-		prevTerm = n.log[prevIdx-1].Term
+	if next <= n.snap.Index {
+		// The entries the follower needs were compacted away: ship the
+		// snapshot instead and resume appends from its index.
+		n.ep.Send(peer, InstallSnapshot{
+			Term: n.term, Leader: n.id,
+			Index: n.snap.Index, SnapTerm: n.snap.Term, Data: n.snap.Data,
+		})
+		return
 	}
+	prevIdx := next - 1
+	prevTerm := n.termAtLocked(prevIdx)
 	var entries []Entry
-	if next <= uint64(len(n.log)) {
-		entries = append(entries, n.log[next-1:]...)
+	if next <= n.lastIndexLocked() {
+		entries = append(entries, n.log[next-n.snap.Index-1:]...)
 	}
 	n.ep.Send(peer, AppendEntries{
 		Term: n.term, Leader: n.id,
@@ -416,6 +519,10 @@ func (n *Node) handle(msg memnet.Message) {
 		n.onAppendEntries(msg.From, rpc)
 	case AppendReply:
 		n.onAppendReply(msg.From, rpc)
+	case InstallSnapshot:
+		n.onInstallSnapshot(msg.From, rpc)
+	case InstallSnapshotReply:
+		n.onInstallSnapshotReply(msg.From, rpc)
 	}
 }
 
@@ -467,16 +574,30 @@ func (n *Node) onAppendEntries(from string, rpc AppendEntries) {
 	n.role = Follower
 	n.leaderHint = rpc.Leader
 	n.resetElectionDeadlineLocked()
+	// Entries at or below our snapshot index are already covered by the
+	// snapshot: skip them and treat the snapshot boundary as the match
+	// point for the log-matching check.
+	if rpc.PrevLogIndex < n.snap.Index {
+		skip := n.snap.Index - rpc.PrevLogIndex
+		if uint64(len(rpc.Entries)) <= skip {
+			n.ep.Send(from, AppendReply{Term: n.term, Success: true, MatchIndex: n.snap.Index})
+			return
+		}
+		rpc.Entries = rpc.Entries[skip:]
+		rpc.PrevLogIndex = n.snap.Index
+		rpc.PrevLogTerm = n.snap.Term
+	}
 	// Log matching check.
-	if rpc.PrevLogIndex > uint64(len(n.log)) {
-		n.ep.Send(from, AppendReply{Term: n.term, ConflictIndex: uint64(len(n.log)) + 1})
+	if rpc.PrevLogIndex > n.lastIndexLocked() {
+		n.ep.Send(from, AppendReply{Term: n.term, ConflictIndex: n.lastIndexLocked() + 1})
 		return
 	}
-	if rpc.PrevLogIndex > 0 && n.log[rpc.PrevLogIndex-1].Term != rpc.PrevLogTerm {
-		// Back up to the start of the conflicting term.
+	if rpc.PrevLogIndex > n.snap.Index && n.termAtLocked(rpc.PrevLogIndex) != rpc.PrevLogTerm {
+		// Back up to the start of the conflicting term (never below the
+		// snapshot boundary).
 		ci := rpc.PrevLogIndex
-		badTerm := n.log[rpc.PrevLogIndex-1].Term
-		for ci > 1 && n.log[ci-2].Term == badTerm {
+		badTerm := n.termAtLocked(rpc.PrevLogIndex)
+		for ci > n.snap.Index+1 && n.termAtLocked(ci-1) == badTerm {
 			ci--
 		}
 		n.ep.Send(from, AppendReply{Term: n.term, ConflictIndex: ci})
@@ -486,9 +607,9 @@ func (n *Node) onAppendEntries(from string, rpc AppendEntries) {
 	firstChanged := uint64(0)
 	for i, e := range rpc.Entries {
 		idx := rpc.PrevLogIndex + uint64(i) + 1
-		if idx <= uint64(len(n.log)) {
-			if n.log[idx-1].Term != e.Term {
-				n.log = n.log[:idx-1]
+		if idx <= n.lastIndexLocked() {
+			if n.entryAtLocked(idx).Term != e.Term {
+				n.log = n.log[:idx-n.snap.Index-1]
 				n.log = append(n.log, e)
 				if firstChanged == 0 {
 					firstChanged = idx
@@ -502,7 +623,7 @@ func (n *Node) onAppendEntries(from string, rpc AppendEntries) {
 		}
 	}
 	if firstChanged > 0 {
-		if !n.persistAppendLocked(firstChanged, n.log[firstChanged-1:]) {
+		if !n.persistAppendLocked(firstChanged, n.log[firstChanged-n.snap.Index-1:]) {
 			n.ep.Send(from, AppendReply{Term: n.term, ConflictIndex: firstChanged})
 			return
 		}
@@ -510,12 +631,68 @@ func (n *Node) onAppendEntries(from string, rpc AppendEntries) {
 	match := rpc.PrevLogIndex + uint64(len(rpc.Entries))
 	if rpc.LeaderCommit > n.commitIndex {
 		lim := rpc.LeaderCommit
-		if last := uint64(len(n.log)); lim > last {
+		if last := n.lastIndexLocked(); lim > last {
 			lim = last
 		}
 		n.commitToLocked(lim)
 	}
 	n.ep.Send(from, AppendReply{Term: n.term, Success: true, MatchIndex: match})
+}
+
+func (n *Node) onInstallSnapshot(from string, rpc InstallSnapshot) {
+	if rpc.Term > n.term {
+		n.stepDownLocked(rpc.Term)
+	}
+	if rpc.Term < n.term {
+		n.ep.Send(from, InstallSnapshotReply{Term: n.term, Index: n.snap.Index})
+		return
+	}
+	n.role = Follower
+	n.leaderHint = rpc.Leader
+	n.resetElectionDeadlineLocked()
+	if rpc.Index <= n.commitIndex {
+		// Stale: everything the snapshot covers is already committed
+		// here. Tell the leader how far we actually are.
+		n.ep.Send(from, InstallSnapshotReply{Term: n.term, Index: rpc.Index})
+		return
+	}
+	if n.termAtLocked(rpc.Index) == rpc.SnapTerm && rpc.Index <= n.lastIndexLocked() {
+		// Existing entry matches the snapshot's last entry: retain the
+		// suffix (Raft §7).
+		n.log = append([]Entry(nil), n.log[rpc.Index-n.snap.Index:]...)
+	} else {
+		n.log = nil
+	}
+	n.snap = Snapshot{Index: rpc.Index, Term: rpc.SnapTerm, Data: rpc.Data}
+	if !n.persistSnapshotLocked() {
+		return
+	}
+	// Deliver the snapshot to the application in commit order, then mark
+	// everything it covers committed.
+	select {
+	case n.applyCh <- Committed{Index: rpc.Index, Term: rpc.SnapTerm, Snapshot: rpc.Data}:
+	case <-n.stopCh:
+		return
+	}
+	n.commitIndex = rpc.Index
+	n.ep.Send(from, InstallSnapshotReply{Term: n.term, Index: rpc.Index})
+}
+
+func (n *Node) onInstallSnapshotReply(from string, rpc InstallSnapshotReply) {
+	if rpc.Term > n.term {
+		n.stepDownLocked(rpc.Term)
+		return
+	}
+	if n.role != Leader || rpc.Term != n.term {
+		return
+	}
+	if rpc.Index > n.matchIndex[from] {
+		n.matchIndex[from] = rpc.Index
+	}
+	n.nextIndex[from] = n.matchIndex[from] + 1
+	n.advanceCommitLocked()
+	// Continue catch-up with regular appends above the snapshot.
+	n.sendAppendLocked(from)
 }
 
 func (n *Node) onAppendReply(from string, rpc AppendReply) {
@@ -553,32 +730,34 @@ func (n *Node) advanceCommitLocked() {
 		return
 	}
 	matches := make([]uint64, 0, len(n.peers)+1)
-	matches = append(matches, uint64(len(n.log)))
+	matches = append(matches, n.lastIndexLocked())
 	for _, p := range n.peers {
 		matches = append(matches, n.matchIndex[p])
 	}
 	sort.Slice(matches, func(i, j int) bool { return matches[i] > matches[j] })
 	majority := matches[len(matches)/2]
-	if majority > n.commitIndex && majority <= uint64(len(n.log)) &&
-		n.log[majority-1].Term == n.term {
+	if majority > n.commitIndex && majority <= n.lastIndexLocked() &&
+		n.termAtLocked(majority) == n.term {
 		n.commitToLocked(majority)
 	}
 }
 
 func (n *Node) commitToLocked(idx uint64) {
 	for i := n.commitIndex + 1; i <= idx; i++ {
+		e := n.entryAtLocked(i)
 		select {
-		case n.applyCh <- Committed{Index: i, Term: n.log[i-1].Term, Cmd: n.log[i-1].Cmd}:
+		case n.applyCh <- Committed{Index: i, Term: e.Term, Cmd: e.Cmd}:
 		case <-n.stopCh:
 			return
 		}
+		n.commitIndex = i
 	}
-	n.commitIndex = idx
 }
 
 // WireTypes returns one zero value of every RPC payload type a Transport
 // must be able to carry; wire transports register them with their codec
 // (e.g. tcpnet's gob streams).
 func WireTypes() []any {
-	return []any{RequestVote{}, VoteReply{}, AppendEntries{}, AppendReply{}}
+	return []any{RequestVote{}, VoteReply{}, AppendEntries{}, AppendReply{},
+		InstallSnapshot{}, InstallSnapshotReply{}}
 }

@@ -7,36 +7,59 @@ import (
 	"prognosticator/internal/wal"
 )
 
-// Storage persists a node's durable Raft state: current term, vote, and the
-// log. A node with storage survives crash-restart without violating
-// election safety or log matching (it never re-votes in a term and never
-// loses accepted entries).
+// Snapshot is a durable state-machine snapshot: Data is the application's
+// opaque serialized state covering every log entry up to and including
+// Index (whose term is Term).
+type Snapshot struct {
+	Index uint64 `json:"i"`
+	Term  uint64 `json:"t"`
+	Data  []byte `json:"d,omitempty"`
+}
+
+// Storage persists a node's durable Raft state: current term, vote,
+// snapshot and the log tail above it. A node with storage survives
+// crash-restart without violating election safety or log matching (it never
+// re-votes in a term and never loses accepted entries).
 type Storage interface {
 	// SaveState durably records term and vote; called before any message
 	// that communicates them.
 	SaveState(term uint64, votedFor string) error
-	// Append durably appends entries starting at firstIndex (1-based),
-	// truncating any previously stored suffix from that index.
+	// Append durably appends entries starting at firstIndex (1-based
+	// logical index), truncating any previously stored suffix from that
+	// index.
 	Append(firstIndex uint64, entries []Entry) error
+	// SaveSnapshot durably records snap together with the retained log
+	// tail (entries with logical index > snap.Index), and may discard all
+	// state below the snapshot.
+	SaveSnapshot(snap Snapshot, tail []Entry) error
 	// Load returns the persisted state; a fresh store returns zero values.
-	Load() (term uint64, votedFor string, log []Entry, err error)
+	// log[i] holds the entry at logical index snap.Index+1+i.
+	Load() (term uint64, votedFor string, snap Snapshot, log []Entry, err error)
 }
 
 // FileStorage implements Storage as a WAL of JSON records. Each mutation is
-// one framed record; Load replays them. No compaction is performed — ample
-// for the in-process deployments this repository targets.
+// one framed record; Load replays them. SaveSnapshot compacts the journal:
+// it rotates to a fresh segment, writes a checkpoint (state + snapshot +
+// retained tail) there, and drops all older segments. A crash between the
+// checkpoint and the drop is safe — replay sees the old records followed by
+// the checkpoint that supersedes them, never a gap.
 type FileStorage struct {
 	log *wal.Log
 	dir string
+	// Cached so a snapshot checkpoint can re-record the current term and
+	// vote without the caller threading them through.
+	term  uint64
+	voted string
 }
 
 // storageRecord is the journal entry format.
 type storageRecord struct {
-	Kind     string  `json:"k"` // "state" | "append"
-	Term     uint64  `json:"t,omitempty"`
-	VotedFor string  `json:"v,omitempty"`
-	First    uint64  `json:"f,omitempty"`
-	Entries  []Entry `json:"e,omitempty"`
+	Kind     string    `json:"k"` // "state" | "append" | "snap"
+	Term     uint64    `json:"t,omitempty"`
+	VotedFor string    `json:"v,omitempty"`
+	First    uint64    `json:"f,omitempty"`
+	Entries  []Entry   `json:"e,omitempty"`
+	Snap     *Snapshot `json:"s,omitempty"`
 }
 
 // OpenFileStorage opens (or creates) persistent Raft state in dir with the
@@ -82,6 +105,7 @@ func (fs *FileStorage) append(rec storageRecord) error {
 
 // SaveState implements Storage.
 func (fs *FileStorage) SaveState(term uint64, votedFor string) error {
+	fs.term, fs.voted = term, votedFor
 	return fs.append(storageRecord{Kind: "state", Term: term, VotedFor: votedFor})
 }
 
@@ -90,11 +114,40 @@ func (fs *FileStorage) Append(firstIndex uint64, entries []Entry) error {
 	return fs.append(storageRecord{Kind: "append", First: firstIndex, Entries: entries})
 }
 
+// SaveSnapshot implements Storage: rotate to a fresh segment, checkpoint
+// everything live (current state, the snapshot, the retained tail), fsync,
+// then drop all older segments.
+func (fs *FileStorage) SaveSnapshot(snap Snapshot, tail []Entry) error {
+	if err := fs.log.Rotate(); err != nil {
+		return fmt.Errorf("raft: storage rotate: %w", err)
+	}
+	if err := fs.append(storageRecord{Kind: "state", Term: fs.term, VotedFor: fs.voted}); err != nil {
+		return err
+	}
+	s := snap
+	if err := fs.append(storageRecord{Kind: "snap", Snap: &s}); err != nil {
+		return err
+	}
+	if len(tail) > 0 {
+		if err := fs.append(storageRecord{Kind: "append", First: snap.Index + 1, Entries: tail}); err != nil {
+			return err
+		}
+	}
+	if err := fs.log.Sync(); err != nil {
+		return fmt.Errorf("raft: storage sync: %w", err)
+	}
+	if err := fs.log.DropSegmentsBelow(fs.log.CurrentSegment()); err != nil {
+		return fmt.Errorf("raft: storage compact: %w", err)
+	}
+	return nil
+}
+
 // Load implements Storage.
-func (fs *FileStorage) Load() (uint64, string, []Entry, error) {
+func (fs *FileStorage) Load() (uint64, string, Snapshot, []Entry, error) {
 	var term uint64
 	var voted string
-	var log []Entry
+	var snap Snapshot
+	var log []Entry // log[i] = entry at logical index snap.Index+1+i
 	err := wal.Replay(fs.dir, func(payload []byte) error {
 		var rec storageRecord
 		if err := json.Unmarshal(payload, &rec); err != nil {
@@ -107,15 +160,40 @@ func (fs *FileStorage) Load() (uint64, string, []Entry, error) {
 			if rec.First == 0 {
 				return fmt.Errorf("raft: storage: append with index 0")
 			}
-			if rec.First <= uint64(len(log)) {
-				log = log[:rec.First-1]
+			first, entries := rec.First, rec.Entries
+			if first <= snap.Index {
+				// Prefix already covered by a later-read snapshot
+				// checkpoint: keep only the part above it.
+				drop := snap.Index - first + 1
+				if uint64(len(entries)) <= drop {
+					return nil
+				}
+				entries = entries[drop:]
+				first = snap.Index + 1
 			}
-			log = append(log, rec.Entries...)
+			pos := first - snap.Index // 1-based position in the tail slice
+			if pos <= uint64(len(log)) {
+				log = log[:pos-1]
+			}
+			log = append(log, entries...)
+		case "snap":
+			if rec.Snap == nil {
+				return fmt.Errorf("raft: storage: snap record without snapshot")
+			}
+			// Re-base the tail: keep only entries above the new
+			// snapshot index.
+			if drop := rec.Snap.Index - snap.Index; drop < uint64(len(log)) {
+				log = append([]Entry(nil), log[drop:]...)
+			} else {
+				log = nil
+			}
+			snap = *rec.Snap
 		}
 		return nil
 	})
 	if err != nil {
-		return 0, "", nil, err
+		return 0, "", Snapshot{}, nil, err
 	}
-	return term, voted, log, nil
+	fs.term, fs.voted = term, voted
+	return term, voted, snap, log, nil
 }

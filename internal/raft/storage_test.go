@@ -38,12 +38,12 @@ func TestFileStorageRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer func() { _ = fs2.Close() }()
-	term, voted, log, err := fs2.Load()
+	term, voted, snap, log, err := fs2.Load()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if term != 4 || voted != "" {
-		t.Fatalf("state = %d/%q", term, voted)
+	if term != 4 || voted != "" || snap.Index != 0 {
+		t.Fatalf("state = %d/%q snap=%+v", term, voted, snap)
 	}
 	if len(log) != 2 || string(log[0].Cmd) != "a" || string(log[1].Cmd) != "B" {
 		t.Fatalf("log = %+v", log)
@@ -56,9 +56,9 @@ func TestFileStorageFreshIsEmpty(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer func() { _ = fs.Close() }()
-	term, voted, log, err := fs.Load()
-	if err != nil || term != 0 || voted != "" || len(log) != 0 {
-		t.Fatalf("fresh storage = %d %q %v %v", term, voted, log, err)
+	term, voted, snap, log, err := fs.Load()
+	if err != nil || term != 0 || voted != "" || snap.Index != 0 || len(log) != 0 {
+		t.Fatalf("fresh storage = %d %q %+v %v %v", term, voted, snap, log, err)
 	}
 }
 

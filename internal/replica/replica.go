@@ -4,9 +4,14 @@
 // divergence detection. A Cluster helper assembles a full in-process
 // deployment (N replicas + dispatchers) for the examples, tests and
 // cmd/replicad — including per-replica crash and rejoin: a crashed node's
-// store is rebuilt by replaying its WAL, then caught up through Raft to the
-// live commit index, while apply-time batch-ID deduplication makes client
-// resubmission after an ambiguous leader change idempotent.
+// store is rebuilt from its newest snapshot plus the WAL suffix above it,
+// then caught up through Raft to the live commit index, while apply-time
+// batch-ID deduplication makes client resubmission after an ambiguous leader
+// change idempotent. With snapshots enabled a replica periodically captures
+// its store (see snapshot.go), compacts its raft log below the snapshot
+// index, and prunes acknowledged entries from the dedup table, so recovery
+// time, log size and dedup memory all stay bounded in a long-lived
+// deployment.
 package replica
 
 import (
@@ -45,9 +50,46 @@ type Replica struct {
 	appliedIDs  map[string]uint64
 	deduped     int // duplicate batches skipped (idempotent resubmission)
 	redelivered int // already-applied entries re-delivered by raft after restart
-	stopCh      chan struct{}
-	stopOnce    sync.Once
-	wg          sync.WaitGroup
+
+	// dedupWM is the acknowledged low-water mark: every ID first applied at
+	// an index <= dedupWM has been acknowledged to its client, so no further
+	// committed occurrence of it can exist and its dedup entry can go.
+	// Pruning waits until lastApplied >= dedupWM — a duplicate occurrence
+	// can commit anywhere up to the watermark.
+	dedupWM    uint64
+	dedupDirty bool
+
+	snapCfg   SnapshotConfig
+	lastSnap  uint64 // raft index of the newest taken or installed snapshot
+	snapTaken int
+	installed int // snapshots installed from a leader's InstallSnapshot
+
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// SnapshotConfig enables periodic store snapshotting on a replica.
+type SnapshotConfig struct {
+	// Every takes a snapshot each time this many raft entries have been
+	// applied since the last one (0 disables snapshotting).
+	Every uint64
+	// Dir is where encoded snapshot files land (required when the replica
+	// also has a WAL: after a snapshot the WAL prefix is dropped, so
+	// recovery depends on the snapshot file being there).
+	Dir string
+	// Compact, when non-nil, is invoked (asynchronously) with each new
+	// snapshot so the consensus log can truncate below it — wire it to
+	// raft.Node.Compact.
+	Compact func(index uint64, data []byte) error
+}
+
+// EnableSnapshots configures periodic snapshotting. Must be called before
+// Start.
+func (r *Replica) EnableSnapshots(cfg SnapshotConfig) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.snapCfg = cfg
 }
 
 // New returns a replica applying batches through exec. wlog may be nil.
@@ -59,15 +101,16 @@ func New(id string, exec engine.Executor, st *store.Store, wlog *wal.Log) *Repli
 	}
 }
 
-// Resume seeds the replica's apply position from a WAL recovery, so that
-// Raft's re-delivery of committed entries from index 1 (there is no
-// snapshotting) skips everything the recovered store already contains. Must
-// be called before Start.
+// Resume seeds the replica's apply position from a recovery, so that Raft's
+// re-delivery of committed entries above the snapshot index skips everything
+// the recovered store already contains. Must be called before Start.
 func (r *Replica) Resume(rep RecoveryReport) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.lastApplied = rep.LastIndex
 	r.batches = rep.Batches
+	r.lastSnap = rep.SnapshotIndex
+	r.dedupWM = rep.Watermark
 	for id, idx := range rep.AppliedIDs {
 		r.appliedIDs[id] = idx
 	}
@@ -101,14 +144,17 @@ func (r *Replica) Stop() {
 }
 
 func (r *Replica) applyOne(c raft.Committed) error {
+	if c.Snapshot != nil {
+		return r.installSnapshot(c)
+	}
 	b, err := sequencer.DecodeBatch(c)
 	if err != nil {
 		return fmt.Errorf("replica %s: %w", r.ID, err)
 	}
 	r.mu.Lock()
 	if c.Index <= r.lastApplied {
-		// Raft re-delivers from index 1 after a restart; the recovered
-		// prefix is already in the store.
+		// Raft re-delivers the uncompacted suffix after a restart; the
+		// recovered prefix is already in the store.
 		r.redelivered++
 		r.mu.Unlock()
 		return nil
@@ -120,6 +166,7 @@ func (r *Replica) applyOne(c raft.Committed) error {
 			// is not WAL-logged either, so recovery replays it exactly once.
 			r.deduped++
 			r.lastApplied = c.Index
+			r.pruneDedupLocked()
 			r.mu.Unlock()
 			return nil
 		}
@@ -138,13 +185,140 @@ func (r *Replica) applyOne(c raft.Committed) error {
 		return fmt.Errorf("replica %s: apply batch %d: %w", r.ID, c.Index, err)
 	}
 	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.lastApplied = c.Index
 	r.batches++
 	if b.ID != "" {
 		r.appliedIDs[b.ID] = c.Index
 	}
-	r.mu.Unlock()
+	r.pruneDedupLocked()
+	if r.snapCfg.Every > 0 && r.lastApplied >= r.lastSnap+r.snapCfg.Every {
+		if err := r.snapshotLocked(); err != nil {
+			return fmt.Errorf("replica %s: snapshot at %d: %w", r.ID, c.Index, err)
+		}
+	}
 	return nil
+}
+
+// snapshotLocked captures the store at the current apply position, persists
+// the snapshot, drops the now-redundant WAL prefix, and hands the snapshot
+// to the consensus layer for log compaction. Called from the apply loop, so
+// the store is quiescent. The raft Compact call runs on its own goroutine:
+// raft delivers committed entries while holding its lock, so calling back
+// into it synchronously from the apply loop could deadlock on a full apply
+// channel.
+func (r *Replica) snapshotLocked() error {
+	snap := &StoreSnapshot{
+		Index:      r.lastApplied,
+		Batches:    r.batches,
+		Watermark:  r.dedupWM,
+		AppliedIDs: make(map[string]uint64, len(r.appliedIDs)),
+	}
+	for id, idx := range r.appliedIDs {
+		snap.AppliedIDs[id] = idx
+	}
+	snap.Pairs = CaptureStore(r.st)
+	encoded, err := EncodeSnapshot(snap)
+	if err != nil {
+		return err
+	}
+	if r.snapCfg.Dir != "" {
+		if err := WriteSnapshotFile(r.snapCfg.Dir, snap.Index, encoded); err != nil {
+			return err
+		}
+		if r.log != nil {
+			// Every WAL record is now <= snap.Index and covered by the
+			// durable snapshot file: rotate and drop the old segments.
+			if err := r.log.Rotate(); err != nil {
+				return fmt.Errorf("wal rotate: %w", err)
+			}
+			if err := r.log.DropSegmentsBelow(r.log.CurrentSegment()); err != nil {
+				return fmt.Errorf("wal compact: %w", err)
+			}
+		}
+	}
+	r.lastSnap = snap.Index
+	r.snapTaken++
+	if compact := r.snapCfg.Compact; compact != nil {
+		idx := snap.Index
+		go func() { _ = compact(idx, encoded) }()
+	}
+	return nil
+}
+
+// installSnapshot restores the store from a leader-shipped snapshot — the
+// catch-up path for a replica so far behind that the entries it needs were
+// compacted away.
+func (r *Replica) installSnapshot(c raft.Committed) error {
+	r.mu.Lock()
+	if c.Index <= r.lastApplied {
+		r.redelivered++
+		r.mu.Unlock()
+		return nil
+	}
+	r.mu.Unlock()
+	snap, err := DecodeSnapshot(c.Snapshot)
+	if err != nil {
+		return fmt.Errorf("replica %s: install snapshot at %d: %w", r.ID, c.Index, err)
+	}
+	RestoreStore(r.st, snap)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.snapCfg.Dir != "" {
+		// Persist the installed snapshot so a crash right after install
+		// recovers from it, then drop the stale WAL prefix (every record
+		// is below the snapshot index).
+		if err := WriteSnapshotFile(r.snapCfg.Dir, snap.Index, c.Snapshot); err != nil {
+			return fmt.Errorf("replica %s: install snapshot at %d: %w", r.ID, c.Index, err)
+		}
+		if r.log != nil {
+			if err := r.log.Rotate(); err != nil {
+				return fmt.Errorf("replica %s: install snapshot: wal rotate: %w", r.ID, err)
+			}
+			if err := r.log.DropSegmentsBelow(r.log.CurrentSegment()); err != nil {
+				return fmt.Errorf("replica %s: install snapshot: wal compact: %w", r.ID, err)
+			}
+		}
+	}
+	r.lastApplied = c.Index
+	r.batches = snap.Batches
+	r.appliedIDs = make(map[string]uint64, len(snap.AppliedIDs))
+	for id, idx := range snap.AppliedIDs {
+		r.appliedIDs[id] = idx
+	}
+	if snap.Watermark > r.dedupWM {
+		r.dedupWM = snap.Watermark
+	}
+	r.lastSnap = c.Index
+	r.installed++
+	return nil
+}
+
+// SetDedupWatermark raises the acknowledged low-water mark: the caller
+// asserts that every batch ID first applied at an index <= wm has been
+// acknowledged to its client, so no further committed occurrence of it can
+// appear and its dedup entry may be dropped once this replica has applied
+// through wm.
+func (r *Replica) SetDedupWatermark(wm uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if wm > r.dedupWM {
+		r.dedupWM = wm
+		r.dedupDirty = true
+	}
+	r.pruneDedupLocked()
+}
+
+func (r *Replica) pruneDedupLocked() {
+	if !r.dedupDirty || r.lastApplied < r.dedupWM {
+		return
+	}
+	for id, idx := range r.appliedIDs {
+		if idx <= r.dedupWM {
+			delete(r.appliedIDs, id)
+		}
+	}
+	r.dedupDirty = false
 }
 
 // LastApplied returns the Raft index of the last applied batch.
@@ -180,6 +354,36 @@ func (r *Replica) Redelivered() int {
 	return r.redelivered
 }
 
+// DedupSize returns the number of live entries in the dedup table — bounded
+// by watermark pruning, not by deployment lifetime.
+func (r *Replica) DedupSize() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.appliedIDs)
+}
+
+// DedupWatermark returns the acknowledged low-water mark.
+func (r *Replica) DedupWatermark() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dedupWM
+}
+
+// Snapshots returns how many snapshots this replica captured itself.
+func (r *Replica) Snapshots() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.snapTaken
+}
+
+// SnapshotsInstalled returns how many leader-shipped snapshots were
+// installed (far-behind catch-up).
+func (r *Replica) SnapshotsInstalled() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.installed
+}
+
 // StateHash returns the order-independent hash of the replica's current
 // store state.
 func (r *Replica) StateHash() uint64 { return r.st.StateHash(r.st.Epoch()) }
@@ -207,15 +411,23 @@ func parseEnvelope(payload []byte) (uint64, []byte, error) {
 	return binary.LittleEndian.Uint64(payload[:envelopeHeader]), payload[envelopeHeader:], nil
 }
 
-// RecoveryReport summarizes a WAL recovery: what was replayed and what, if
-// anything, a corrupted tail cost.
+// RecoveryReport summarizes a recovery: what was restored and replayed, and
+// what, if anything, a corrupted tail cost.
 type RecoveryReport struct {
-	// Batches is the number of batches replayed into the executor.
+	// Batches is the number of batches the recovered store reflects:
+	// snapshot batches plus WAL-suffix batches replayed into the executor.
 	Batches int
-	// LastIndex is the raft index of the last replayed batch (the resume
+	// LastIndex is the raft index of the last recovered batch (the resume
 	// point: Raft redelivery catches the replica up from here).
 	LastIndex uint64
-	// AppliedIDs maps replayed batch idempotency IDs to their raft index.
+	// FromSnapshot reports whether a snapshot seeded the store; if so
+	// SnapshotIndex is its raft index and only WAL records above it were
+	// replayed.
+	FromSnapshot  bool
+	SnapshotIndex uint64
+	// Watermark is the recovered dedup low-water mark.
+	Watermark uint64
+	// AppliedIDs maps recovered batch idempotency IDs to their raft index.
 	AppliedIDs map[string]uint64
 	// WAL reports the physical repair: whether a torn or corrupted tail was
 	// truncated and how many bytes of unreplayable suffix were discarded
@@ -230,16 +442,42 @@ type RecoveryReport struct {
 // says how many batches were replayed, where to resume, and how much the
 // corruption (if any) cost.
 func Recover(dir string, exec engine.Executor) (RecoveryReport, error) {
+	return RecoverWithSnapshot(dir, "", exec, nil)
+}
+
+// RecoverWithSnapshot is Recover preferring snapshot + WAL-suffix recovery:
+// if snapDir holds a parseable snapshot, the store is restored from it and
+// only WAL records ABOVE the snapshot index are replayed through exec —
+// recovery work is bounded by the snapshot interval, not the deployment
+// lifetime. With no usable snapshot (or snapDir == "") the whole WAL is
+// replayed, exactly like Recover.
+func RecoverWithSnapshot(walDir, snapDir string, exec engine.Executor, st *store.Store) (RecoveryReport, error) {
 	rep := RecoveryReport{AppliedIDs: map[string]uint64{}}
-	st, err := wal.Repair(dir)
+	if snap, err := LoadSnapshotFile(snapDir); err == nil && snap != nil && st != nil {
+		RestoreStore(st, snap)
+		rep.FromSnapshot = true
+		rep.SnapshotIndex = snap.Index
+		rep.LastIndex = snap.Index
+		rep.Batches = snap.Batches
+		rep.Watermark = snap.Watermark
+		for id, idx := range snap.AppliedIDs {
+			rep.AppliedIDs[id] = idx
+		}
+	}
+	stats, err := wal.Repair(walDir)
 	if err != nil {
 		return rep, fmt.Errorf("replica: recover repair: %w", err)
 	}
-	rep.WAL = st
-	err = wal.Replay(dir, func(payload []byte) error {
+	rep.WAL = stats
+	err = wal.Replay(walDir, func(payload []byte) error {
 		idx, cmd, err := parseEnvelope(payload)
 		if err != nil {
 			return err
+		}
+		if rep.FromSnapshot && idx <= rep.SnapshotIndex {
+			// Covered by the snapshot (a prefix the compaction had not
+			// dropped yet): skip, don't double-apply.
+			return nil
 		}
 		b, err := sequencer.DecodeBatch(raft.Committed{Index: idx, Cmd: cmd})
 		if err != nil {
@@ -283,12 +521,14 @@ type Cluster struct {
 	ids      []string
 	dataDir  string
 	idPrefix string // boot nonce making batch IDs unique across cluster lifetimes
+	tcpDir   *tcpnet.Directory
 
 	mu          sync.Mutex
 	down        []bool
 	generations []int
 	storages    []*raft.FileStorage
 	wlogs       []*wal.Log
+	recoveries  []RecoveryReport
 	batchSeq    uint64
 
 	errMu sync.Mutex
@@ -306,9 +546,13 @@ type ClusterConfig struct {
 	// Raft overrides the consensus timing (zero = defaults).
 	Raft raft.Config
 	// TCP routes consensus over real loopback sockets instead of the
-	// in-process simulated network. Crash/Restart require the memnet
-	// transport.
+	// in-process simulated network. Crash closes the node's endpoint;
+	// Restart re-listens on a fresh port and the directory re-routes peers.
 	TCP bool
+	// SnapshotEvery, with DataDir set, makes each replica capture a store
+	// snapshot every N applied entries, compact its raft log below it and
+	// prune its WAL prefix (0 disables snapshotting).
+	SnapshotEvery uint64
 	// DataDir enables durability: node i persists its Raft state under
 	// DataDir/<id>/raft and its replica WAL under DataDir/<id>/wal.
 	// Required for Crash/Restart (a node restarting without persisted
@@ -350,15 +594,16 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	c.generations = make([]int, n)
 	c.storages = make([]*raft.FileStorage, n)
 	c.wlogs = make([]*wal.Log, n)
-	var dir *tcpnet.Directory
+	c.recoveries = make([]RecoveryReport, n)
 	if cfg.TCP {
 		tcpnet.Register(raft.WireTypes()...)
-		dir = tcpnet.NewDirectory()
+		c.tcpDir = tcpnet.NewDirectory()
+		c.Endpoints = make([]*tcpnet.Endpoint, n)
 	} else {
 		c.Net = memnet.New(cfg.Seed)
 	}
 	for i := range c.ids {
-		if err := c.startNode(i, dir); err != nil {
+		if err := c.startNode(i); err != nil {
 			return nil, err
 		}
 	}
@@ -370,35 +615,42 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 
 // startNode builds (or rebuilds, on restart) node i: transport endpoint,
 // raft node with optional persistent storage, a fresh store recovered from
-// the replica WAL, and a dispatcher. It does not start the event loops.
-// Callers hold no cluster lock; the built components are installed under
-// c.mu.
-func (c *Cluster) startNode(i int, dir *tcpnet.Directory) error {
+// the newest snapshot plus the WAL suffix above it, and a dispatcher. It
+// does not start the event loops. Callers hold no cluster lock; the built
+// components are installed under c.mu.
+func (c *Cluster) startNode(i int) error {
 	id := c.ids[i]
 	c.mu.Lock()
 	gen := c.generations[i]
 	c.mu.Unlock()
 	seed := c.cfg.Seed + int64(i)*7919 + int64(gen)*104729
 	var node *raft.Node
+	var ep *tcpnet.Endpoint
 	if c.cfg.TCP {
-		ep, err := tcpnet.Listen(id, "127.0.0.1:0", dir)
+		var err error
+		ep, err = tcpnet.Listen(id, "127.0.0.1:0", c.tcpDir)
 		if err != nil {
 			return fmt.Errorf("replica: cluster transport for %s: %w", id, err)
 		}
-		c.Endpoints = append(c.Endpoints, ep)
 		node = raft.NewNodeWithTransport(id, c.ids, ep, c.cfg.Raft, seed)
 	} else {
 		node = raft.NewNode(id, c.ids, c.Net, c.cfg.Raft, seed)
+	}
+	fail := func(err error) error {
+		if ep != nil {
+			ep.Close()
+		}
+		return err
 	}
 	var storage *raft.FileStorage
 	if c.dataDir != "" {
 		stg, err := raft.OpenFileStorage(filepath.Join(c.dataDir, id, "raft"))
 		if err != nil {
-			return fmt.Errorf("replica: cluster raft storage for %s: %w", id, err)
+			return fail(fmt.Errorf("replica: cluster raft storage for %s: %w", id, err))
 		}
 		if err := node.UseStorage(stg); err != nil {
 			_ = stg.Close()
-			return fmt.Errorf("replica: cluster raft storage for %s: %w", id, err)
+			return fail(fmt.Errorf("replica: cluster raft storage for %s: %w", id, err))
 		}
 		storage = stg
 	}
@@ -408,31 +660,42 @@ func (c *Cluster) startNode(i int, dir *tcpnet.Directory) error {
 		if storage != nil {
 			_ = storage.Close()
 		}
-		return fmt.Errorf("replica: cluster executor for %s: %w", id, err)
+		return fail(fmt.Errorf("replica: cluster executor for %s: %w", id, err))
 	}
 	var wlog *wal.Log
 	var recovered RecoveryReport
 	if c.dataDir != "" {
 		wdir := c.WALDir(i)
-		recovered, err = Recover(wdir, exec)
+		recovered, err = RecoverWithSnapshot(wdir, c.SnapDir(i), exec, st)
 		if err != nil {
 			_ = storage.Close()
-			return fmt.Errorf("replica: cluster recovery for %s: %w", id, err)
+			return fail(fmt.Errorf("replica: cluster recovery for %s: %w", id, err))
 		}
 		wlog, err = wal.Open(wdir, wal.Options{Sync: c.cfg.WALSync})
 		if err != nil {
 			_ = storage.Close()
-			return fmt.Errorf("replica: cluster wal for %s: %w", id, err)
+			return fail(fmt.Errorf("replica: cluster wal for %s: %w", id, err))
 		}
 	}
 	rep := New(id, exec, st, wlog)
 	rep.Resume(recovered)
+	if c.cfg.SnapshotEvery > 0 && c.dataDir != "" {
+		rep.EnableSnapshots(SnapshotConfig{
+			Every:   c.cfg.SnapshotEvery,
+			Dir:     c.SnapDir(i),
+			Compact: node.Compact,
+		})
+	}
 	c.mu.Lock()
 	c.Nodes[i] = node
 	c.Replicas[i] = rep
 	c.Dispatchers[i] = sequencer.NewDispatcher(node)
 	c.storages[i] = storage
 	c.wlogs[i] = wlog
+	c.recoveries[i] = recovered
+	if c.cfg.TCP {
+		c.Endpoints[i] = ep
+	}
 	c.mu.Unlock()
 	return nil
 }
@@ -496,6 +759,22 @@ func (c *Cluster) RaftDir(i int) string {
 	return filepath.Join(c.dataDir, c.ids[i], "raft")
 }
 
+// SnapDir returns replica i's snapshot directory ("" without persistence).
+func (c *Cluster) SnapDir(i int) string {
+	if c.dataDir == "" {
+		return ""
+	}
+	return filepath.Join(c.dataDir, c.ids[i], "snap")
+}
+
+// LastRecovery returns the recovery report from replica i's most recent
+// (re)start — the initial boot, or the latest Restart.
+func (c *Cluster) LastRecovery(i int) RecoveryReport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.recoveries[i]
+}
+
 // IsDown reports whether replica i is currently crashed.
 func (c *Cluster) IsDown(i int) bool {
 	c.mu.Lock()
@@ -517,13 +796,10 @@ func (c *Cluster) DownReplicas() []int {
 }
 
 // Crash stops replica i like a process kill: its apply loop and Raft node
-// halt and its WAL and Raft storage files are closed. State survives on
-// disk; the node rejoins via Restart. Requires persistence (DataDir) and the
-// memnet transport.
+// halt, its network presence disappears (memnet SetDown, or the TCP endpoint
+// closes), and its WAL and Raft storage files are closed. State survives on
+// disk; the node rejoins via Restart. Requires persistence (DataDir).
 func (c *Cluster) Crash(i int) error {
-	if c.cfg.TCP {
-		return fmt.Errorf("replica: crash/restart requires the memnet transport")
-	}
 	if c.dataDir == "" {
 		return fmt.Errorf("replica: crash requires DataDir persistence (a node without persisted term/vote could double-vote on rejoin)")
 	}
@@ -535,10 +811,21 @@ func (c *Cluster) Crash(i int) error {
 	c.down[i] = true
 	node, rep := c.Nodes[i], c.Replicas[i]
 	storage, wlog := c.storages[i], c.wlogs[i]
+	var ep *tcpnet.Endpoint
+	if c.cfg.TCP {
+		ep = c.Endpoints[i]
+	}
 	c.mu.Unlock()
 	// Cut network traffic first (the node is gone from the fabric), then
-	// stop the loops, then close the files they were writing.
-	c.Net.SetDown(c.ids[i], true)
+	// stop the loops, then close the files they were writing. Over TCP the
+	// endpoint close kills the listener and every open connection; peers'
+	// sends fail and drop, exactly like datagrams to a dead host.
+	if c.Net != nil {
+		c.Net.SetDown(c.ids[i], true)
+	}
+	if ep != nil {
+		ep.Close()
+	}
 	rep.Stop()
 	node.Stop()
 	if wlog != nil {
@@ -550,10 +837,12 @@ func (c *Cluster) Crash(i int) error {
 	return nil
 }
 
-// Restart rejoins a crashed replica: a fresh store is rebuilt by replaying
-// its (repaired) WAL, the Raft node reloads its persisted term/vote/log, and
-// re-delivery from the live leader catches the replica up to the commit
-// index. The executor is rebuilt through the NewExecutor factory.
+// Restart rejoins a crashed replica: a fresh store is rebuilt from its
+// newest snapshot plus the (repaired) WAL suffix above it, the Raft node
+// reloads its persisted term/vote/snapshot/log, and re-delivery from the
+// live leader catches the replica up to the commit index. The executor is
+// rebuilt through the NewExecutor factory. Over TCP the node re-listens on a
+// fresh port; the shared directory re-routes peers on their next dial.
 func (c *Cluster) Restart(i int) error {
 	c.mu.Lock()
 	if !c.down[i] {
@@ -562,12 +851,16 @@ func (c *Cluster) Restart(i int) error {
 	}
 	c.generations[i]++
 	c.mu.Unlock()
-	// A fresh process would not see datagrams addressed to its previous
-	// life: drain the inbox before rejoining the fabric.
-	c.Net.Drain(c.ids[i])
-	c.Net.SetDown(c.ids[i], false)
-	if err := c.startNode(i, nil); err != nil {
-		c.Net.SetDown(c.ids[i], true)
+	if c.Net != nil {
+		// A fresh process would not see datagrams addressed to its previous
+		// life: drain the inbox before rejoining the fabric.
+		c.Net.Drain(c.ids[i])
+		c.Net.SetDown(c.ids[i], false)
+	}
+	if err := c.startNode(i); err != nil {
+		if c.Net != nil {
+			c.Net.SetDown(c.ids[i], true)
+		}
 		return err
 	}
 	c.launch(i)
@@ -702,6 +995,7 @@ func (c *Cluster) SubmitBatch(reqs []struct {
 				return err
 			}
 			if c.appliedBy(idx) {
+				c.ackWatermark(li)
 				return nil
 			}
 			time.Sleep(2 * time.Millisecond)
@@ -712,6 +1006,22 @@ func (c *Cluster) SubmitBatch(reqs []struct {
 		// Ambiguous: the proposal may or may not have committed. Re-propose
 		// the same ID through whoever leads now; apply-time dedup makes the
 		// retry idempotent.
+	}
+}
+
+// ackWatermark propagates the dedup low-water mark after a batch is
+// acknowledged. SubmitBatch is serial, so at ack time every occurrence of
+// every acknowledged ID sits at an index <= the leader's current commit
+// index (a duplicate proposal from a deposed leader either committed below
+// it or was overwritten and can never commit) — making that commit index a
+// safe prune point for all replicas.
+func (c *Cluster) ackWatermark(leader int) {
+	wm := c.dispatcher(leader).CommitIndex()
+	for i := range c.ids {
+		if c.IsDown(i) {
+			continue
+		}
+		c.replica(i).SetDedupWatermark(wm)
 	}
 }
 
@@ -763,6 +1073,23 @@ func (c *Cluster) WaitCaughtUp(within time.Duration) error {
 		}
 		if !time.Now().Before(deadline) {
 			return fmt.Errorf("replica: not caught up to index %d within %v", target, within)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// WaitSnapshot blocks until node i's raft log has been compacted at or above
+// minIndex — the handshake a test (or operator) uses to know the replica's
+// snapshot both exists on disk and has truncated the consensus log.
+func (c *Cluster) WaitSnapshot(i int, minIndex uint64, within time.Duration) error {
+	deadline := time.Now().Add(within)
+	for {
+		if got := c.node(i).SnapshotIndex(); got >= minIndex {
+			return nil
+		}
+		if !time.Now().Before(deadline) {
+			return fmt.Errorf("replica: %s not compacted to %d within %v (at %d)",
+				c.ids[i], minIndex, within, c.node(i).SnapshotIndex())
 		}
 		time.Sleep(5 * time.Millisecond)
 	}

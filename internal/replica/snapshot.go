@@ -1,0 +1,186 @@
+package replica
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"prognosticator/internal/store"
+	"prognosticator/internal/value"
+)
+
+// StoreSnapshot is the application-level snapshot a replica takes of its
+// store: the full live state at a raft index, plus the apply-side metadata
+// needed to resume exactly where the snapshot was taken. The same encoded
+// form serves three purposes — it is written to the replica's data dir
+// (crash recovery), handed to raft.Compact as the compaction payload, and
+// shipped verbatim inside InstallSnapshot to far-behind followers.
+type StoreSnapshot struct {
+	// Index is the raft index of the last batch reflected in Pairs.
+	Index uint64 `json:"index"`
+	// Batches is the replica's batch count at capture.
+	Batches int `json:"batches"`
+	// Watermark is the dedup low-water mark at capture: IDs first applied
+	// at indices <= Watermark have been acknowledged and pruned.
+	Watermark uint64 `json:"watermark"`
+	// AppliedIDs are the surviving (unpruned) dedup entries.
+	AppliedIDs map[string]uint64 `json:"appliedIDs,omitempty"`
+	// Pairs is the live state, sorted by key so the encoding — and hence
+	// the bytes raft replicates — is identical on every replica.
+	Pairs []SnapPair `json:"pairs"`
+}
+
+// SnapPair is one live key/value pair.
+type SnapPair struct {
+	Key value.Encoded `json:"k"`
+	Val value.Value   `json:"v"`
+}
+
+var snapCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// snapHeader frames an encoded snapshot: 4-byte little-endian payload
+// length, then a CRC32-C of the payload. Mirrors the WAL frame so torn
+// snapshot files are detected, not half-restored.
+const snapHeader = 8
+
+// EncodeSnapshot serializes s with a CRC frame. Pairs are sorted in place.
+func EncodeSnapshot(s *StoreSnapshot) ([]byte, error) {
+	sort.Slice(s.Pairs, func(i, j int) bool { return s.Pairs[i].Key < s.Pairs[j].Key })
+	payload, err := json.Marshal(s)
+	if err != nil {
+		return nil, fmt.Errorf("replica: encode snapshot: %w", err)
+	}
+	out := make([]byte, snapHeader+len(payload))
+	binary.LittleEndian.PutUint32(out[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[4:8], crc32.Checksum(payload, snapCRC))
+	copy(out[snapHeader:], payload)
+	return out, nil
+}
+
+// DecodeSnapshot parses an encoded snapshot, verifying the CRC frame.
+func DecodeSnapshot(data []byte) (*StoreSnapshot, error) {
+	if len(data) < snapHeader {
+		return nil, fmt.Errorf("replica: snapshot too short (%d bytes)", len(data))
+	}
+	n := binary.LittleEndian.Uint32(data[0:4])
+	if uint64(snapHeader)+uint64(n) != uint64(len(data)) {
+		return nil, fmt.Errorf("replica: snapshot length mismatch (header %d, body %d)", n, len(data)-snapHeader)
+	}
+	payload := data[snapHeader:]
+	if crc32.Checksum(payload, snapCRC) != binary.LittleEndian.Uint32(data[4:8]) {
+		return nil, fmt.Errorf("replica: snapshot CRC mismatch")
+	}
+	var s StoreSnapshot
+	if err := json.Unmarshal(payload, &s); err != nil {
+		return nil, fmt.Errorf("replica: decode snapshot: %w", err)
+	}
+	return &s, nil
+}
+
+// CaptureStore flattens the store's live state at its current epoch into
+// snapshot pairs.
+func CaptureStore(st *store.Store) []SnapPair {
+	var pairs []SnapPair
+	st.ForEach(st.Epoch(), func(k value.Encoded, v value.Value) {
+		pairs = append(pairs, SnapPair{Key: k, Val: v})
+	})
+	return pairs
+}
+
+// RestoreStore replaces st's contents with the snapshot's pairs.
+func RestoreStore(st *store.Store, s *StoreSnapshot) {
+	items := make(map[value.Encoded]value.Value, len(s.Pairs))
+	for _, p := range s.Pairs {
+		items[p.Key] = p.Val
+	}
+	st.Restore(items)
+}
+
+// snapSuffix names snapshot files "<raft index>.snap".
+const snapSuffix = ".snap"
+
+func snapName(index uint64) string { return fmt.Sprintf("%016d%s", index, snapSuffix) }
+
+// WriteSnapshotFile durably writes an encoded snapshot to dir under its
+// index name (tmp + rename, fsynced) and removes older snapshot files.
+func WriteSnapshotFile(dir string, index uint64, encoded []byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("replica: snapshot dir: %w", err)
+	}
+	tmp := filepath.Join(dir, "tmp.snap.partial")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("replica: snapshot write: %w", err)
+	}
+	if _, err := f.Write(encoded); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("replica: snapshot write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("replica: snapshot sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("replica: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, snapName(index))); err != nil {
+		return fmt.Errorf("replica: snapshot rename: %w", err)
+	}
+	// Older snapshots are superseded; best-effort cleanup.
+	for _, idx := range listSnapshotIndices(dir) {
+		if idx < index {
+			_ = os.Remove(filepath.Join(dir, snapName(idx)))
+		}
+	}
+	return nil
+}
+
+func listSnapshotIndices(dir string) []uint64 {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var out []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, snapSuffix) {
+			continue
+		}
+		idx, err := strconv.ParseUint(strings.TrimSuffix(name, snapSuffix), 10, 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, idx)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LoadSnapshotFile returns the newest parseable snapshot in dir, or nil if
+// none exists (an empty or missing dir is not an error — the replica simply
+// recovers from the WAL alone). A torn newest file falls back to the next
+// older one, which the superseding write had not yet removed.
+func LoadSnapshotFile(dir string) (*StoreSnapshot, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	idxs := listSnapshotIndices(dir)
+	for i := len(idxs) - 1; i >= 0; i-- {
+		data, err := os.ReadFile(filepath.Join(dir, snapName(idxs[i])))
+		if err != nil {
+			continue
+		}
+		s, err := DecodeSnapshot(data)
+		if err != nil {
+			continue
+		}
+		return s, nil
+	}
+	return nil, nil
+}

@@ -126,6 +126,12 @@ func (d *Dispatcher) Discard() {
 	d.buf = d.buf[:0]
 }
 
+// CommitIndex exposes the underlying node's commit index — the submit layer
+// reads it at acknowledgment time to derive the dedup pruning watermark.
+func (d *Dispatcher) CommitIndex() uint64 {
+	return d.node.CommitIndex()
+}
+
 // Pending returns the number of buffered requests.
 func (d *Dispatcher) Pending() int {
 	d.mu.Lock()

@@ -132,6 +132,18 @@ func AnalyzeOptimized(p *lang.Program) (*profile.Profile, error) {
 	return Analyze(p, Options{UseTaint: true, Prune: true})
 }
 
+// AnalyzeProfileOnly runs the optimized analysis WITHOUT the capped
+// unoptimized comparison run that fills the Table I columns of Stats. The
+// resulting profile is identical to AnalyzeOptimized's; only the comparison
+// statistics are missing. This is the right entry point for callers that
+// need the profile and not the paper's measurements — soundness linting, the
+// engine registry — where the comparison run is pure overhead (for loop-heavy
+// transactions like TPC-C newOrder it dominates the analysis by orders of
+// magnitude).
+func AnalyzeProfileOnly(p *lang.Program) (*profile.Profile, error) {
+	return Analyze(p, Options{UseTaint: true, Prune: true, SkipUnoptimized: true})
+}
+
 func pow2(n int) float64 {
 	out := 1.0
 	for i := 0; i < n; i++ {

@@ -254,6 +254,52 @@ func (l *Log) rotateLocked() error {
 	return l.openSegment()
 }
 
+// Rotate forces a segment rotation: the current segment is closed and new
+// appends go to a fresh segment. Snapshotting callers rotate before writing
+// checkpoint records so the records land in a segment that survives a
+// subsequent DropSegmentsBelow of the pre-checkpoint history.
+func (l *Log) Rotate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.rotateLocked()
+}
+
+// CurrentSegment returns the index of the segment new appends go to.
+func (l *Log) CurrentSegment() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.curIdx
+}
+
+// DropSegmentsBelow removes every segment with index < idx — the log-
+// compaction primitive. The caller must have made the retained suffix
+// self-contained first (write a checkpoint, Rotate, then drop below the new
+// current segment): replay only ever sees segments in index order, so a
+// crash between the checkpoint append and the drop replays old records
+// followed by the checkpoint that supersedes them, never a gap.
+func (l *Log) DropSegmentsBelow(idx int) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return err
+	}
+	for _, s := range segs {
+		if s < idx && s != l.curIdx {
+			if err := os.Remove(filepath.Join(l.dir, segmentName(s))); err != nil {
+				return fmt.Errorf("wal: drop segment: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
 // Close flushes and closes the log.
 func (l *Log) Close() error {
 	l.mu.Lock()
