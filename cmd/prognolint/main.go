@@ -6,6 +6,8 @@
 //	prognolint [flags] [file.txn...]
 //
 //	-json           emit findings as a JSON array instead of text
+//	-sarif          emit findings as a SARIF 2.1.0 log instead of text
+//	-explain PASS   print what the named lint pass checks and why, then exit
 //	-fail-on SEV    exit non-zero at/above this severity (error|warning|info;
 //	                default warning)
 //	-soundness N    additionally derive each transaction's SE profile and
@@ -14,6 +16,11 @@
 //	-seed S         RNG seed for -soundness sampling (default 1)
 //	-workload W,... additionally lint the named built-in workload catalogs
 //	                (tpcc, rubis) against their real schemas
+//
+// Output is deterministic: within each input file (and each workload catalog)
+// programs are reported in name order, and findings within a program are
+// sorted by position. Two runs over the same inputs produce byte-identical
+// output, so CI can diff against a checked-in baseline.
 //
 // The schema is inferred from the table accesses across all given files
 // (first access fixes a table's key arity), so source files need no separate
@@ -29,7 +36,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"prognosticator/internal/lang"
@@ -49,15 +58,33 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr *os.File) int {
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("prognolint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	sarifOut := fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log")
+	explain := fs.String("explain", "", "print what the named lint pass checks, then exit")
 	failOn := fs.String("fail-on", "warning", "exit non-zero at/above this severity: error, warning or info")
 	soundness := fs.Int("soundness", 0, "cross-validate SE profiles on this many random samples (0 disables)")
 	seed := fs.Int64("seed", 1, "RNG seed for -soundness sampling")
 	workloads := fs.String("workload", "", "comma-separated built-in workload catalogs to lint (tpcc, rubis)")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *explain != "" {
+		doc, ok := lint.Explain(*explain)
+		if !ok {
+			fmt.Fprintf(stderr, "prognolint: unknown pass %q; available passes:\n", *explain)
+			for _, n := range lint.PassNames() {
+				fmt.Fprintf(stderr, "\t%s\n", n)
+			}
+			return 2
+		}
+		fmt.Fprintf(stdout, "%s\n\n%s\n", *explain, doc)
+		return 0
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(stderr, "prognolint: -json and -sarif are mutually exclusive")
 		return 2
 	}
 	if fs.NArg() == 0 && *workloads == "" {
@@ -95,8 +122,11 @@ func run(args []string, stdout, stderr *os.File) int {
 
 	var findings []fileFinding
 	if len(files) > 0 {
+		// Infer the schema from programs in file order (the first access fixes
+		// a table's key arity), then report per file in program-name order.
 		linter := lint.New(lint.InferSchema(all...))
 		for _, f := range files {
+			sortByName(f.progs)
 			for _, p := range f.progs {
 				for _, fd := range linter.Run(p) {
 					findings = append(findings, fileFinding{File: f.path, Finding: fd})
@@ -118,6 +148,7 @@ func run(args []string, stdout, stderr *os.File) int {
 			}
 			label := "workload:" + name
 			linter := lint.New(schema)
+			sortByName(progs)
 			for _, p := range progs {
 				for _, fd := range linter.Run(p) {
 					findings = append(findings, fileFinding{File: label, Finding: fd})
@@ -129,7 +160,8 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 	}
 
-	if *jsonOut {
+	switch {
+	case *jsonOut:
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if findings == nil {
@@ -139,7 +171,12 @@ func run(args []string, stdout, stderr *os.File) int {
 			fmt.Fprintf(stderr, "prognolint: %v\n", err)
 			return 2
 		}
-	} else {
+	case *sarifOut:
+		if err := writeSARIF(stdout, findings); err != nil {
+			fmt.Fprintf(stderr, "prognolint: %v\n", err)
+			return 2
+		}
+	default:
 		for _, fd := range findings {
 			fmt.Fprintf(stdout, "%s:%s\n", fd.File, fd.Finding.String())
 		}
@@ -156,6 +193,11 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 1
 	}
 	return 0
+}
+
+// sortByName orders programs by name for deterministic reporting.
+func sortByName(progs []*lang.Program) {
+	sort.Slice(progs, func(i, j int) bool { return progs[i].Name < progs[j].Name })
 }
 
 // workloadCatalog returns the named built-in workload's schema and programs,
@@ -183,7 +225,7 @@ func workloadCatalog(name string) (*lang.Schema, []*lang.Program, error) {
 // concrete interpreter. Analysis failures are reported as findings, not
 // fatal errors: a file that defeats the symbolic executor is precisely what
 // the lint run should surface.
-func checkSoundness(path string, p *lang.Program, samples int, seed int64, stderr *os.File) []fileFinding {
+func checkSoundness(path string, p *lang.Program, samples int, seed int64, stderr io.Writer) []fileFinding {
 	prof, err := symexec.AnalyzeProfileOnly(p)
 	if err != nil {
 		return []fileFinding{{File: path, Finding: lint.Finding{

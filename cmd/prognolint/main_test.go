@@ -1,0 +1,206 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const lintbadPath = "../../testdata/lintbad.txn"
+
+// runCapture invokes run with buffered streams.
+func runCapture(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// TestOutputDeterministic runs the CLI twice per output format and requires
+// byte-identical output: CI diffs prognolint output against a checked-in
+// baseline, so any map-order leak breaks the build.
+func TestOutputDeterministic(t *testing.T) {
+	for _, format := range [][]string{
+		{lintbadPath},
+		{"-json", lintbadPath},
+		{"-sarif", lintbadPath},
+	} {
+		code1, out1, _ := runCapture(t, format...)
+		code2, out2, _ := runCapture(t, format...)
+		if code1 != code2 {
+			t.Errorf("%v: exit codes differ across runs: %d vs %d", format, code1, code2)
+		}
+		if out1 != out2 {
+			t.Errorf("%v: output differs across runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", format, out1, out2)
+		}
+		if out1 == "" {
+			t.Errorf("%v: no output", format)
+		}
+	}
+}
+
+// TestProgramsReportedInNameOrder checks the per-file program sort.
+func TestProgramsReportedInNameOrder(t *testing.T) {
+	_, out, _ := runCapture(t, "-json", lintbadPath)
+	var findings []struct {
+		Prog string `json:"prog"`
+	}
+	if err := json.Unmarshal([]byte(out), &findings); err != nil {
+		t.Fatalf("unmarshal -json output: %v", err)
+	}
+	if len(findings) == 0 {
+		t.Fatal("lintbad.txn produced no findings")
+	}
+	var progs []string
+	for _, f := range findings {
+		if len(progs) == 0 || progs[len(progs)-1] != f.Prog {
+			progs = append(progs, f.Prog)
+		}
+	}
+	for i := 1; i < len(progs); i++ {
+		if progs[i-1] > progs[i] {
+			t.Fatalf("programs out of name order: %q before %q (full order %v)", progs[i-1], progs[i], progs)
+		}
+	}
+}
+
+func TestSARIFOutput(t *testing.T) {
+	code, out, stderr := runCapture(t, "-sarif", lintbadPath)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (lintbad has warnings); stderr: %s", code, stderr)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Level   string `json:"level"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(out), &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	r := log.Runs[0]
+	if r.Tool.Driver.Name != "prognolint" {
+		t.Errorf("driver name = %q", r.Tool.Driver.Name)
+	}
+	hasRule := map[string]bool{}
+	for _, rule := range r.Tool.Driver.Rules {
+		hasRule[rule.ID] = true
+	}
+	for _, want := range []string{"dead-branch", "key-determinism", "pivot-key", "profile-soundness"} {
+		if !hasRule[want] {
+			t.Errorf("rule table missing %q", want)
+		}
+	}
+	if len(r.Results) == 0 {
+		t.Fatal("no results for lintbad.txn")
+	}
+	for _, res := range r.Results {
+		if res.Level != "error" && res.Level != "warning" && res.Level != "note" {
+			t.Errorf("result %q has invalid level %q", res.Message.Text, res.Level)
+		}
+		if len(res.Locations) == 0 || res.Locations[0].PhysicalLocation.ArtifactLocation.URI == "" {
+			t.Errorf("result %q has no artifact location", res.Message.Text)
+		}
+	}
+}
+
+func TestExplain(t *testing.T) {
+	code, out, _ := runCapture(t, "-explain", "key-determinism")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	if !strings.Contains(out, "direct") || !strings.Contains(out, "pivot-dependent") {
+		t.Errorf("explanation lacks the classification vocabulary: %q", out)
+	}
+
+	code, _, stderr := runCapture(t, "-explain", "no-such-pass")
+	if code != 2 {
+		t.Fatalf("unknown pass: exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "key-determinism") {
+		t.Errorf("unknown-pass error should list available passes, got: %q", stderr)
+	}
+}
+
+func TestJSONAndSARIFMutuallyExclusive(t *testing.T) {
+	code, _, stderr := runCapture(t, "-json", "-sarif", lintbadPath)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "mutually exclusive") {
+		t.Errorf("stderr = %q", stderr)
+	}
+}
+
+// TestWorkloadDirectDowngrades checks the paper-facing acceptance criterion:
+// of the TPC-C and RUBiS procedures the pivot-key pass flags as dependent, at
+// least half must now carry the pivot-free-traversal downgrade (direct part
+// predicted client-side) instead of the pivot-read fallback.
+func TestWorkloadDirectDowngrades(t *testing.T) {
+	_, out, _ := runCapture(t, "-json", "-workload", "tpcc,rubis")
+	var findings []struct {
+		Prog    string `json:"prog"`
+		Pass    string `json:"pass"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(out), &findings); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	downgraded := map[string]bool{}
+	fallback := map[string]bool{}
+	for _, f := range findings {
+		if f.Pass != "pivot-key" {
+			continue
+		}
+		switch {
+		case strings.Contains(f.Message, "predicted client-side"):
+			downgraded[f.Prog] = true
+		case strings.Contains(f.Message, "falls back to pivot reads"):
+			fallback[f.Prog] = true
+		}
+	}
+	total := len(downgraded) + len(fallback)
+	if total == 0 {
+		t.Fatal("no pivot-key findings over tpcc+rubis")
+	}
+	if 2*len(downgraded) < total {
+		t.Errorf("only %d of %d dependent procedures proven pivot-free (downgraded=%v, fallback=%v)",
+			len(downgraded), total, keys(downgraded), keys(fallback))
+	}
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

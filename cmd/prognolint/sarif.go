@@ -1,0 +1,157 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+
+	"prognosticator/internal/lint"
+)
+
+// SARIF 2.1.0 output: the interchange format CI systems (GitHub code
+// scanning, most SARIF viewers) ingest. Only the subset prognolint needs is
+// modeled; rule metadata comes from the same pass documentation that backs
+// `-explain`.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	FullDescription  sarifMessage `json:"fullDescription"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation  `json:"physicalLocation"`
+	LogicalLocations []sarifLogicalLocation `json:"logicalLocations,omitempty"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           *sarifRegion          `json:"region,omitempty"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+type sarifLogicalLocation struct {
+	FullyQualifiedName string `json:"fullyQualifiedName"`
+	Kind               string `json:"kind,omitempty"`
+}
+
+// sarifLevel maps lint severities onto the SARIF level enumeration.
+func sarifLevel(s lint.Severity) string {
+	switch s {
+	case lint.SevError:
+		return "error"
+	case lint.SevWarning:
+		return "warning"
+	default:
+		return "note"
+	}
+}
+
+// writeSARIF renders the findings as one SARIF run. The rule table lists
+// every documented pass (sorted), so rule indices are stable across runs
+// regardless of which passes fired.
+func writeSARIF(w io.Writer, findings []fileFinding) error {
+	names := lint.PassNames()
+	ruleIndex := make(map[string]int, len(names))
+	rules := make([]sarifRule, 0, len(names))
+	for i, n := range names {
+		doc, _ := lint.Explain(n)
+		rules = append(rules, sarifRule{
+			ID:               n,
+			ShortDescription: sarifMessage{Text: firstLine(doc)},
+			FullDescription:  sarifMessage{Text: doc},
+		})
+		ruleIndex[n] = i
+	}
+
+	results := make([]sarifResult, 0, len(findings))
+	for _, fd := range findings {
+		idx, ok := ruleIndex[fd.Pass]
+		if !ok {
+			// An undocumented pass still yields a valid result; -1 tells the
+			// consumer the rule table has no entry.
+			idx = -1
+		}
+		loc := sarifLocation{
+			PhysicalLocation: sarifPhysicalLocation{
+				ArtifactLocation: sarifArtifactLocation{URI: fd.File},
+			},
+			LogicalLocations: []sarifLogicalLocation{{
+				FullyQualifiedName: fd.Prog + ":" + fd.Path,
+				Kind:               "function",
+			}},
+		}
+		if fd.Pos.IsValid() {
+			loc.PhysicalLocation.Region = &sarifRegion{StartLine: fd.Pos.Line, StartColumn: fd.Pos.Col}
+		}
+		results = append(results, sarifResult{
+			RuleID:    fd.Pass,
+			RuleIndex: idx,
+			Level:     sarifLevel(fd.Severity),
+			Message:   sarifMessage{Text: fd.Message},
+			Locations: []sarifLocation{loc},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "prognolint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// firstLine returns the first line of a multi-line doc string.
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}

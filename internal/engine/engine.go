@@ -53,6 +53,10 @@ type txRuntime struct {
 	prepReads, prepWrites int
 	prepFull              bool // preparation ran the full logic (recon)
 	vExec, vPrep          time.Duration
+	// directKS caches the input-only part of a pivot-free DT's key-set: it
+	// never changes across MF re-preparation rounds, so only the indirect
+	// part is re-instantiated against the updated store state.
+	directKS *profile.KeySet
 }
 
 // ExecuteBatch implements Executor. Phases (§III-C):
@@ -321,9 +325,32 @@ func (e *Engine) prepareReader(tx *txRuntime, kv lang.KV, pr profile.PivotReader
 		tx.ks = &profile.KeySet{Reads: resu.Reads, Writes: resu.Writes}
 		tx.prepReads, tx.prepWrites, tx.prepFull = len(resu.Reads), len(resu.Writes), true
 	default:
-		ks, err := tx.prof.Instantiate(tx.req.Inputs, pr)
-		if err != nil {
-			return fmt.Errorf("engine: instantiate %s(seq %d): %w", tx.req.TxName, tx.req.Seq, err)
+		var ks *profile.KeySet
+		if e.reg.PivotFree[tx.req.TxName] {
+			// §III-C client-side prediction: the traversal is proven
+			// pivot-free, so the direct part of the key-set is instantiated
+			// from the inputs alone — computed once and reused across MF
+			// re-preparation rounds — and only pivot-dependent accesses
+			// touch the store.
+			if tx.directKS == nil {
+				direct, err := tx.prof.InstantiateDirect(tx.req.Inputs)
+				if err != nil {
+					return fmt.Errorf("engine: instantiate direct %s(seq %d): %w", tx.req.TxName, tx.req.Seq, err)
+				}
+				tx.directKS = direct
+			}
+			indirect, err := tx.prof.InstantiateIndirect(tx.req.Inputs, pr)
+			if err != nil {
+				return fmt.Errorf("engine: instantiate indirect %s(seq %d): %w", tx.req.TxName, tx.req.Seq, err)
+			}
+			ks = profile.Merge(tx.directKS, indirect)
+			tx.out.DirectKeys = len(tx.directKS.Reads) + len(tx.directKS.Writes)
+		} else {
+			full, err := tx.prof.Instantiate(tx.req.Inputs, pr)
+			if err != nil {
+				return fmt.Errorf("engine: instantiate %s(seq %d): %w", tx.req.TxName, tx.req.Seq, err)
+			}
+			ks = full
 		}
 		tx.ks = ks
 		tx.prepReads, tx.prepWrites, tx.prepFull = len(ks.Pivots), 0, false

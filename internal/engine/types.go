@@ -143,6 +143,9 @@ type TxOutcome struct {
 	Pending bool
 	// Emitted holds the transaction's Emit outputs (its result set).
 	Emitted map[string]value.Value
+	// DirectKeys counts the key-set entries instantiated client-side
+	// without pivot reads (pivot-free DTs only; zero elsewhere).
+	DirectKeys int
 	// VDone is the transaction's completion offset in VIRTUAL time from
 	// the batch start; set only by the virtual-time simulator (sim.go),
 	// which models an N-core replica on whatever host runs it.
@@ -191,6 +194,12 @@ type Registry struct {
 	// the transaction may write).
 	Tables     map[string][]string
 	TableLocks map[string][]locktable.LockKey
+	// PivotFree marks DT profiles whose tree traversal never depends on a
+	// pivot: preparation splits into an input-only direct part (predicted
+	// client-side, no store reads) and a pivot-dependent remainder
+	// (§III-C). ITs/ROTs are excluded — their whole key-set is direct
+	// already and the split would be pure overhead.
+	PivotFree map[string]bool
 }
 
 // RegistryOptions configures registration.
@@ -227,6 +236,7 @@ func NewRegistryWith(schema *lang.Schema, opts RegistryOptions, programs ...*lan
 		Classes:    make(map[string]profile.Class, len(programs)),
 		Tables:     make(map[string][]string, len(programs)),
 		TableLocks: make(map[string][]locktable.LockKey, len(programs)),
+		PivotFree:  make(map[string]bool, len(programs)),
 	}
 	for _, p := range programs {
 		if err := schema.Validate(p); err != nil {
@@ -255,6 +265,7 @@ func NewRegistryWith(schema *lang.Schema, opts RegistryOptions, programs ...*lan
 		r.Programs[p.Name] = p
 		r.Profiles[p.Name] = prof
 		r.Classes[p.Name] = prof.Class()
+		r.PivotFree[p.Name] = prof.Class() == profile.ClassDT && prof.PivotFreeTraversal()
 		tbls := profileTables(prof)
 		names := make([]string, 0, len(tbls))
 		for t := range tbls {

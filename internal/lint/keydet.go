@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+
+	"prognosticator/internal/taint"
+)
+
+// --- key-determinism: per-access direct vs pivot-dependent key proofs ---
+//
+// The pass surfaces the taint.KeyDeterminism classification as findings, for
+// dependent transactions only: an independent transaction has nothing to
+// prove (every key is trivially direct), so emitting per-access records
+// there would be noise. For a DT the findings are the per-access proofs the
+// engine's client-side prediction rests on: each access either carries a
+// witness that its key is derivable from the inputs alone, or names the
+// pivot-derived variables its key flows from.
+
+type keyDeterminismPass struct{}
+
+func (keyDeterminismPass) Name() string { return "key-determinism" }
+
+func (keyDeterminismPass) Run(pc *ProgContext) []Finding {
+	kd := pc.KeyDet()
+	dependent := kd.TraversalPivot || kd.DirectCount() < len(kd.Accesses)
+	if !dependent {
+		return nil
+	}
+	var out []Finding
+	for _, a := range kd.Accesses {
+		var msg string
+		if a.Direct() {
+			msg = fmt.Sprintf("%s %s: key is derivable from the transaction inputs alone (direct)", a.Op, a.Table)
+			if kd.PivotFreeTraversal() {
+				msg += "; predicted client-side without pivot reads"
+			}
+		} else {
+			msg = fmt.Sprintf("%s %s: key part(s) %s depend on store state via %s (pivot-dependent)",
+				a.Op, a.Table, partList(a), quoteList(a.Via()))
+		}
+		out = append(out, Finding{
+			Prog: pc.Prog.Name, Pass: "key-determinism", Pos: a.Pos, Path: a.Path,
+			Severity: SevInfo,
+			Message:  msg,
+		})
+	}
+	if kd.TraversalPivot {
+		out = append(out, Finding{
+			Prog: pc.Prog.Name, Pass: "key-determinism", Path: "keys",
+			Severity: SevInfo,
+			Message: "a branch or loop bound that can change the read/write-set depends on store state " +
+				"(traversal pivot): client-side prediction of the direct key-set is disabled",
+		})
+	}
+	return out
+}
+
+// partList renders the indices of the pivot-dependent key parts.
+func partList(a taint.AccessClass) string {
+	var idx []string
+	for i, d := range a.PartDirect {
+		if !d {
+			idx = append(idx, fmt.Sprintf("%d", i))
+		}
+	}
+	return strings.Join(idx, ",")
+}
+
+// quoteList renders variable names as a quoted, comma-separated list.
+func quoteList(names []string) string {
+	quoted := make([]string, len(names))
+	for i, n := range names {
+		quoted[i] = fmt.Sprintf("%q", n)
+	}
+	return strings.Join(quoted, ", ")
+}

@@ -1,0 +1,183 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDeadBranchThroughLocal(t *testing.T) {
+	fs := findingsOf(lintSrc(t, nil, `
+transaction deadlocal(x int[0..9]) {
+    y = x + 1
+    if y > 100 {
+        emit never = 1
+    }
+    emit out = y
+}`), "dead-branch")
+	if len(fs) != 1 || !strings.Contains(fs[0].Message, "then-branch is dead") {
+		t.Fatalf("findings %v, want one dead-then warning through the local", fs)
+	}
+}
+
+func TestDeadBranchOnInductionVariable(t *testing.T) {
+	fs := findingsOf(lintSrc(t, nil, `
+transaction deadloop(x int[0..9]) {
+    s = 0
+    for i = 0 .. 8 {
+        if i > 20 {
+            s = s + 1
+        }
+    }
+    emit out = s
+}`), "dead-branch")
+	if len(fs) != 1 || fs[0].Path != "body[1].body[0]" {
+		t.Fatalf("findings %v, want one dead-then warning on the induction-variable condition", fs)
+	}
+}
+
+func TestDeadBranchLocalSingletonAlwaysTrue(t *testing.T) {
+	fs := findingsOf(lintSrc(t, nil, `
+transaction constlocal(x int[0..9]) {
+    c = 7
+    if c == 7 {
+        emit yes = 1
+    } else {
+        emit no = 2
+    }
+}`), "dead-branch")
+	if len(fs) != 1 || !strings.Contains(fs[0].Message, "always true") {
+		t.Fatalf("findings %v, want one always-true warning via constant local", fs)
+	}
+}
+
+func TestDeadBranchFeasibleLocalSilent(t *testing.T) {
+	fs := findingsOf(lintSrc(t, nil, `
+transaction livelocal(x int[0..9]) {
+    y = x + 1
+    if y > 5 {
+        emit hi = 1
+    }
+    emit out = y
+}`), "dead-branch")
+	if len(fs) != 0 {
+		t.Fatalf("feasible local condition flagged: %v", fs)
+	}
+}
+
+func TestDeadBranchStoreLocalStillUndecidable(t *testing.T) {
+	// A local carrying a store value has abstract value ⊤: no verdict.
+	fs := findingsOf(lintSrc(t, nil, `
+transaction storeval(x int[0..9]) {
+    r = get T[x]
+    v = r.n
+    if v > 100 {
+        emit big = 1
+    }
+}`), "dead-branch")
+	if len(fs) != 0 {
+		t.Fatalf("store-derived condition flagged: %v", fs)
+	}
+}
+
+func TestLoopBoundPassAbsIntFallback(t *testing.T) {
+	// The bound is a local — outside exprInterval's fragment — but the
+	// abstract interpreter bounds it to [0,3], proving the loop empty.
+	fs := findingsOf(lintSrc(t, nil, `
+transaction neverloop(a int[0..3]) {
+    lim = a
+    for i = 5 .. lim {
+        emit x = i
+    }
+    emit out = 0
+}`), "loop-bound")
+	if len(fs) != 1 || !strings.Contains(fs[0].Message, "never executes") {
+		t.Fatalf("findings %v, want one never-executes warning via absint bounds", fs)
+	}
+}
+
+func TestKeyDeterminismPassProofs(t *testing.T) {
+	fs := findingsOf(lintSrc(t, nil, `
+transaction opencounter(initial int[0..100]) {
+    c = get COUNTERS["accounts"]
+    id = c.next
+    put ACCOUNTS[id] = {bal: initial}
+    c.next = id + 1
+    put COUNTERS["accounts"] = c
+}`), "key-determinism")
+	if len(fs) != 3 {
+		t.Fatalf("got %d findings, want one per access: %v", len(fs), fs)
+	}
+	var direct, pivot int
+	for _, f := range fs {
+		switch {
+		case strings.Contains(f.Message, "predicted client-side"):
+			direct++
+		case strings.Contains(f.Message, "pivot-dependent"):
+			pivot++
+			if !strings.Contains(f.Message, `"id"`) {
+				t.Errorf("pivot-dependent proof lacks witness: %q", f.Message)
+			}
+		}
+	}
+	if direct != 2 || pivot != 1 {
+		t.Errorf("direct=%d pivot=%d, want 2 direct + 1 pivot: %v", direct, pivot, fs)
+	}
+}
+
+func TestKeyDeterminismPassTraversalPivot(t *testing.T) {
+	fs := findingsOf(lintSrc(t, nil, `
+transaction guarded(src int[0..9], amt int[1..10]) {
+    s = get ACCOUNTS[src]
+    if s.bal >= amt {
+        put ACCOUNTS[src] = s
+    }
+}`), "key-determinism")
+	var tp int
+	for _, f := range fs {
+		if strings.Contains(f.Message, "traversal pivot") {
+			tp++
+			if f.Path != "keys" {
+				t.Errorf("traversal-pivot finding path %q, want \"keys\"", f.Path)
+			}
+		}
+		if strings.Contains(f.Message, "predicted client-side") {
+			t.Errorf("client-side prediction claimed despite traversal pivot: %q", f.Message)
+		}
+	}
+	if tp != 1 {
+		t.Fatalf("got %d traversal-pivot findings, want 1: %v", tp, fs)
+	}
+}
+
+func TestKeyDeterminismPassSilentOnIndependent(t *testing.T) {
+	fs := findingsOf(lintSrc(t, nil, `
+transaction indep(id int[0..9], amt int[1..100]) {
+    a = get ACCOUNTS[id]
+    a.bal = a.bal + amt
+    put ACCOUNTS[id] = a
+}`), "key-determinism")
+	if len(fs) != 0 {
+		t.Fatalf("independent transaction got key-determinism findings: %v", fs)
+	}
+}
+
+func TestPivotKeyPassDowngradeMessage(t *testing.T) {
+	fs := findingsOf(lintSrc(t, nil, `
+transaction chase(id int[0..9]) {
+    c = get COUNTERS[id]
+    put ITEMS[c.next] = {v: 1}
+}`), "pivot-key")
+	if len(fs) != 1 || !strings.Contains(fs[0].Message, "predicted client-side") {
+		t.Fatalf("findings %v, want downgraded pivot-key message", fs)
+	}
+	fs = findingsOf(lintSrc(t, nil, `
+transaction guarded(src int[0..9], amt int[1..10]) {
+    s = get ACCOUNTS[src]
+    if s.bal >= amt {
+        put ACCOUNTS[src] = s
+    }
+}`), "pivot-key")
+	if len(fs) != 1 || !strings.Contains(fs[0].Message, "falls back to pivot reads") {
+		t.Fatalf("findings %v, want fallback pivot-key message under traversal pivot", fs)
+	}
+}

@@ -118,9 +118,11 @@ type ProgContext struct {
 	Prog   *lang.Program
 	Schema *lang.Schema // may be nil: schema-dependent checks are skipped
 
-	cfg   *CFG
-	reach *ReachingDefs
-	taint *taint.Result
+	cfg    *CFG
+	reach  *ReachingDefs
+	taint  *taint.Result
+	abs    *AbsState
+	keydet *taint.KeyDet
 }
 
 // CFG returns the program's control-flow graph, building it on first use.
@@ -147,6 +149,24 @@ func (pc *ProgContext) Taint() *taint.Result {
 	return pc.taint
 }
 
+// Abs returns the interval abstract interpretation, computing it on first
+// use.
+func (pc *ProgContext) Abs() *AbsState {
+	if pc.abs == nil {
+		pc.abs = SolveAbsInt(pc.CFG())
+	}
+	return pc.abs
+}
+
+// KeyDet returns the key-determinism classification, computing it on first
+// use.
+func (pc *ProgContext) KeyDet() *taint.KeyDet {
+	if pc.keydet == nil {
+		pc.keydet = taint.KeyDeterminism(pc.Prog)
+	}
+	return pc.keydet
+}
+
 // AllPasses returns the default pass pipeline, in execution order.
 func AllPasses() []Pass {
 	return []Pass{
@@ -155,8 +175,67 @@ func AllPasses() []Pass {
 		useBeforeAssignPass{},
 		loopBoundPass{},
 		pivotKeyPass{},
+		keyDeterminismPass{},
 		deadBranchPass{},
 	}
+}
+
+// passDocs explains each pass for `prognolint -explain` and for SARIF rule
+// metadata. Keys include "profile-soundness", which is produced by the
+// soundness checker rather than a Pass.
+var passDocs = map[string]string{
+	"param-domain": "Checks parameter declarations: integer domains must be non-empty and\n" +
+		"small enough to enumerate, list parameters need element domains, and\n" +
+		"every declared parameter must be used. The symbolic executor and the\n" +
+		"solver both reason over these domains; a bad domain silently weakens\n" +
+		"every downstream proof.",
+	"schema": "Checks every GET/PUT/DEL against the table schema: unknown tables and\n" +
+		"key-arity mismatches fail at runtime inside the engine, where the error\n" +
+		"surfaces as an aborted batch rather than a positioned diagnostic.",
+	"use-before-assign": "Reaching-definitions check that every local read is preceded by an\n" +
+		"assignment on every path. The concrete interpreter fails at runtime on\n" +
+		"an unassigned local; the symbolic executor rejects the procedure.",
+	"loop-bound": "Bounds loop trip counts against the declared input domains (with the\n" +
+		"interval abstract interpreter as fallback for locally-computed bounds).\n" +
+		"Loops the symbolic executor cannot bound exhaust its unroll budget and\n" +
+		"fail registration; empty loops are reported as dead code.",
+	"pivot-key": "Reports GET results that influence the identity of later accesses: the\n" +
+		"transaction is dependent (DT) and its preparation needs pivot reads.\n" +
+		"When the key-determinism analysis proves the traversal pivot-free, the\n" +
+		"finding is downgraded: the direct part of the key-set is predicted\n" +
+		"client-side and only pivot-dependent accesses touch the store during\n" +
+		"preparation.",
+	"key-determinism": "Per-access proof of key determinism: each GET/PUT/DEL key part is\n" +
+		"classified direct (derivable from transaction inputs alone) or\n" +
+		"pivot-dependent (flows from a prior GET result), with the pivot-derived\n" +
+		"variables as witness. Direct accesses of a pivot-free-traversal DT are\n" +
+		"instantiated client-side without store reads (the paper's §III-C\n" +
+		"optimization).",
+	"dead-branch": "Proves branches dead over the declared input domains, substituting\n" +
+		"locals by their abstract interval/constant values (including loop\n" +
+		"induction variables) and discharging path constraints with the solver.\n" +
+		"Dead branches inflate profiles with unreachable subtrees and usually\n" +
+		"indicate a logic error.",
+	"profile-soundness": "Differential check of the symbolic-execution profile against the\n" +
+		"concrete interpreter on boundary and random inputs: a profile that\n" +
+		"misses a key breaks determinism (error); one that over-predicts only\n" +
+		"costs spurious locks (warning).",
+}
+
+// Explain returns the documentation paragraph for a pass name.
+func Explain(pass string) (string, bool) {
+	doc, ok := passDocs[pass]
+	return doc, ok
+}
+
+// PassNames returns every documented pass name, sorted.
+func PassNames() []string {
+	names := make([]string, 0, len(passDocs))
+	for n := range passDocs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Linter runs a pass pipeline over programs.

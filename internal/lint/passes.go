@@ -111,6 +111,21 @@ func (loopBoundPass) Run(pc *ProgContext) []Finding {
 		}
 		fromLo, _, fromOK := exprInterval(s.From, pc.Prog)
 		_, toHi, toOK := exprInterval(s.To, pc.Prog)
+		// Locally-computed bounds are outside exprInterval's fragment;
+		// fall back to the abstract interpreter's environment at the loop
+		// node, which bounds locals through assignments and joins.
+		if env, ok := pc.Abs().EnvAt(path); ok && env != nil {
+			if !fromOK {
+				if v := absEval(s.From, pc.Prog, env); v.Bounded() {
+					fromLo, fromOK = v.Lo, true
+				}
+			}
+			if !toOK {
+				if v := absEval(s.To, pc.Prog, env); v.Bounded() {
+					toHi, toOK = v.Hi, true
+				}
+			}
+		}
 		if !fromOK || !toOK {
 			out = append(out, Finding{
 				Prog: pc.Prog.Name, Pass: "loop-bound", Pos: s.Pos, Path: path,
@@ -120,7 +135,17 @@ func (loopBoundPass) Run(pc *ProgContext) []Finding {
 			})
 			return
 		}
-		if _, isConst := constIntExpr(s.From); !isConst && pc.Taint().BlockTouchesKeys(s.Body) {
+		_, isConst := constIntExpr(s.From)
+		if !isConst {
+			// A local that the abstract interpretation proves to be a single
+			// constant on every path is concrete to the symbolic executor too.
+			if env, ok := pc.Abs().EnvAt(path); ok && env != nil {
+				if v, single := absEval(s.From, pc.Prog, env).Singleton(); single && v.Kind() == value.KindInt {
+					isConst = true
+				}
+			}
+		}
+		if !isConst && pc.Taint().BlockTouchesKeys(s.Body) {
 			out = append(out, Finding{
 				Prog: pc.Prog.Name, Pass: "loop-bound", Pos: s.Pos, Path: path,
 				Severity: SevError,
@@ -222,20 +247,31 @@ func (pivotKeyPass) Name() string { return "pivot-key" }
 
 func (pivotKeyPass) Run(pc *ProgContext) []Finding {
 	tr := pc.Taint()
+	kd := pc.KeyDet()
 	var out []Finding
 	walkStmts(pc.Prog.Body, "body", func(st lang.Stmt, path string) {
 		s, ok := st.(lang.Get)
 		if !ok {
 			return
 		}
-		if tr.Relevant(s.Dst) {
-			out = append(out, Finding{
-				Prog: pc.Prog.Name, Pass: "pivot-key", Pos: s.Pos, Path: path,
-				Severity: SevInfo,
-				Message: fmt.Sprintf("GET result %q influences the identity of later accesses: the key-set depends "+
-					"on store state (dependent transaction; preparation falls back to pivot reads)", s.Dst),
-			})
+		if !tr.Relevant(s.Dst) {
+			return
 		}
+		msg := fmt.Sprintf("GET result %q influences the identity of later accesses: the key-set depends "+
+			"on store state (dependent transaction; preparation falls back to pivot reads)", s.Dst)
+		if kd.PivotFreeTraversal() {
+			// Key-determinism proof: no key-relevant branch or loop bound
+			// depends on store state, so the profile tree is walked from the
+			// inputs alone and every direct access skips its pivot reads.
+			msg = fmt.Sprintf("GET result %q influences the identity of later accesses (dependent transaction), "+
+				"but the traversal is pivot-free: the direct part of the key-set is predicted client-side "+
+				"(%d of %d accesses direct)", s.Dst, kd.DirectCount(), len(kd.Accesses))
+		}
+		out = append(out, Finding{
+			Prog: pc.Prog.Name, Pass: "pivot-key", Pos: s.Pos, Path: path,
+			Severity: SevInfo,
+			Message:  msg,
+		})
 	})
 	return out
 }
@@ -248,23 +284,28 @@ func (deadBranchPass) Name() string { return "dead-branch" }
 
 func (deadBranchPass) Run(pc *ProgContext) []Finding {
 	var out []Finding
-	deadBranchWalk(pc.Prog, pc.Prog.Body, "body", nil, &out)
+	deadBranchWalk(pc, pc.Prog.Body, "body", nil, &out)
 	return out
 }
 
 // deadBranchWalk threads the path constraint through nested conditionals so
 // that e.g. the inner branch of `if x < 5 { if x > 7 {...} }` is reported.
-func deadBranchWalk(prog *lang.Program, body []lang.Stmt, label string, cons []sym.Term, out *[]Finding) {
+// Conditions over locals are handled by substituting each local with its
+// abstract interval/constant value at the statement's CFG node — a sound
+// relaxation: the interval over-approximates every reachable value, so a
+// condition unsatisfiable over the relaxation is unsatisfiable in reality.
+func deadBranchWalk(pc *ProgContext, body []lang.Stmt, label string, cons []sym.Term, out *[]Finding) {
+	prog := pc.Prog
 	for i, st := range body {
 		path := fmt.Sprintf("%s[%d]", label, i)
 		switch s := st.(type) {
 		case lang.If:
-			cond, ok := exprTerm(s.Cond, prog)
+			cond, ok := exprTermEnv(s.Cond, pc, path)
 			if !ok {
-				// Condition depends on store state or locals: undecidable
-				// here; check the arms independently.
-				deadBranchWalk(prog, s.Then, path+".then", cons, out)
-				deadBranchWalk(prog, s.Else, path+".else", cons, out)
+				// Condition depends on store state or unbounded locals:
+				// undecidable here; check the arms independently.
+				deadBranchWalk(pc, s.Then, path+".then", cons, out)
+				deadBranchWalk(pc, s.Else, path+".else", cons, out)
 				continue
 			}
 			cond = sym.Fold(cond)
@@ -289,12 +330,14 @@ func deadBranchWalk(prog *lang.Program, body []lang.Stmt, label string, cons []s
 					Message:  msg,
 				})
 			}
-			deadBranchWalk(prog, s.Then, path+".then", thenCons, out)
-			deadBranchWalk(prog, s.Else, path+".else", elseCons, out)
+			deadBranchWalk(pc, s.Then, path+".then", thenCons, out)
+			deadBranchWalk(pc, s.Else, path+".else", elseCons, out)
 		case lang.For:
-			// The induction variable is a local, so conditions inside the
-			// body that mention it are skipped by exprTerm.
-			deadBranchWalk(prog, s.Body, path+".body", cons, out)
+			// The induction variable gets its interval from the abstract
+			// environment inside the body, so conditions on it are decidable
+			// when the bounds are. Empty-interval loops are the loop-bound
+			// pass's report ("never executes"), not duplicated here.
+			deadBranchWalk(pc, s.Body, path+".body", cons, out)
 		}
 	}
 }
@@ -333,6 +376,51 @@ func exprTerm(e lang.Expr, prog *lang.Program) (sym.Term, bool) {
 	default:
 		return nil, false
 	}
+}
+
+// exprTermEnv extends exprTerm with locals whose abstract value at the
+// statement's CFG node is a single constant or a bounded interval. Interval
+// locals become fresh solver variables named "local@nodeID": distinct
+// statements never share a variable (a local may be reassigned between
+// them), while multiple mentions within one condition do (the local has one
+// value per evaluation). The interval relaxation only ever widens the
+// feasible set, so Unsat verdicts remain sound.
+func exprTermEnv(e lang.Expr, pc *ProgContext, path string) (sym.Term, bool) {
+	env, okEnv := pc.Abs().EnvAt(path)
+	id, okNode := pc.Abs().NodeAt(path)
+	var conv func(e lang.Expr) (sym.Term, bool)
+	conv = func(e lang.Expr) (sym.Term, bool) {
+		switch x := e.(type) {
+		case lang.LocalRef:
+			if !okEnv || !okNode || env == nil {
+				return nil, false
+			}
+			v := env.Lookup(x.Name)
+			if c, single := v.Singleton(); single {
+				return sym.Const{V: c}, true
+			}
+			if v.Bounded() {
+				return sym.NewInput(fmt.Sprintf("%s@%d", x.Name, id), value.KindInt, v.Lo, v.Hi), true
+			}
+			return nil, false
+		case lang.Bin:
+			l, lok := conv(x.L)
+			r, rok := conv(x.R)
+			if !lok || !rok {
+				return nil, false
+			}
+			return sym.Bin{Op: x.Op, L: l, R: r}, true
+		case lang.Not:
+			t, ok := conv(x.E)
+			if !ok {
+				return nil, false
+			}
+			return sym.Not{T: t}, true
+		default:
+			return exprTerm(e, pc.Prog)
+		}
+	}
+	return conv(e)
 }
 
 // --- param-domain: declarations the analyses depend on ---

@@ -160,6 +160,7 @@ func CheckSoundness(p *lang.Program, prof *profile.Profile, opts SoundnessOption
 	opts = opts.withDefaults()
 	rng := rand.New(rand.NewSource(opts.Seed))
 	rep := &SoundnessReport{TxName: p.Name}
+	checkDirectMarks(prof, rep, opts)
 	fields := fieldNames(p)
 
 	samples := boundarySamples(p)
@@ -230,7 +231,85 @@ func checkOne(p *lang.Program, prof *profile.Profile, inputs map[string]value.Va
 
 	diffKeySets(ks.Reads, res.Reads, false, inputs, populated, rep, opts)
 	diffKeySets(ks.Writes, res.Writes, true, inputs, populated, rep, opts)
+	checkSplitInstantiation(prof, inputs, st, ks, rep, opts)
 	return nil
+}
+
+// checkDirectMarks validates the profile's Direct annotations against the
+// symbolic keys themselves: an access marked Direct must not mention a pivot
+// variable in any key part, or the engine would skip pivot reads the key
+// actually needs. (A pivot-free access left unmarked is merely conservative —
+// it costs the client-side-prediction optimization, not correctness — so it
+// is not reported here; the symbolic executor's own cross-check catches it at
+// analysis time.)
+func checkDirectMarks(prof *profile.Profile, rep *SoundnessReport, opts SoundnessOptions) {
+	var walk func(n *profile.Node)
+	walk = func(n *profile.Node) {
+		if n == nil {
+			return
+		}
+		for _, a := range n.Seg {
+			if a.Direct && a.Indirect() {
+				rep.addError(fmt.Sprintf("access %s is marked Direct but its key depends on a pivot", a), opts)
+			}
+		}
+		walk(n.True)
+		walk(n.False)
+	}
+	walk(prof.Root)
+}
+
+// checkSplitInstantiation cross-validates the client-side prediction path:
+// for pivot-free-traversal profiles the direct + indirect split must
+// reproduce the full instantiation — same keys, same pivot observations, and
+// no store access from the direct half.
+func checkSplitInstantiation(prof *profile.Profile, inputs map[string]value.Value,
+	st *storeKV, full *profile.KeySet, rep *SoundnessReport, opts SoundnessOptions) {
+	if !prof.PivotFreeTraversal() {
+		return
+	}
+	direct, err := prof.InstantiateDirect(inputs)
+	if err != nil {
+		rep.addError(fmt.Sprintf("direct instantiation failed where full instantiation succeeds: %v (inputs %s)",
+			err, renderInputs(inputs)), opts)
+		return
+	}
+	if len(direct.Pivots) != 0 {
+		rep.addError(fmt.Sprintf("direct instantiation recorded %d pivot observations (inputs %s)",
+			len(direct.Pivots), renderInputs(inputs)), opts)
+	}
+	indirect, err := prof.InstantiateIndirect(inputs, st)
+	if err != nil {
+		rep.addError(fmt.Sprintf("indirect instantiation failed where full instantiation succeeds: %v (inputs %s)",
+			err, renderInputs(inputs)), opts)
+		return
+	}
+	merged := profile.Merge(direct, indirect)
+	if len(merged.Pivots) != len(full.Pivots) {
+		rep.addError(fmt.Sprintf("split instantiation observed %d pivots, full observed %d (inputs %s)",
+			len(merged.Pivots), len(full.Pivots), renderInputs(inputs)), opts)
+	}
+	sameKeySet(merged.Reads, full.Reads, "read", inputs, rep, opts)
+	sameKeySet(merged.Writes, full.Writes, "write", inputs, rep, opts)
+}
+
+// sameKeySet reports an error for every key on which the split and full
+// instantiations disagree.
+func sameKeySet(split, full []value.Key, op string, inputs map[string]value.Value,
+	rep *SoundnessReport, opts SoundnessOptions) {
+	s, f := keySet(split), keySet(full)
+	for e, k := range s {
+		if _, ok := f[e]; !ok {
+			rep.addError(fmt.Sprintf("split instantiation predicts %s of %s that the full instantiation does not (inputs %s)",
+				op, k, renderInputs(inputs)), opts)
+		}
+	}
+	for e, k := range f {
+		if _, ok := s[e]; !ok {
+			rep.addError(fmt.Sprintf("split instantiation misses %s of %s that the full instantiation predicts (inputs %s)",
+				op, k, renderInputs(inputs)), opts)
+		}
+	}
 }
 
 // diffKeySets compares predicted against observed keys as sets (program

@@ -159,6 +159,56 @@ func TestSoundnessDetectsUnderApproximation(t *testing.T) {
 	}
 }
 
+func TestSoundnessDetectsBadDirectMark(t *testing.T) {
+	// Re-analyze the allocate-from-counter DT and corrupt a pivot-dependent
+	// access with a Direct mark: the engine would then instantiate it without
+	// the pivot read it needs. The checker must reject the profile.
+	src := `
+transaction alloc(initial int[0..100]) {
+    c = get COUNTERS["x"]
+    id = c.next
+    put ITEMS[id] = {v: initial}
+    c.next = id + 1
+    put COUNTERS["x"] = c
+}`
+	p, prof := analyze(t, src)
+	corrupted := false
+	var walk func(n *profile.Node)
+	walk = func(n *profile.Node) {
+		if n == nil {
+			return
+		}
+		for i, a := range n.Seg {
+			if a.Indirect() && !corrupted {
+				n.Seg[i].Direct = true
+				corrupted = true
+			}
+		}
+		walk(n.True)
+		walk(n.False)
+	}
+	walk(prof.Root)
+	if !corrupted {
+		t.Fatalf("alloc profile has no pivot-dependent access to corrupt")
+	}
+	rep, err := CheckSoundness(p, prof, SoundnessOptions{Samples: 4})
+	if err != nil {
+		t.Fatalf("CheckSoundness: %v", err)
+	}
+	if rep.Sound() {
+		t.Fatalf("pivot-dependent access marked Direct not rejected")
+	}
+	found := false
+	for _, e := range rep.Errors {
+		if strings.Contains(e, "marked Direct") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no marked-Direct error in %v", rep.Errors)
+	}
+}
+
 func TestSoundnessDetectsWrongBranchSense(t *testing.T) {
 	p, prof := analyze(t, transferSrc)
 	// Swap the branch arms at the root condition: the profile now predicts

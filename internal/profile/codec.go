@@ -11,9 +11,10 @@ import (
 // to replicas and lets cmd/profiler persist analysis results.
 
 type accessJSON struct {
-	Table string            `json:"table"`
-	Key   []json.RawMessage `json:"key"`
-	Write bool              `json:"write,omitempty"`
+	Table  string            `json:"table"`
+	Key    []json.RawMessage `json:"key"`
+	Write  bool              `json:"write,omitempty"`
+	Direct bool              `json:"direct,omitempty"`
 }
 
 type nodeJSON struct {
@@ -57,7 +58,7 @@ func marshalNode(n *Node) (*nodeJSON, error) {
 	}
 	nj := &nodeJSON{}
 	for _, a := range n.Seg {
-		aj := accessJSON{Table: a.Table, Write: a.Write}
+		aj := accessJSON{Table: a.Table, Write: a.Write, Direct: a.Direct}
 		for _, k := range a.Key {
 			raw, err := sym.MarshalTerm(k)
 			if err != nil {
@@ -89,7 +90,7 @@ func unmarshalNode(nj *nodeJSON) (*Node, error) {
 	}
 	n := &Node{}
 	for _, aj := range nj.Seg {
-		a := Access{Table: aj.Table, Write: aj.Write}
+		a := Access{Table: aj.Table, Write: aj.Write, Direct: aj.Direct}
 		for _, raw := range aj.Key {
 			k, err := sym.UnmarshalTerm(raw)
 			if err != nil {

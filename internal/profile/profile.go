@@ -51,6 +51,12 @@ type Access struct {
 	Table string
 	Key   []sym.Term
 	Write bool
+	// Direct marks keys proven derivable from the transaction inputs alone
+	// (no pivot variable in any part). The symbolic executor sets it when
+	// emitting the access and cross-checks it against the static
+	// key-determinism analysis; the engine instantiates direct accesses of
+	// pivot-free-traversal profiles without store reads.
+	Direct bool
 }
 
 // Indirect reports whether the key identity depends on a pivot value.
@@ -146,6 +152,28 @@ func (p *Profile) PivotFreeTraversal() bool {
 // NumLeaves returns the number of <PSC, RWS> pairs in the profile.
 func (p *Profile) NumLeaves() int { return countLeaves(p.Root) }
 
+// DirectAccesses counts the accesses across all tree nodes that are marked
+// Direct, along with the total. The ratio is what prognolint reports when a
+// DT's direct key-set is provable client-side.
+func (p *Profile) DirectAccesses() (direct, total int) {
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n == nil {
+			return
+		}
+		for _, a := range n.Seg {
+			total++
+			if a.Direct {
+				direct++
+			}
+		}
+		walk(n.True)
+		walk(n.False)
+	}
+	walk(p.Root)
+	return direct, total
+}
+
 func countLeaves(n *Node) int {
 	if n == nil {
 		return 0
@@ -228,11 +256,41 @@ func (ks *KeySet) Keys() []value.Key {
 // zero fields, matching the concrete interpreter's semantics for absent
 // records.
 func (p *Profile) Instantiate(inputs map[string]value.Value, pr PivotReader) (*KeySet, error) {
+	return p.instantiate(inputs, pr, nil)
+}
+
+// InstantiateDirect traverses the profile with inputs alone and returns the
+// key-set of the accesses marked Direct — the part a client can predict
+// without touching the store (§III-C). It requires a pivot-free traversal:
+// a pivot in any path condition is an error, never a silent store read.
+func (p *Profile) InstantiateDirect(inputs map[string]value.Value) (*KeySet, error) {
+	if !p.PivotFreeTraversal() {
+		return nil, fmt.Errorf("profile %s: InstantiateDirect on a profile with pivot-dependent conditions", p.TxName)
+	}
+	return p.instantiate(inputs, nil, func(a Access) bool { return a.Direct })
+}
+
+// InstantiateIndirect is the complement of InstantiateDirect: it traverses
+// the same root-to-leaf path and returns only the accesses NOT marked
+// Direct, with the pivot observations their keys required. Merging its
+// key-set with InstantiateDirect's reproduces Instantiate exactly: direct
+// accesses never read pivots, so the observation sequence is unchanged.
+func (p *Profile) InstantiateIndirect(inputs map[string]value.Value, pr PivotReader) (*KeySet, error) {
+	return p.instantiate(inputs, pr, func(a Access) bool { return !a.Direct })
+}
+
+// instantiate walks the root-to-leaf path selected by the inputs (and, for
+// pivot-dependent conditions, by pivot reads), collecting the accesses for
+// which include returns true (nil means all).
+func (p *Profile) instantiate(inputs map[string]value.Value, pr PivotReader, include func(Access) bool) (*KeySet, error) {
 	inst := &instantiator{inputs: inputs, pr: pr, pivotCache: map[string]value.Value{}}
 	ks := &KeySet{}
 	n := p.Root
 	for n != nil {
 		for _, a := range n.Seg {
+			if include != nil && !include(a) {
+				continue
+			}
 			k, err := inst.key(a)
 			if err != nil {
 				return nil, fmt.Errorf("profile %s: %w", p.TxName, err)
@@ -262,6 +320,18 @@ func (p *Profile) Instantiate(inputs map[string]value.Value, pr PivotReader) (*K
 	}
 	ks.Pivots = inst.observations
 	return ks, nil
+}
+
+// Merge combines the direct and indirect halves of a split preparation into
+// one key-set equivalent to a full Instantiate (as sets of keys; the
+// interleaving of direct and indirect accesses within Reads/Writes is not
+// preserved). Pivot observations come from the indirect half alone.
+func Merge(direct, indirect *KeySet) *KeySet {
+	return &KeySet{
+		Reads:  append(append([]value.Key{}, direct.Reads...), indirect.Reads...),
+		Writes: append(append([]value.Key{}, direct.Writes...), indirect.Writes...),
+		Pivots: indirect.Pivots,
+	}
 }
 
 type instantiator struct {

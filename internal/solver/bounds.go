@@ -1,0 +1,56 @@
+package solver
+
+import (
+	"prognosticator/internal/sym"
+	"prognosticator/internal/value"
+)
+
+// TermBounds computes a conservative interval [lo, hi] containing every
+// value an integer term can take over the declared domains of its input
+// variables. ok is false when the term is non-linear, mentions a pivot or an
+// undomained variable, or is not an integer expression — callers must then
+// treat the term as unbounded.
+//
+// This is the solver's interval query used by the lint abstract interpreter:
+// the same linear form the satisfiability machinery normalizes constraints
+// into, evaluated at the domain extremes of each variable.
+func TermBounds(t sym.Term) (lo, hi int64, ok bool) {
+	lin, lok := linearize(sym.Fold(t))
+	if !lok {
+		return 0, 0, false
+	}
+	lo, hi = lin.k, lin.k
+	if len(lin.coeffs) == 0 {
+		return lo, hi, true
+	}
+	vars := map[string]*sym.Var{}
+	for _, v := range sym.Vars(t, nil) {
+		vars[v.Name] = v
+	}
+	for name, c := range lin.coeffs {
+		v, found := vars[name]
+		if !found {
+			return 0, 0, false
+		}
+		var d iv
+		switch {
+		case v.Kind == value.KindBool:
+			d = iv{0, 1}
+		case v.Kind == value.KindInt && v.Origin == sym.OriginInput:
+			if v.Lo > v.Hi {
+				return 0, 0, false
+			}
+			d = iv{v.Lo, v.Hi}
+		default:
+			// Pivot or undomained variable: unbounded.
+			return 0, 0, false
+		}
+		a, b := c*d.lo, c*d.hi
+		if a > b {
+			a, b = b, a
+		}
+		lo += a
+		hi += b
+	}
+	return lo, hi, true
+}

@@ -1,0 +1,48 @@
+package solver
+
+import (
+	"testing"
+
+	"prognosticator/internal/lang"
+	"prognosticator/internal/sym"
+	"prognosticator/internal/value"
+)
+
+func TestTermBoundsLinear(t *testing.T) {
+	x := sym.NewInput("x", value.KindInt, 0, 9)
+	y := sym.NewInput("y", value.KindInt, -5, 5)
+	cases := []struct {
+		name   string
+		t      sym.Term
+		lo, hi int64
+		ok     bool
+	}{
+		{"const", sym.Const{V: value.Int(7)}, 7, 7, true},
+		{"var", x, 0, 9, true},
+		{"add", sym.Bin{Op: lang.OpAdd, L: x, R: y}, -5, 14, true},
+		{"sub", sym.Bin{Op: lang.OpSub, L: x, R: y}, -5, 14, true},
+		{"scaled", sym.Bin{Op: lang.OpMul, L: sym.Const{V: value.Int(-3)}, R: x}, -27, 0, true},
+		{"x-x", sym.Bin{Op: lang.OpSub, L: x, R: x}, 0, 0, true},
+		{"nonlinear", sym.Bin{Op: lang.OpMul, L: x, R: y}, 0, 0, false},
+		{"div", sym.Bin{Op: lang.OpDiv, L: x, R: sym.Const{V: value.Int(2)}}, 0, 0, false},
+		{"bool", sym.NewInput("b", value.KindBool, 0, 0), 0, 1, true},
+		{"string", sym.NewInput("s", value.KindString, 0, 0), 0, 0, false},
+	}
+	for _, c := range cases {
+		lo, hi, ok := TermBounds(c.t)
+		if ok != c.ok || (ok && (lo != c.lo || hi != c.hi)) {
+			t.Errorf("%s: TermBounds = [%d, %d], %v; want [%d, %d], %v", c.name, lo, hi, ok, c.lo, c.hi, c.ok)
+		}
+	}
+}
+
+func TestTermBoundsPivotUnbounded(t *testing.T) {
+	piv := sym.NewPivot("T", []sym.Term{sym.Const{V: value.Int(1)}}, "n")
+	if _, _, ok := TermBounds(piv); ok {
+		t.Errorf("pivot term should have no derivable bounds")
+	}
+	mixed := sym.Bin{Op: lang.OpAdd, L: sym.NewInput("x", value.KindInt, 0, 9), R: piv}
+	if _, _, ok := TermBounds(mixed); ok {
+		t.Errorf("term mixing input and pivot should have no derivable bounds")
+	}
+}

@@ -86,6 +86,14 @@ func Analyze(p *lang.Program, opts Options) (*profile.Profile, error) {
 	var memAfter runtime.MemStats
 	runtime.ReadMemStats(&memAfter)
 
+	// Cross-check the per-access Direct marks against the static
+	// key-determinism analysis: a pivot-keyed access in a table the static
+	// analysis proves all-direct means one of the two analyses is wrong, and
+	// trusting either would be unsound.
+	if err := checkDirectMarks(p, root); err != nil {
+		return nil, fmt.Errorf("symexec: %s: %w", p.Name, err)
+	}
+
 	prof := &profile.Profile{TxName: p.Name, Root: root}
 	prof.Stats = profile.Stats{
 		StatesExplored: 2*a.forks + 1,
@@ -325,7 +333,7 @@ func (s *state) execBlock(stmts []lang.Stmt, k kont) (*profile.Node, error) {
 		if err != nil {
 			return nil, err
 		}
-		s.seg = append(s.seg, profile.Access{Table: st.Table, Key: key})
+		s.seg = append(s.seg, profile.Access{Table: st.Table, Key: key, Direct: keyDirect(key)})
 		if own, ok := s.lookupOwnWrite(st.Table, key); ok {
 			// Read-own-write: the value is the transaction's earlier
 			// symbolic write, not a pivot.
@@ -346,7 +354,7 @@ func (s *state) execBlock(stmts []lang.Stmt, k kont) (*profile.Node, error) {
 		if err != nil {
 			return nil, err
 		}
-		s.seg = append(s.seg, profile.Access{Table: st.Table, Key: key, Write: true})
+		s.seg = append(s.seg, profile.Access{Table: st.Table, Key: key, Write: true, Direct: keyDirect(key)})
 		s.writes = append(s.writes, symWrite{table: st.Table, key: key, val: val})
 		return restK(s)
 	case lang.Del:
@@ -354,7 +362,7 @@ func (s *state) execBlock(stmts []lang.Stmt, k kont) (*profile.Node, error) {
 		if err != nil {
 			return nil, err
 		}
-		s.seg = append(s.seg, profile.Access{Table: st.Table, Key: key, Write: true})
+		s.seg = append(s.seg, profile.Access{Table: st.Table, Key: key, Write: true, Direct: keyDirect(key)})
 		// A deleted item reads back as an empty record (missing fields are
 		// integer zero), matching the interpreter.
 		s.writes = append(s.writes, symWrite{table: st.Table, key: key, val: recVal{}})
@@ -704,4 +712,41 @@ func countIndirectKeys(root *profile.Node) int {
 	}
 	walk(root)
 	return len(seen)
+}
+
+// keyDirect reports whether no key part depends on a pivot: the access is
+// derivable from the transaction inputs alone.
+func keyDirect(key []sym.Term) bool {
+	for _, k := range key {
+		if sym.HasPivot(k) {
+			return false
+		}
+	}
+	return true
+}
+
+// checkDirectMarks validates the symbolic executor's Direct marks against
+// taint.KeyDeterminism: every access in a table the static analysis proves
+// all-direct must be marked Direct in the profile tree.
+func checkDirectMarks(p *lang.Program, root *profile.Node) error {
+	direct := map[string]bool{}
+	for _, t := range taint.KeyDeterminism(p).DirectTables() {
+		direct[t] = true
+	}
+	var walk func(n *profile.Node) error
+	walk = func(n *profile.Node) error {
+		if n == nil {
+			return nil
+		}
+		for _, a := range n.Seg {
+			if direct[a.Table] && !a.Direct {
+				return fmt.Errorf("access %s has a pivot-dependent key, but the key-determinism analysis proves table %q direct", a, a.Table)
+			}
+		}
+		if err := walk(n.True); err != nil {
+			return err
+		}
+		return walk(n.False)
+	}
+	return walk(root)
 }

@@ -1,0 +1,290 @@
+package taint
+
+import (
+	"fmt"
+	"sort"
+
+	"prognosticator/internal/lang"
+)
+
+// Key-determinism classification (§III-C): for each store access, decide
+// statically whether its key is *direct* — derivable from the transaction
+// inputs alone — or *pivot-dependent* — its identity flows from a prior GET
+// result. Together with traversal-pivot detection (does any branch that can
+// change the RWS depend on a GET result?) this proves, per procedure,
+// whether the direct part of the key-set can be predicted client-side
+// without touching the store.
+//
+// The analysis is a forward flow-insensitive fixed point over the
+// pivot-derived variable set, the dual of the relevant-variable analysis in
+// this package: Analyze asks "what flows INTO keys", KeyDeterminism asks
+// "what flows OUT OF store reads". Flow-insensitivity (one set for the whole
+// procedure, no kill on reassignment) makes the result a sound
+// over-approximation: a variable is only classified input-derived when no
+// assignment anywhere can make it depend on store state.
+
+// AccessOp names the store operation of an AccessClass.
+type AccessOp string
+
+// Store operations.
+const (
+	OpGet AccessOp = "GET"
+	OpPut AccessOp = "PUT"
+	OpDel AccessOp = "DEL"
+)
+
+// AccessClass is the per-access key-determinism verdict: one record per
+// GET/PUT/DEL, with a per-key-part direct/pivot-dependent classification and,
+// for pivot-dependent parts, the set of pivot-derived variables the part
+// mentions (the proof witness).
+type AccessClass struct {
+	// Path is the structural statement path (e.g. "body[2].then[0]"); Pos
+	// its source position (zero for builder-constructed programs).
+	Path string
+	Pos  lang.Pos
+
+	Table string
+	Op    AccessOp
+	Write bool
+
+	// PartDirect[i] reports whether key part i is derivable from the inputs
+	// alone. PartVia[i] lists the pivot-derived variables part i mentions
+	// (sorted; empty iff PartDirect[i]).
+	PartDirect []bool
+	PartVia    [][]string
+}
+
+// Direct reports whether every key part is input-derived.
+func (a AccessClass) Direct() bool {
+	for _, d := range a.PartDirect {
+		if !d {
+			return false
+		}
+	}
+	return true
+}
+
+// Via returns the union of pivot-derived variables across all key parts,
+// sorted.
+func (a AccessClass) Via() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, vs := range a.PartVia {
+		for _, v := range vs {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// KeyDet is the key-determinism analysis result for one program.
+type KeyDet struct {
+	// Accesses holds one record per store operation, in statement order.
+	Accesses []AccessClass
+	// PivotDerived is the set of variables whose value may depend on store
+	// state (GET results and everything computed from them, including the
+	// induction variables of loops with pivot-derived bounds).
+	PivotDerived map[string]bool
+	// TraversalPivot reports whether some branch or loop bound that can
+	// change the RWS depends on a pivot-derived variable: the profile tree
+	// then cannot be traversed from the inputs alone, and the direct subset
+	// of the key-set is not predictable client-side.
+	TraversalPivot bool
+}
+
+// DirectCount returns how many accesses are fully direct.
+func (kd *KeyDet) DirectCount() int {
+	n := 0
+	for _, a := range kd.Accesses {
+		if a.Direct() {
+			n++
+		}
+	}
+	return n
+}
+
+// PivotFreeTraversal reports whether the profile tree of this program can be
+// walked with inputs alone: no RWS-relevant branch or loop bound depends on
+// store state. When true, every access classified Direct here is predictable
+// client-side (the §III-C optimization).
+func (kd *KeyDet) PivotFreeTraversal() bool { return !kd.TraversalPivot }
+
+// DirectTables returns the tables for which EVERY access in the program is
+// direct, sorted. The symbolic executor cross-checks its per-access Direct
+// marks against this set: a profile access with a pivot in its key, in a
+// table this analysis proves all-direct, indicates an analysis bug.
+func (kd *KeyDet) DirectTables() []string {
+	direct := map[string]bool{}
+	for _, a := range kd.Accesses {
+		if prev, ok := direct[a.Table]; ok {
+			direct[a.Table] = prev && a.Direct()
+		} else {
+			direct[a.Table] = a.Direct()
+		}
+	}
+	var out []string
+	for t, d := range direct {
+		if d {
+			out = append(out, t)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// KeyDeterminism classifies every store access of p.
+func KeyDeterminism(p *lang.Program) *KeyDet {
+	kd := &KeyDet{PivotDerived: map[string]bool{}}
+
+	// Fixed point: GET results are pivot-derived; any assignment whose RHS
+	// mentions a pivot-derived variable propagates (field stores taint the
+	// whole record — the analysis is field-insensitive, like Analyze); a
+	// loop with a pivot-derived bound taints its induction variable.
+	for changed := true; changed; {
+		changed = false
+		mark := func(name string) {
+			if !kd.PivotDerived[name] {
+				kd.PivotDerived[name] = true
+				changed = true
+			}
+		}
+		var walk func(body []lang.Stmt)
+		walk = func(body []lang.Stmt) {
+			for _, st := range body {
+				switch s := st.(type) {
+				case lang.Get:
+					mark(s.Dst)
+				case lang.Assign:
+					if exprMentions(s.E, kd.PivotDerived) {
+						mark(s.Dst)
+					}
+				case lang.SetField:
+					if exprMentions(s.E, kd.PivotDerived) {
+						mark(s.Dst)
+					}
+				case lang.If:
+					walk(s.Then)
+					walk(s.Else)
+				case lang.For:
+					if exprMentions(s.From, kd.PivotDerived) || exprMentions(s.To, kd.PivotDerived) {
+						mark(s.Var)
+					}
+					walk(s.Body)
+				}
+			}
+		}
+		walk(p.Body)
+	}
+
+	// Traversal pivots: a condition (or loop bound) that mentions a
+	// pivot-derived variable AND guards a block that can change the RWS.
+	// RWS-irrelevance is decided by the relevant-variable analysis — the
+	// same criterion the symbolic executor uses to skip the fork, so a
+	// branch it would not fork on cannot become a traversal pivot here.
+	rel := Analyze(p)
+	var scan func(body []lang.Stmt)
+	scan = func(body []lang.Stmt) {
+		for _, st := range body {
+			switch s := st.(type) {
+			case lang.If:
+				if exprMentions(s.Cond, kd.PivotDerived) &&
+					(blockTouchesKeys(s.Then, rel) || blockTouchesKeys(s.Else, rel)) {
+					kd.TraversalPivot = true
+				}
+				scan(s.Then)
+				scan(s.Else)
+			case lang.For:
+				if (exprMentions(s.From, kd.PivotDerived) || exprMentions(s.To, kd.PivotDerived)) &&
+					blockTouchesKeys(s.Body, rel) {
+					kd.TraversalPivot = true
+				}
+				scan(s.Body)
+			}
+		}
+	}
+	scan(p.Body)
+
+	// Per-access classification, in statement order.
+	classify := func(table string, op AccessOp, write bool, key []lang.Expr, pos lang.Pos, path string) {
+		ac := AccessClass{Path: path, Pos: pos, Table: table, Op: op, Write: write,
+			PartDirect: make([]bool, len(key)), PartVia: make([][]string, len(key))}
+		for i, k := range key {
+			via := mentionsOf(k, kd.PivotDerived)
+			ac.PartDirect[i] = len(via) == 0
+			ac.PartVia[i] = via
+		}
+		kd.Accesses = append(kd.Accesses, ac)
+	}
+	var walkPath func(body []lang.Stmt, label string)
+	walkPath = func(body []lang.Stmt, label string) {
+		for i, st := range body {
+			path := fmt.Sprintf("%s[%d]", label, i)
+			switch s := st.(type) {
+			case lang.Get:
+				classify(s.Table, OpGet, false, s.Key, s.Pos, path)
+			case lang.Put:
+				classify(s.Table, OpPut, true, s.Key, s.Pos, path)
+			case lang.Del:
+				classify(s.Table, OpDel, true, s.Key, s.Pos, path)
+			case lang.If:
+				walkPath(s.Then, path+".then")
+				walkPath(s.Else, path+".else")
+			case lang.For:
+				walkPath(s.Body, path+".body")
+			}
+		}
+	}
+	walkPath(p.Body, "body")
+	return kd
+}
+
+// exprMentions reports whether e mentions any variable in set.
+func exprMentions(e lang.Expr, set map[string]bool) bool {
+	return len(mentionsOf(e, set)) > 0
+}
+
+// mentionsOf returns the variables of e that are in set, sorted.
+func mentionsOf(e lang.Expr, set map[string]bool) []string {
+	seen := map[string]bool{}
+	var walk func(e lang.Expr)
+	walk = func(e lang.Expr) {
+		switch x := e.(type) {
+		case lang.ParamRef:
+			if set[x.Name] {
+				seen[x.Name] = true
+			}
+		case lang.LocalRef:
+			if set[x.Name] {
+				seen[x.Name] = true
+			}
+		case lang.Bin:
+			walk(x.L)
+			walk(x.R)
+		case lang.Not:
+			walk(x.E)
+		case lang.Field:
+			walk(x.E)
+		case lang.Index:
+			walk(x.E)
+			walk(x.I)
+		case lang.Rec:
+			for _, f := range x.Fields {
+				walk(f.E)
+			}
+		}
+	}
+	walk(e)
+	if len(seen) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

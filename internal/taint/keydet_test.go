@@ -1,0 +1,156 @@
+package taint
+
+import (
+	"reflect"
+	"testing"
+
+	"prognosticator/internal/lang"
+)
+
+// counterProg is the RUBiS/openAccount pattern: the insert key is a pivot,
+// the counter accesses themselves are direct, and no branch depends on store
+// state.
+func counterProg() *lang.Program {
+	return &lang.Program{
+		Name:   "counter",
+		Params: []lang.Param{lang.IntParam("initial", 0, 100)},
+		Body: []lang.Stmt{
+			lang.GetS("c", "COUNTERS", lang.Cs("accounts")),
+			lang.Set("id", lang.Fld(lang.L("c"), "next")),
+			lang.PutS("ACCOUNTS", lang.Key(lang.L("id")), lang.RecE(lang.F("bal", lang.P("initial")))),
+			lang.SetF("c", "next", lang.Add(lang.L("id"), lang.C(1))),
+			lang.PutS("COUNTERS", lang.Key(lang.Cs("accounts")), lang.L("c")),
+		},
+	}
+}
+
+func TestKeyDeterminismCounterPattern(t *testing.T) {
+	kd := KeyDeterminism(counterProg())
+	if kd.TraversalPivot {
+		t.Fatalf("no branch depends on store state, but TraversalPivot is set")
+	}
+	if len(kd.Accesses) != 3 {
+		t.Fatalf("got %d accesses, want 3: %+v", len(kd.Accesses), kd.Accesses)
+	}
+	// GET COUNTERS["accounts"] and PUT COUNTERS["accounts"] are direct;
+	// PUT ACCOUNTS[id] is pivot-dependent via id (and transitively c).
+	if !kd.Accesses[0].Direct() || kd.Accesses[0].Table != "COUNTERS" {
+		t.Errorf("access 0 = %+v, want direct GET COUNTERS", kd.Accesses[0])
+	}
+	if kd.Accesses[1].Direct() || kd.Accesses[1].Table != "ACCOUNTS" {
+		t.Errorf("access 1 = %+v, want pivot-dependent PUT ACCOUNTS", kd.Accesses[1])
+	}
+	if got, want := kd.Accesses[1].Via(), []string{"id"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("access 1 via = %v, want %v", got, want)
+	}
+	if !kd.Accesses[2].Direct() {
+		t.Errorf("access 2 = %+v, want direct PUT COUNTERS", kd.Accesses[2])
+	}
+	if got := kd.DirectCount(); got != 2 {
+		t.Errorf("DirectCount = %d, want 2", got)
+	}
+	if got, want := kd.DirectTables(), []string{"COUNTERS"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("DirectTables = %v, want %v", got, want)
+	}
+	if !kd.PivotFreeTraversal() {
+		t.Errorf("PivotFreeTraversal = false, want true")
+	}
+}
+
+func TestKeyDeterminismTraversalPivotBranch(t *testing.T) {
+	// transfer pattern: a branch on a GET-result field guards PUTs.
+	p := &lang.Program{
+		Name:   "guarded",
+		Params: []lang.Param{lang.IntParam("src", 0, 9), lang.IntParam("amt", 1, 10)},
+		Body: []lang.Stmt{
+			lang.GetS("s", "ACCOUNTS", lang.P("src")),
+			lang.IfS(lang.Ge(lang.Fld(lang.L("s"), "bal"), lang.P("amt")),
+				lang.PutS("ACCOUNTS", lang.Key(lang.P("src")), lang.L("s")),
+			),
+		},
+	}
+	kd := KeyDeterminism(p)
+	if !kd.TraversalPivot {
+		t.Fatalf("branch on pivot-derived s guards a PUT; TraversalPivot should be set")
+	}
+	// Both accesses still classify direct: the keys are input-only.
+	for i, a := range kd.Accesses {
+		if !a.Direct() {
+			t.Errorf("access %d = %+v, want direct key", i, a)
+		}
+	}
+}
+
+func TestKeyDeterminismValueOnlyBranchIgnored(t *testing.T) {
+	// newOrder's stock-quantity pattern: the branch condition depends on a
+	// GET result, but both arms only update written values — the symbolic
+	// executor never forks there, so it is not a traversal pivot.
+	p := &lang.Program{
+		Name:   "valueonly",
+		Params: []lang.Param{lang.IntParam("id", 0, 9), lang.IntParam("qty", 1, 10)},
+		Body: []lang.Stmt{
+			lang.GetS("stock", "STOCK", lang.P("id")),
+			lang.IfElse(lang.Gt(lang.Fld(lang.L("stock"), "quantity"), lang.P("qty")),
+				[]lang.Stmt{lang.SetF("stock", "quantity", lang.Sub(lang.Fld(lang.L("stock"), "quantity"), lang.P("qty")))},
+				[]lang.Stmt{lang.SetF("stock", "quantity", lang.C(91))},
+			),
+			lang.PutS("STOCK", lang.Key(lang.P("id")), lang.L("stock")),
+		},
+	}
+	kd := KeyDeterminism(p)
+	if kd.TraversalPivot {
+		t.Fatalf("value-only branch misclassified as traversal pivot")
+	}
+	if kd.DirectCount() != 2 {
+		t.Errorf("DirectCount = %d, want 2 (all keys input-only)", kd.DirectCount())
+	}
+}
+
+func TestKeyDeterminismPivotLoopBound(t *testing.T) {
+	// A loop bound read from the store taints the induction variable and is
+	// a traversal pivot when the body touches the store.
+	p := &lang.Program{
+		Name:   "pivotloop",
+		Params: []lang.Param{lang.IntParam("id", 0, 9)},
+		Body: []lang.Stmt{
+			lang.GetS("c", "T", lang.P("id")),
+			lang.ForS("i", lang.C(0), lang.Fld(lang.L("c"), "n"),
+				lang.GetS("x", "ITEMS", lang.L("i")),
+			),
+		},
+	}
+	kd := KeyDeterminism(p)
+	if !kd.TraversalPivot {
+		t.Fatalf("pivot-bounded loop over store accesses should be a traversal pivot")
+	}
+	if !kd.PivotDerived["i"] {
+		t.Errorf("induction variable of a pivot-bounded loop should be pivot-derived")
+	}
+	// GET ITEMS[i] is keyed by the tainted induction variable.
+	if kd.Accesses[1].Direct() {
+		t.Errorf("access keyed by pivot-bounded induction variable classified direct")
+	}
+}
+
+func TestKeyDeterminismPerPartClassification(t *testing.T) {
+	p := &lang.Program{
+		Name:   "parts",
+		Params: []lang.Param{lang.IntParam("a", 0, 9)},
+		Body: []lang.Stmt{
+			lang.GetS("r", "SRC", lang.P("a")),
+			lang.Set("slot", lang.Fld(lang.L("r"), "n")),
+			lang.PutS("DST", lang.Key(lang.P("a"), lang.L("slot")), lang.L("r")),
+		},
+	}
+	kd := KeyDeterminism(p)
+	put := kd.Accesses[1]
+	if put.Op != OpPut || len(put.PartDirect) != 2 {
+		t.Fatalf("unexpected access %+v", put)
+	}
+	if !put.PartDirect[0] || put.PartDirect[1] {
+		t.Errorf("PartDirect = %v, want [true false]", put.PartDirect)
+	}
+	if got, want := put.PartVia[1], []string{"slot"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("PartVia[1] = %v, want %v", got, want)
+	}
+}

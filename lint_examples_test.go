@@ -90,6 +90,13 @@ func TestLintBadFixtureGoldenFindings(t *testing.T) {
 		`badLoop:19:5: error: [loop-bound] loop "i" may run up to 500 iterations, exceeding the symbolic executor's unroll budget (64): symexec.ErrBudget risk`,
 		`badSchema:params: warning: [param-domain] parameter "spare" is never used`,
 		`badSchema:35:5: error: [schema] table "PAIR" expects 2 key parts, got 1`,
+		`deadLocal:43:5: warning: [dead-branch] condition is always false over the declared input domains: then-branch is dead`,
+		`deadInLoop:54:9: warning: [dead-branch] condition is always false over the declared input domains: then-branch is dead`,
+		`deadLoopLocal:65:5: warning: [loop-bound] loop "i" never executes: upper bound ≤ lower bound over all declared inputs`,
+		`directDT:76:5: info: [key-determinism] GET COUNTER: key is derivable from the transaction inputs alone (direct); predicted client-side without pivot reads`,
+		`directDT:76:5: info: [pivot-key] GET result "c" influences the identity of later accesses (dependent transaction), but the traversal is pivot-free: the direct part of the key-set is predicted client-side (2 of 3 accesses direct)`,
+		`directDT:78:5: info: [key-determinism] PUT ITEMS: key part(s) 0 depend on store state via "id" (pivot-dependent)`,
+		`directDT:80:5: info: [key-determinism] PUT COUNTER: key is derivable from the transaction inputs alone (direct); predicted client-side without pivot reads`,
 	}
 	if len(got) != len(want) {
 		t.Fatalf("got %d findings, want %d:\n%s", len(got), len(want), strings.Join(got, "\n"))
