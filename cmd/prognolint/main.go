@@ -7,7 +7,9 @@
 //
 //	-json           emit findings as a JSON array instead of text
 //	-sarif          emit findings as a SARIF 2.1.0 log instead of text
-//	-explain PASS   print what the named lint pass checks and why, then exit
+//	-explain [PASS] print what the named lint pass checks and why, then
+//	                exit; with no pass name, list every pass with a one-line
+//	                summary
 //	-fail-on SEV    exit non-zero at/above this severity (error|warning|info;
 //	                default warning)
 //	-soundness N    additionally derive each transaction's SE profile and
@@ -68,6 +70,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	soundness := fs.Int("soundness", 0, "cross-validate SE profiles on this many random samples (0 disables)")
 	seed := fs.Int64("seed", 1, "RNG seed for -soundness sampling")
 	workloads := fs.String("workload", "", "comma-separated built-in workload catalogs to lint (tpcc, rubis)")
+	// A bare trailing -explain carries no pass name, which flag would reject
+	// ("flag needs an argument"); treat it as a request to list every pass
+	// with the first line of its documentation.
+	if n := len(args); n > 0 && (args[n-1] == "-explain" || args[n-1] == "--explain") {
+		for _, name := range lint.PassNames() {
+			doc, _ := lint.Explain(name)
+			if i := strings.IndexByte(doc, '\n'); i >= 0 {
+				doc = doc[:i]
+			}
+			fmt.Fprintf(stdout, "%-18s %s\n", name, doc)
+		}
+		return 0
+	}
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"prognosticator/internal/lint"
 )
 
 const lintbadPath = "../../testdata/lintbad.txn"
@@ -147,6 +149,21 @@ func TestExplain(t *testing.T) {
 	}
 	if !strings.Contains(stderr, "key-determinism") {
 		t.Errorf("unknown-pass error should list available passes, got: %q", stderr)
+	}
+}
+
+func TestExplainBareListsAllPasses(t *testing.T) {
+	code, out, _ := runCapture(t, "-explain")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, name := range lint.PassNames() {
+		if !strings.Contains(out, name) {
+			t.Errorf("bare -explain output lacks pass %q:\n%s", name, out)
+		}
+	}
+	if strings.Count(out, "\n") < len(lint.PassNames()) {
+		t.Errorf("expected one line per pass:\n%s", out)
 	}
 }
 

@@ -333,7 +333,13 @@ func (e *Engine) prepareReader(tx *txRuntime, kv lang.KV, pr profile.PivotReader
 			// re-preparation rounds — and only pivot-dependent accesses
 			// touch the store.
 			if tx.directKS == nil {
-				direct, err := tx.prof.InstantiateDirect(tx.req.Inputs)
+				var direct *profile.KeySet
+				var err error
+				if e.cfg.DirectMemo != nil {
+					direct, err = e.cfg.DirectMemo.InstantiateDirect(tx.prof, tx.req.Inputs)
+				} else {
+					direct, err = tx.prof.InstantiateDirect(tx.req.Inputs)
+				}
 				if err != nil {
 					return fmt.Errorf("engine: instantiate direct %s(seq %d): %w", tx.req.TxName, tx.req.Seq, err)
 				}

@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"testing"
+
+	"prognosticator/internal/metrics"
+	"prognosticator/internal/profile"
+	"prognosticator/internal/store"
+	"prognosticator/internal/value"
+	"prognosticator/internal/workload/rubis"
+)
+
+// TestDirectMemoStoreBid runs the RUBiS storeBid DT through a memoized
+// engine with a dispatcher-style prewarm: the prewarmer's instantiation must
+// be the only miss, preparation must hit the cache, and the outcome must
+// still report the client-side predicted keys.
+func TestDirectMemoStoreBid(t *testing.T) {
+	wcfg := rubis.Config{Users: 50, Items: 50}
+	reg, err := NewRegistry(rubis.Schema(), rubis.Programs(wcfg)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reg.PivotFree["storeBid"] {
+		t.Fatal("storeBid must be a pivot-free DT")
+	}
+	counters := metrics.NewCounterSet()
+	memo := profile.NewDirectMemo(128, counters)
+	prewarm := reg.DirectPrewarmer(memo)
+
+	inputs := ival("itemId", 3, "userId", 5, "amount", 100)
+	prewarm("storeBid", inputs)
+	if memo.Len() != 1 {
+		t.Fatalf("memo Len = %d after prewarm, want 1", memo.Len())
+	}
+	// Transactions outside the catalog (and, via PivotFree, any non-split
+	// class) are skipped by the prewarmer.
+	prewarm("unknownTx", nil)
+	if memo.Len() != 1 {
+		t.Fatalf("memo Len = %d after skipped prewarm, want 1", memo.Len())
+	}
+
+	st := rubisStore(t, wcfg)
+	e := New(reg, st, Config{Workers: 2, DirectMemo: memo})
+	res, err := e.ExecuteBatch([]Request{req(1, "storeBid", inputs)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits := counters.Value("direct_memo_hit"); hits < 1 {
+		t.Errorf("preparation did not hit the prewarmed entry (hits=%d)", hits)
+	}
+	if misses := counters.Value("direct_memo_miss"); misses != 1 {
+		t.Errorf("misses = %d, want exactly the prewarm", misses)
+	}
+	// storeBid: GET ITEMS and the final PUT ITEMS are direct; PUT BIDS keys
+	// on the pivot slot.
+	if res.Outcomes[0].DirectKeys != 2 {
+		t.Errorf("DirectKeys = %d, want 2", res.Outcomes[0].DirectKeys)
+	}
+
+	// A repeat of the same request is a pure hit; new inputs miss once.
+	if _, err := e.ExecuteBatch([]Request{req(2, "storeBid", inputs)}); err != nil {
+		t.Fatal(err)
+	}
+	if misses := counters.Value("direct_memo_miss"); misses != 1 {
+		t.Errorf("repeat request missed (misses=%d)", misses)
+	}
+	if _, err := e.ExecuteBatch([]Request{req(3, "storeBid", ival("itemId", 4, "userId", 5, "amount", 7))}); err != nil {
+		t.Fatal(err)
+	}
+	if misses := counters.Value("direct_memo_miss"); misses != 2 {
+		t.Errorf("misses = %d after new inputs, want 2", misses)
+	}
+}
+
+// rubisStore seeds ITEMS so storeBid's pivot reads see a record.
+func rubisStore(t *testing.T, cfg rubis.Config) *store.Store {
+	t.Helper()
+	st := store.New()
+	for i := int64(1); i <= int64(cfg.Items); i++ {
+		st.Put(0, value.NewKey(rubis.TItems, value.Int(i)), value.Record(map[string]value.Value{
+			"nbBids": value.Int(0), "maxBid": value.Int(0), "nbBuyNow": value.Int(0), "qty": value.Int(10),
+		}))
+	}
+	return st
+}

@@ -34,16 +34,31 @@ const MaxLoopIterations = 1 << 16
 // contain a value for every declared parameter. The interpreter is
 // deterministic: identical inputs and store state produce identical effects.
 func Run(p *Program, inputs map[string]value.Value, kv KV) (*Result, error) {
+	return RunTrace(p, inputs, kv, nil)
+}
+
+// TraceFunc observes one statement about to execute: its structural path
+// (matching the lint CFG's node paths, e.g. "body[2].then[0]"; loop bodies
+// are reported once per iteration) and the locals live at that point. The
+// map is the interpreter's own state — callbacks must not mutate or retain
+// it. The statement has not executed yet when the callback fires, so the
+// locals are the statement's entry state.
+type TraceFunc func(path string, locals map[string]value.Value)
+
+// RunTrace is Run with a statement-entry trace hook; the lint soundness
+// checker uses it to validate abstract states against concrete executions.
+// A nil trace is exactly Run (no per-statement path bookkeeping).
+func RunTrace(p *Program, inputs map[string]value.Value, kv KV, trace TraceFunc) (*Result, error) {
 	for _, prm := range p.Params {
 		if _, ok := inputs[prm.Name]; !ok {
 			return nil, fmt.Errorf("lang: %s: missing input %q", p.Name, prm.Name)
 		}
 	}
-	in := &interp{prog: p, inputs: inputs, kv: kv,
+	in := &interp{prog: p, inputs: inputs, kv: kv, trace: trace,
 		locals: map[string]value.Value{},
 		res:    &Result{Emitted: map[string]value.Value{}},
 	}
-	if err := in.block(p.Body); err != nil {
+	if err := in.block(p.Body, "body"); err != nil {
 		return nil, err
 	}
 	return in.res, nil
@@ -55,18 +70,34 @@ type interp struct {
 	kv     KV
 	locals map[string]value.Value
 	res    *Result
+	trace  TraceFunc
 }
 
-func (in *interp) block(body []Stmt) error {
-	for _, st := range body {
-		if err := in.stmt(st); err != nil {
+func (in *interp) block(body []Stmt, label string) error {
+	for i, st := range body {
+		var path string
+		if in.trace != nil {
+			path = fmt.Sprintf("%s[%d]", label, i)
+		}
+		if err := in.stmt(st, path); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (in *interp) stmt(st Stmt) error {
+// sub extends a structural path; it avoids allocations when not tracing.
+func (in *interp) sub(path, suffix string) string {
+	if in.trace == nil {
+		return ""
+	}
+	return path + suffix
+}
+
+func (in *interp) stmt(st Stmt, path string) error {
+	if in.trace != nil {
+		in.trace(path, in.locals)
+	}
 	switch s := st.(type) {
 	case Assign:
 		v, err := in.eval(s.E)
@@ -128,9 +159,9 @@ func (in *interp) stmt(st Stmt) error {
 			return fmt.Errorf("lang: %s: if condition is %s, want bool", in.prog.Name, c.Kind())
 		}
 		if b {
-			return in.block(s.Then)
+			return in.block(s.Then, in.sub(path, ".then"))
 		}
-		return in.block(s.Else)
+		return in.block(s.Else, in.sub(path, ".else"))
 	case For:
 		from, err := in.evalInt(s.From)
 		if err != nil {
@@ -145,7 +176,7 @@ func (in *interp) stmt(st Stmt) error {
 		}
 		for i := from; i < to; i++ {
 			in.locals[s.Var] = value.Int(i)
-			if err := in.block(s.Body); err != nil {
+			if err := in.block(s.Body, in.sub(path, ".body")); err != nil {
 				return err
 			}
 		}

@@ -413,9 +413,10 @@ func transfer(prog *lang.Program, n *Node, in AbsEnv) AbsEnv {
 }
 
 // forVarInterval bounds a loop's induction variable: in the body it ranges
-// over [from, to-1]; after the loop it holds the last body value, which lies
-// in the same interval (a zero-trip loop leaves it unassigned, and any use
-// is then flagged by the use-before-assign pass).
+// over [from, to-1]; after the loop it holds the last body value — or, when
+// the loop can be skipped entirely, whatever it held before the loop (the
+// interpreter assigns the variable only inside iterations, so a zero-trip
+// loop must not claim the variable landed in the loop interval).
 func forVarInterval(s lang.For, prog *lang.Program, env AbsEnv) AbsVal {
 	from := absEval(s.From, prog, env)
 	to := absEval(s.To, prog, env)
@@ -427,12 +428,20 @@ func forVarInterval(s lang.For, prog *lang.Program, env AbsEnv) AbsVal {
 		hi-- // i < to: the last value is at most to.Hi - 1
 	}
 	if hi < from.Lo {
-		// The interval is empty on every input: the body never runs. Keep
-		// the variable at ⊥ so dead-code queries inside the body see an
-		// unreachable binding (Lookup degrades it to ⊤ for consumers).
-		return absBot
+		// The interval is empty on every input: the body never runs and the
+		// variable keeps its incoming binding (⊥ when never assigned, so
+		// dead-code queries inside the body see an unreachable binding).
+		return env.get(s.Var)
 	}
-	return absRange(from.Lo, hi)
+	iter := absRange(from.Lo, hi)
+	if from.Hi < to.Lo {
+		// At least one iteration on every input: the variable is freshly
+		// bound within the loop interval.
+		return iter
+	}
+	// The loop may be skipped on some inputs: join the zero-trip (incoming)
+	// binding with the loop interval.
+	return join(env.get(s.Var), iter)
 }
 
 // absEval abstractly evaluates an expression in env.
@@ -485,7 +494,16 @@ func absBin(op lang.Op, l, r AbsVal) AbsVal {
 		}
 		return absArith(op, l, r)
 	case lang.OpDiv, lang.OpMod:
-		// Rounding and sign subtleties are not worth modelling.
+		// Exactly foldable when both operands denote single values; the
+		// rounding and sign subtleties of proper interval division are not
+		// worth modelling beyond that.
+		if lv, lok := l.Singleton(); lok {
+			if rv, rok := r.Singleton(); rok {
+				if v, err := lang.EvalBin(op, lv, rv); err == nil {
+					return absConstVal(v)
+				}
+			}
+		}
 		return absTop
 	case lang.OpLt, lang.OpLe, lang.OpGt, lang.OpGe:
 		if l.Kind != AbsRange || r.Kind != AbsRange {

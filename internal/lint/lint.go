@@ -118,11 +118,13 @@ type ProgContext struct {
 	Prog   *lang.Program
 	Schema *lang.Schema // may be nil: schema-dependent checks are skipped
 
-	cfg    *CFG
-	reach  *ReachingDefs
-	taint  *taint.Result
-	abs    *AbsState
-	keydet *taint.KeyDet
+	cfg       *CFG
+	reach     *ReachingDefs
+	taint     *taint.Result
+	abs       *AbsState
+	zone      *ZoneState
+	aliasZone *ZoneState
+	keydet    *taint.KeyDet
 }
 
 // CFG returns the program's control-flow graph, building it on first use.
@@ -158,11 +160,34 @@ func (pc *ProgContext) Abs() *AbsState {
 	return pc.abs
 }
 
+// Zone returns the relational zone (difference-bound matrix) analysis with
+// guard assumptions and interval tightening, computing it on first use. It
+// is the state dead-branch and loop-bound reasoning consult.
+func (pc *ProgContext) Zone() *ZoneState {
+	if pc.zone == nil {
+		pc.zone = SolveZoneOpts(pc.CFG(), ZoneOpts{AssumeGuards: true, Abs: pc.Abs()})
+	}
+	return pc.zone
+}
+
+// AliasZone returns the assignment-chain-only zone analysis (no guard
+// assumptions, no interval evaluation), computing it on first use. Its
+// equalities hold by copy propagation alone, which is what makes it a safe
+// taint.EqualityOracle: wherever it proves a local equal to an input-derived
+// value, the symbolic executor's key term is input-only too.
+func (pc *ProgContext) AliasZone() *ZoneState {
+	if pc.aliasZone == nil {
+		pc.aliasZone = SolveZoneOpts(pc.CFG(), ZoneOpts{})
+	}
+	return pc.aliasZone
+}
+
 // KeyDet returns the key-determinism classification, computing it on first
-// use.
+// use. The alias zone serves as the equality oracle, upgrading key parts
+// that provably equal an input-derived value.
 func (pc *ProgContext) KeyDet() *taint.KeyDet {
 	if pc.keydet == nil {
-		pc.keydet = taint.KeyDeterminism(pc.Prog)
+		pc.keydet = taint.KeyDeterminismOracle(pc.Prog, pc.AliasZone())
 	}
 	return pc.keydet
 }
@@ -195,8 +220,10 @@ var passDocs = map[string]string{
 	"use-before-assign": "Reaching-definitions check that every local read is preceded by an\n" +
 		"assignment on every path. The concrete interpreter fails at runtime on\n" +
 		"an unassigned local; the symbolic executor rejects the procedure.",
-	"loop-bound": "Bounds loop trip counts against the declared input domains (with the\n" +
-		"interval abstract interpreter as fallback for locally-computed bounds).\n" +
+	"loop-bound": "Bounds loop trip counts against the declared input domains, evaluating\n" +
+		"bounds with the interval abstract interpreter and tightening them with\n" +
+		"the relational zone domain (difference-bound constraints survive joins,\n" +
+		"so a locally-computed limit clamped against a constant stays bounded).\n" +
 		"Loops the symbolic executor cannot bound exhaust its unroll budget and\n" +
 		"fail registration; empty loops are reported as dead code.",
 	"pivot-key": "Reports GET results that influence the identity of later accesses: the\n" +
@@ -208,18 +235,31 @@ var passDocs = map[string]string{
 	"key-determinism": "Per-access proof of key determinism: each GET/PUT/DEL key part is\n" +
 		"classified direct (derivable from transaction inputs alone) or\n" +
 		"pivot-dependent (flows from a prior GET result), with the pivot-derived\n" +
-		"variables as witness. Direct accesses of a pivot-free-traversal DT are\n" +
-		"instantiated client-side without store reads (the paper's §III-C\n" +
-		"optimization).",
-	"dead-branch": "Proves branches dead over the declared input domains, substituting\n" +
-		"locals by their abstract interval/constant values (including loop\n" +
-		"induction variables) and discharging path constraints with the solver.\n" +
-		"Dead branches inflate profiles with unreachable subtrees and usually\n" +
+		"variables as witness. The zone domain's assignment-chain equalities act\n" +
+		"as an oracle: a key part provably equal to an input-derived value is\n" +
+		"upgraded to direct, and branches that only write fields which never\n" +
+		"flow back into keys are discharged as traversal pivots. Direct accesses\n" +
+		"of a pivot-free-traversal DT are instantiated client-side without store\n" +
+		"reads (the paper's §III-C optimization).",
+	"dead-branch": "Proves branches dead over the declared input domains, by two\n" +
+		"complementary means: substituting locals by their abstract\n" +
+		"interval/constant values and discharging path constraints with the\n" +
+		"solver, and asking the relational zone domain whether assuming the\n" +
+		"condition yields an infeasible (negative-cycle) state — which decides\n" +
+		"guards comparing two locals, e.g. `if x < y` after `y = x - 1`. Dead\n" +
+		"branches inflate profiles with unreachable subtrees and usually\n" +
 		"indicate a logic error.",
 	"profile-soundness": "Differential check of the symbolic-execution profile against the\n" +
 		"concrete interpreter on boundary and random inputs: a profile that\n" +
 		"misses a key breaks determinism (error); one that over-predicts only\n" +
 		"costs spurious locks (warning).",
+	"zone-soundness": "Differential check of the relational zone abstract domain against\n" +
+		"concrete executions: every sampled run is traced statement by\n" +
+		"statement, and each closed difference-bound constraint v - w ≤ c at a\n" +
+		"program point must hold for the concrete values live there (both the\n" +
+		"guard-assuming zone and the assignment-chain-only alias zone are\n" +
+		"validated). A violation means the domain over-claimed and every\n" +
+		"zone-backed verdict is suspect (error).",
 }
 
 // Explain returns the documentation paragraph for a pass name.

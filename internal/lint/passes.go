@@ -109,23 +109,29 @@ func (loopBoundPass) Run(pc *ProgContext) []Finding {
 		if !ok {
 			return
 		}
-		fromLo, _, fromOK := exprInterval(s.From, pc.Prog)
-		_, toHi, toOK := exprInterval(s.To, pc.Prog)
-		// Locally-computed bounds are outside exprInterval's fragment;
-		// fall back to the abstract interpreter's environment at the loop
-		// node, which bounds locals through assignments and joins.
-		if env, ok := pc.Abs().EnvAt(path); ok && env != nil {
-			if !fromOK {
-				if v := absEval(s.From, pc.Prog, env); v.Bounded() {
-					fromLo, fromOK = v.Lo, true
+		// Bounds are evaluated on the abstract-domain API: the interval
+		// environment handles constants, declared parameter domains, and
+		// locals through assignments and joins; the relational zone tightens
+		// the result with difference-bound facts that survive joins (e.g. a
+		// limit clamped against a constant on one path only).
+		evalAt := func(e lang.Expr) AbsVal {
+			env, found := pc.Abs().EnvAt(path)
+			if !found || env == nil {
+				env = AbsEnv{}
+			}
+			v := absEval(e, pc.Prog, env)
+			if zv, found := pc.Zone().ExprBoundsAt(path, e); found && zv.Bounded() {
+				if !v.Bounded() {
+					v = zv
+				} else {
+					v = absRange(max64(v.Lo, zv.Lo), min64(v.Hi, zv.Hi))
 				}
 			}
-			if !toOK {
-				if v := absEval(s.To, pc.Prog, env); v.Bounded() {
-					toHi, toOK = v.Hi, true
-				}
-			}
+			return v
 		}
+		fromV, toV := evalAt(s.From), evalAt(s.To)
+		fromLo, fromOK := fromV.Lo, fromV.Bounded()
+		toHi, toOK := toV.Hi, toV.Bounded()
 		if !fromOK || !toOK {
 			out = append(out, Finding{
 				Prog: pc.Prog.Name, Pass: "loop-bound", Pos: s.Pos, Path: path,
@@ -135,16 +141,10 @@ func (loopBoundPass) Run(pc *ProgContext) []Finding {
 			})
 			return
 		}
-		_, isConst := constIntExpr(s.From)
-		if !isConst {
-			// A local that the abstract interpretation proves to be a single
-			// constant on every path is concrete to the symbolic executor too.
-			if env, ok := pc.Abs().EnvAt(path); ok && env != nil {
-				if v, single := absEval(s.From, pc.Prog, env).Singleton(); single && v.Kind() == value.KindInt {
-					isConst = true
-				}
-			}
-		}
+		// A lower bound the abstract domains prove to be a single constant on
+		// every path is concrete to the symbolic executor too.
+		fromC, single := fromV.Singleton()
+		isConst := single && fromC.Kind() == value.KindInt
 		if !isConst && pc.Taint().BlockTouchesKeys(s.Body) {
 			out = append(out, Finding{
 				Prog: pc.Prog.Name, Pass: "loop-bound", Pos: s.Pos, Path: path,
@@ -169,74 +169,6 @@ func (loopBoundPass) Run(pc *ProgContext) []Finding {
 		}
 	})
 	return out
-}
-
-// exprInterval evaluates a conservative [lo, hi] range of an integer
-// expression over the declared parameter domains. ok is false when the
-// range depends on anything other than integer constants and bounded
-// integer parameters (store values, locals, strings, lists).
-func exprInterval(e lang.Expr, prog *lang.Program) (int64, int64, bool) {
-	switch x := e.(type) {
-	case lang.Const:
-		i, ok := x.V.AsInt()
-		return i, i, ok
-	case lang.ParamRef:
-		prm, ok := prog.Param(x.Name)
-		if !ok || prm.Kind != value.KindInt || prm.Lo > prm.Hi {
-			return 0, 0, false
-		}
-		return prm.Lo, prm.Hi, true
-	case lang.Bin:
-		lLo, lHi, lok := exprInterval(x.L, prog)
-		rLo, rHi, rok := exprInterval(x.R, prog)
-		if !lok || !rok {
-			return 0, 0, false
-		}
-		switch x.Op {
-		case lang.OpAdd:
-			return lLo + rLo, lHi + rHi, true
-		case lang.OpSub:
-			return lLo - rHi, lHi - rLo, true
-		case lang.OpMul:
-			c := [4]int64{lLo * rLo, lLo * rHi, lHi * rLo, lHi * rHi}
-			lo, hi := c[0], c[0]
-			for _, v := range c[1:] {
-				if v < lo {
-					lo = v
-				}
-				if v > hi {
-					hi = v
-				}
-			}
-			return lo, hi, true
-		default:
-			return 0, 0, false
-		}
-	default:
-		return 0, 0, false
-	}
-}
-
-// constIntExpr folds an expression of integer constants; ok is false when
-// any non-constant leaf appears.
-func constIntExpr(e lang.Expr) (int64, bool) {
-	switch x := e.(type) {
-	case lang.Const:
-		return x.V.AsInt()
-	case lang.Bin:
-		l, lok := constIntExpr(x.L)
-		r, rok := constIntExpr(x.R)
-		if !lok || !rok {
-			return 0, false
-		}
-		v, err := lang.EvalBin(x.Op, value.Int(l), value.Int(r))
-		if err != nil {
-			return 0, false
-		}
-		return v.AsInt()
-	default:
-		return 0, false
-	}
 }
 
 // --- pivot-key: GET results flowing into key identity (profile fallback) ---
@@ -290,20 +222,46 @@ func (deadBranchPass) Run(pc *ProgContext) []Finding {
 
 // deadBranchWalk threads the path constraint through nested conditionals so
 // that e.g. the inner branch of `if x < 5 { if x > 7 {...} }` is reported.
-// Conditions over locals are handled by substituting each local with its
-// abstract interval/constant value at the statement's CFG node — a sound
-// relaxation: the interval over-approximates every reachable value, so a
-// condition unsatisfiable over the relaxation is unsatisfiable in reality.
+// Conditions over locals are handled two ways, each sound on its own:
+// substituting each local with its abstract interval/constant value at the
+// statement's CFG node and asking the solver (the interval relaxation
+// over-approximates every reachable value, so Unsat verdicts carry over),
+// and assuming the condition in the relational zone state, where guards
+// comparing two locals — invisible to the interval relaxation — become
+// negative-cycle infeasibilities.
 func deadBranchWalk(pc *ProgContext, body []lang.Stmt, label string, cons []sym.Term, out *[]Finding) {
 	prog := pc.Prog
 	for i, st := range body {
 		path := fmt.Sprintf("%s[%d]", label, i)
 		switch s := st.(type) {
 		case lang.If:
+			thenDead := pc.Zone().CondDead(path, s.Cond, false)
+			elseDead := pc.Zone().CondDead(path, s.Cond, true)
+			report := func(thenDead, elseDead bool) {
+				if thenDead {
+					*out = append(*out, Finding{
+						Prog: prog.Name, Pass: "dead-branch", Pos: s.Pos, Path: path,
+						Severity: SevWarning,
+						Message:  "condition is always false over the declared input domains: then-branch is dead",
+					})
+				}
+				if elseDead {
+					msg := "condition is always true over the declared input domains"
+					if len(s.Else) > 0 {
+						msg += ": else-branch is dead"
+					}
+					*out = append(*out, Finding{
+						Prog: prog.Name, Pass: "dead-branch", Pos: s.Pos, Path: path,
+						Severity: SevWarning,
+						Message:  msg,
+					})
+				}
+			}
 			cond, ok := exprTermEnv(s.Cond, pc, path)
 			if !ok {
-				// Condition depends on store state or unbounded locals:
-				// undecidable here; check the arms independently.
+				// Condition depends on store state or unbounded locals: the
+				// solver cannot see it, but the zone verdicts still apply.
+				report(thenDead, elseDead)
 				deadBranchWalk(pc, s.Then, path+".then", cons, out)
 				deadBranchWalk(pc, s.Else, path+".else", cons, out)
 				continue
@@ -312,24 +270,8 @@ func deadBranchWalk(pc *ProgContext, body []lang.Stmt, label string, cons []sym.
 			neg := sym.Negate(cond)
 			thenCons := append(append([]sym.Term{}, cons...), cond)
 			elseCons := append(append([]sym.Term{}, cons...), neg)
-			if solver.Check(thenCons) == solver.Unsat {
-				*out = append(*out, Finding{
-					Prog: prog.Name, Pass: "dead-branch", Pos: s.Pos, Path: path,
-					Severity: SevWarning,
-					Message:  "condition is always false over the declared input domains: then-branch is dead",
-				})
-			}
-			if solver.Check(elseCons) == solver.Unsat {
-				msg := "condition is always true over the declared input domains"
-				if len(s.Else) > 0 {
-					msg += ": else-branch is dead"
-				}
-				*out = append(*out, Finding{
-					Prog: prog.Name, Pass: "dead-branch", Pos: s.Pos, Path: path,
-					Severity: SevWarning,
-					Message:  msg,
-				})
-			}
+			report(thenDead || solver.Check(thenCons) == solver.Unsat,
+				elseDead || solver.Check(elseCons) == solver.Unsat)
 			deadBranchWalk(pc, s.Then, path+".then", thenCons, out)
 			deadBranchWalk(pc, s.Else, path+".else", elseCons, out)
 		case lang.For:

@@ -111,11 +111,23 @@ type SoundnessReport struct {
 	// (e.g. division by zero on a boundary input); they are reported, not
 	// silently skipped.
 	Errors []string
+	// ZoneViolations lists statements where a traced concrete execution
+	// state falsified a closed zone constraint (the zone-soundness check).
+	ZoneViolations []ZoneViolation
+}
+
+// ZoneViolation is one falsified zone claim: a concrete execution reached
+// Path in a state that does not satisfy the closed difference-bound
+// constraints the zone analysis derived there.
+type ZoneViolation struct {
+	Path string
+	Msg  string
 }
 
 // Sound reports whether no mismatch and no error was found.
 func (r *SoundnessReport) Sound() bool {
-	return len(r.Over) == 0 && len(r.Under) == 0 && len(r.Errors) == 0
+	return len(r.Over) == 0 && len(r.Under) == 0 && len(r.Errors) == 0 &&
+		len(r.ZoneViolations) == 0
 }
 
 // Findings converts the report into lint findings: under-approximations are
@@ -144,6 +156,13 @@ func (r *SoundnessReport) Findings() []Finding {
 			Message:  "sample execution failed: " + e,
 		})
 	}
+	for _, v := range r.ZoneViolations {
+		out = append(out, Finding{
+			Prog: r.TxName, Pass: "zone-soundness", Path: v.Path,
+			Severity: SevError,
+			Message:  v.Msg,
+		})
+	}
 	SortFindings(out)
 	return out
 }
@@ -162,6 +181,7 @@ func CheckSoundness(p *lang.Program, prof *profile.Profile, opts SoundnessOption
 	rep := &SoundnessReport{TxName: p.Name}
 	checkDirectMarks(prof, rep, opts)
 	fields := fieldNames(p)
+	zv := newZoneValidator(p)
 
 	samples := boundarySamples(p)
 	for i := 0; i < opts.Samples; i++ {
@@ -174,7 +194,7 @@ func CheckSoundness(p *lang.Program, prof *profile.Profile, opts SoundnessOption
 
 	for _, inputs := range samples {
 		// State 1: empty store.
-		if err := checkOne(p, prof, inputs, newStoreKV(), false, rep, opts); err != nil {
+		if err := checkOne(p, prof, inputs, newStoreKV(), false, rep, opts, zv); err != nil {
 			return nil, err
 		}
 		// State 2: populate the keys the execution reads on the empty store
@@ -193,7 +213,7 @@ func CheckSoundness(p *lang.Program, prof *profile.Profile, opts SoundnessOption
 			}
 			populated.Put(k, value.Record(rec))
 		}
-		if err := checkOne(p, prof, inputs, populated, true, rep, opts); err != nil {
+		if err := checkOne(p, prof, inputs, populated, true, rep, opts, zv); err != nil {
 			return nil, err
 		}
 	}
@@ -205,16 +225,19 @@ func CheckSoundness(p *lang.Program, prof *profile.Profile, opts SoundnessOption
 const maxFieldValue = 1 << 12
 
 // checkOne runs the profile and the oracle against one (inputs, store)
-// pair, recording disagreements into rep.
+// pair, recording disagreements into rep. The concrete execution is traced
+// statement by statement so the zone validator can falsify difference-bound
+// claims against live states (states observed before an execution error are
+// still reachable states, so tracing a failing run is fine).
 func checkOne(p *lang.Program, prof *profile.Profile, inputs map[string]value.Value,
-	st *storeKV, populated bool, rep *SoundnessReport, opts SoundnessOptions) error {
+	st *storeKV, populated bool, rep *SoundnessReport, opts SoundnessOptions, zv *zoneValidator) error {
 	rep.SamplesRun++
 
 	// Instantiate against the pristine store: pivot reads must see the
 	// state the concrete execution starts from.
 	ks, ierr := prof.Instantiate(inputs, st)
 	// The oracle runs on a clone; the concrete execution mutates its store.
-	res, rerr := lang.Run(p, inputs, st.clone())
+	res, rerr := lang.RunTrace(p, inputs, st.clone(), zv.trace(inputs, rep, opts))
 	switch {
 	case ierr != nil && rerr != nil:
 		// Both reject the input (e.g. an out-of-domain boundary combination
@@ -291,6 +314,114 @@ func checkSplitInstantiation(prof *profile.Profile, inputs map[string]value.Valu
 	}
 	sameKeySet(merged.Reads, full.Reads, "read", inputs, rep, opts)
 	sameKeySet(merged.Writes, full.Writes, "write", inputs, rep, opts)
+}
+
+// --- zone validation: concrete states vs difference-bound claims ---
+
+// zoneValidator cross-validates both zone variants against traced concrete
+// executions: the guard-assuming zone behind dead-branch and loop-bound
+// reasoning, and the assignment-chain-only alias zone behind the
+// key-determinism oracle. Closed entry zones are cached per statement path
+// (the solution is fixed; only the concrete states vary per sample).
+type zoneValidator struct {
+	variants []*zoneVariant
+}
+
+type zoneVariant struct {
+	name   string
+	zs     *ZoneState
+	closed map[string]*Zone
+}
+
+func newZoneValidator(p *lang.Program) *zoneValidator {
+	cfg := BuildCFG(p)
+	return &zoneValidator{variants: []*zoneVariant{
+		{name: "zone", zs: SolveZoneOpts(cfg, ZoneOpts{AssumeGuards: true, Abs: SolveAbsInt(cfg)}),
+			closed: map[string]*Zone{}},
+		{name: "alias zone", zs: SolveZoneOpts(cfg, ZoneOpts{}),
+			closed: map[string]*Zone{}},
+	}}
+}
+
+func (v *zoneVariant) at(path string) *Zone {
+	if z, ok := v.closed[path]; ok {
+		return z
+	}
+	z := v.zs.At(path)
+	v.closed[path] = z
+	return z
+}
+
+// trace returns the statement-entry hook for one sampled run.
+func (zv *zoneValidator) trace(inputs map[string]value.Value, rep *SoundnessReport, opts SoundnessOptions) lang.TraceFunc {
+	return func(path string, locals map[string]value.Value) {
+		for _, v := range zv.variants {
+			validateZone(v, path, inputs, locals, rep, opts)
+		}
+	}
+}
+
+// validateZone checks one variant's closed entry zone at one executed
+// statement: the statement must not be claimed unreachable, and every
+// finite constraint v - w ≤ c must hold for the concrete values live there
+// (the zero variable is 0, parameters come from the inputs, locals from the
+// live interpreter state). Variables that are unassigned or non-integer at
+// the point are skipped: constraints on them are not concretely observable.
+func validateZone(v *zoneVariant, path string, inputs, locals map[string]value.Value,
+	rep *SoundnessReport, opts SoundnessOptions) {
+	if v.zs.Capped {
+		return // a capped solution claims nothing
+	}
+	z := v.at(path)
+	if z == nil || z.Bottom() {
+		rep.addZoneViolation(path, fmt.Sprintf(
+			"%s claims this statement unreachable, but a concrete execution reached it (inputs %s)",
+			v.name, renderInputs(inputs)), opts)
+		return
+	}
+	vals := make([]int64, z.n)
+	def := make([]bool, z.n)
+	def[0] = true // the zero variable
+	for i := 1; i < z.n; i++ {
+		var cv value.Value
+		var ok bool
+		if i <= v.zs.nParams {
+			cv, ok = inputs[v.zs.names[i]]
+		} else {
+			cv, ok = locals[v.zs.names[i]]
+		}
+		if !ok {
+			continue
+		}
+		if iv, isInt := cv.AsInt(); isInt {
+			vals[i], def[i] = iv, true
+		}
+	}
+	for i := 0; i < z.n; i++ {
+		if !def[i] {
+			continue
+		}
+		for j := 0; j < z.n; j++ {
+			if i == j || !def[j] {
+				continue
+			}
+			c := z.at(i, j)
+			if c >= absInf {
+				continue
+			}
+			if vals[i]-vals[j] > c {
+				rep.addZoneViolation(path, fmt.Sprintf(
+					"%s claims %s - %s ≤ %d, but a concrete execution has %d - %d here (inputs %s)",
+					v.name, v.zs.names[i], v.zs.names[j], c, vals[i], vals[j], renderInputs(inputs)), opts)
+			}
+		}
+	}
+}
+
+func (r *SoundnessReport) addZoneViolation(path, msg string, opts SoundnessOptions) {
+	if len(r.ZoneViolations) < opts.MaxMismatches {
+		r.ZoneViolations = append(r.ZoneViolations, ZoneViolation{Path: path, Msg: msg})
+	}
 }
 
 // sameKeySet reports an error for every key on which the split and full

@@ -1,0 +1,117 @@
+package profile
+
+import (
+	"testing"
+
+	"prognosticator/internal/metrics"
+	"prognosticator/internal/sym"
+	"prognosticator/internal/value"
+)
+
+// memoProfile is a minimal pivot-free profile: one direct access keyed by
+// the input u.
+func memoProfile() *Profile {
+	return &Profile{
+		TxName: "memoTx",
+		Root: &Node{Seg: []Access{
+			{Table: "T", Key: []sym.Term{sym.NewInput("u", value.KindInt, 0, 99)}, Direct: true},
+		}},
+	}
+}
+
+func memoInputs(u int64) map[string]value.Value {
+	return map[string]value.Value{"u": value.Int(u)}
+}
+
+func TestDirectMemoHitMiss(t *testing.T) {
+	counters := metrics.NewCounterSet()
+	m := NewDirectMemo(8, counters)
+	p := memoProfile()
+
+	ks1, err := m.InstantiateDirect(p, memoInputs(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, mi := counters.Value("direct_memo_hit"), counters.Value("direct_memo_miss"); h != 0 || mi != 1 {
+		t.Fatalf("after first call: hit=%d miss=%d, want 0/1", h, mi)
+	}
+	// A structurally equal but distinct inputs map must hit the same entry
+	// and return the shared key-set.
+	ks2, err := m.InstantiateDirect(p, memoInputs(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks2 != ks1 {
+		t.Error("repeat inputs did not return the cached key-set")
+	}
+	if h, mi := counters.Value("direct_memo_hit"), counters.Value("direct_memo_miss"); h != 1 || mi != 1 {
+		t.Fatalf("after repeat: hit=%d miss=%d, want 1/1", h, mi)
+	}
+	// Different inputs are a different entry with a different key-set.
+	ks3, err := m.InstantiateDirect(p, memoInputs(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks3 == ks1 {
+		t.Error("distinct inputs returned the same cached key-set")
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+	// The cached result must match a direct instantiation.
+	want, err := p.InstantiateDirect(memoInputs(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks1.Reads) != len(want.Reads) || ks1.Reads[0].Encode() != want.Reads[0].Encode() {
+		t.Fatalf("cached key-set %v differs from fresh instantiation %v", ks1.Reads, want.Reads)
+	}
+}
+
+func TestDirectMemoEviction(t *testing.T) {
+	counters := metrics.NewCounterSet()
+	m := NewDirectMemo(2, counters)
+	p := memoProfile()
+	for u := int64(0); u < 3; u++ {
+		if _, err := m.InstantiateDirect(p, memoInputs(u)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d after overflow, want 2", m.Len())
+	}
+	if ev := counters.Value("direct_memo_evict"); ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+	// u=0 was least recently used and must have been evicted; u=2 is cached.
+	if _, err := m.InstantiateDirect(p, memoInputs(2)); err != nil {
+		t.Fatal(err)
+	}
+	if h := counters.Value("direct_memo_hit"); h != 1 {
+		t.Fatalf("hit on retained entry: hits = %d, want 1", h)
+	}
+	if _, err := m.InstantiateDirect(p, memoInputs(0)); err != nil {
+		t.Fatal(err)
+	}
+	if mi := counters.Value("direct_memo_miss"); mi != 4 {
+		t.Fatalf("evicted entry should miss: misses = %d, want 4", mi)
+	}
+}
+
+func TestDirectMemoErrorNotCached(t *testing.T) {
+	m := NewDirectMemo(8, nil)
+	// A profile with a pivot-dependent condition rejects InstantiateDirect.
+	bad := &Profile{
+		TxName: "badTx",
+		Root: &Node{
+			Cond: sym.NewPivot("T", []sym.Term{sym.Const{V: value.Int(1)}}, "f"),
+			True: &Node{}, False: &Node{},
+		},
+	}
+	if _, err := m.InstantiateDirect(bad, memoInputs(1)); err == nil {
+		t.Fatal("expected error from pivot-dependent traversal")
+	}
+	if m.Len() != 0 {
+		t.Fatalf("error was cached: Len = %d", m.Len())
+	}
+}

@@ -101,9 +101,10 @@ func DecodeBatch(c raft.Committed) (Batch, error) {
 // Dispatcher buffers client requests and proposes them as batches through
 // its Raft node. Safe for concurrent use.
 type Dispatcher struct {
-	node *raft.Node
-	mu   sync.Mutex
-	buf  []engine.Request
+	node    *raft.Node
+	mu      sync.Mutex
+	buf     []engine.Request
+	prewarm func(txName string, inputs map[string]value.Value)
 }
 
 // NewDispatcher returns a dispatcher proposing through node.
@@ -111,11 +112,27 @@ func NewDispatcher(node *raft.Node) *Dispatcher {
 	return &Dispatcher{node: node}
 }
 
+// SetPrewarm registers a hook invoked on every Submit with the request's
+// transaction name and inputs — the paper's client-side prediction done at
+// dispatch time: engine.Registry.DirectPrewarmer uses it to instantiate the
+// input-only key-sets of pivot-free DTs into a shared memo while the batch
+// is still being buffered, so the replicas' preparation phase hits the
+// cache. The hook runs outside the dispatcher lock.
+func (d *Dispatcher) SetPrewarm(fn func(txName string, inputs map[string]value.Value)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.prewarm = fn
+}
+
 // Submit buffers one request for the next batch.
 func (d *Dispatcher) Submit(txName string, inputs map[string]value.Value) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
+	fn := d.prewarm
 	d.buf = append(d.buf, engine.Request{TxName: txName, Inputs: inputs})
+	d.mu.Unlock()
+	if fn != nil {
+		fn(txName, inputs)
+	}
 }
 
 // Discard drops any buffered requests (used when a caller re-routes a

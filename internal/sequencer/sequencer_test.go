@@ -142,3 +142,32 @@ func TestFlushNotLeader(t *testing.T) {
 		t.Fatal("buffer must survive a failed flush")
 	}
 }
+
+// TestDispatcherPrewarm checks the submit-path hook: it fires once per
+// Submit with the request's name and inputs, and Submit keeps working (and
+// never fires the hook) when none is registered.
+func TestDispatcherPrewarm(t *testing.T) {
+	d := NewDispatcher(nil) // Submit never touches the raft node
+	d.Submit("cold", nil)
+
+	type call struct {
+		tx     string
+		inputs map[string]value.Value
+	}
+	var calls []call
+	d.SetPrewarm(func(txName string, inputs map[string]value.Value) {
+		calls = append(calls, call{txName, inputs})
+	})
+	in := map[string]value.Value{"x": value.Int(7)}
+	d.Submit("tx1", in)
+	d.Submit("tx2", nil)
+	if d.Pending() != 3 {
+		t.Fatalf("pending = %d, want 3", d.Pending())
+	}
+	if len(calls) != 2 || calls[0].tx != "tx1" || calls[1].tx != "tx2" {
+		t.Fatalf("prewarm calls = %+v", calls)
+	}
+	if v, ok := calls[0].inputs["x"]; !ok || !v.Equal(value.Int(7)) {
+		t.Fatalf("prewarm inputs = %v", calls[0].inputs)
+	}
+}

@@ -727,7 +727,13 @@ func keyDirect(key []sym.Term) bool {
 
 // checkDirectMarks validates the symbolic executor's Direct marks against
 // taint.KeyDeterminism: every access in a table the static analysis proves
-// all-direct must be marked Direct in the profile tree.
+// all-direct must be marked Direct in the profile tree. The oracle-less
+// classification is deliberate: taint.KeyDeterminismOracle with the alias
+// zone (internal/lint, which depends on this package) proves a superset of
+// tables direct, so checking the plain subset here is the conservative
+// direction — any table it proves must still be pivot-free in the profile.
+// The lint layer cross-checks the oracle-upgraded classification against
+// these profiles over the workload catalogs (TestOracleAgreesWithProfiles).
 func checkDirectMarks(p *lang.Program, root *profile.Node) error {
 	direct := map[string]bool{}
 	for _, t := range taint.KeyDeterminism(p).DirectTables() {

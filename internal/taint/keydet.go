@@ -136,8 +136,44 @@ func (kd *KeyDet) DirectTables() []string {
 	return out
 }
 
-// KeyDeterminism classifies every store access of p.
+// EqualityOracle answers relational queries the flow-insensitive analysis
+// cannot: whether a local, at a given structural statement path, provably
+// equals an integer constant or a parameter plus a constant offset on every
+// execution reaching that point. The lint package's alias-zone solution
+// implements it; the contract is that such equalities derive from
+// assignment chains alone (never from guards or interval evaluation), so
+// the symbolic executor's per-path key term is input-only wherever the
+// oracle says resolvable — static Direct claims stay aligned with profile
+// Direct marks.
+type EqualityOracle interface {
+	InputResolvable(path, name string) bool
+}
+
+// KeyDeterminism classifies every store access of p without relational
+// facts (equivalent to KeyDeterminismOracle with a nil oracle).
 func KeyDeterminism(p *lang.Program) *KeyDet {
+	return KeyDeterminismOracle(p, nil)
+}
+
+// allResolvable reports whether the oracle proves every named variable
+// input-resolvable at the path.
+func allResolvable(oracle EqualityOracle, path string, names []string) bool {
+	if oracle == nil {
+		return false
+	}
+	for _, n := range names {
+		if !oracle.InputResolvable(path, n) {
+			return false
+		}
+	}
+	return len(names) > 0
+}
+
+// KeyDeterminismOracle classifies every store access of p, consulting the
+// oracle (when non-nil) to upgrade pivot-dependent key parts that provably
+// equal an input-derived value, and to discharge traversal pivots whose
+// condition variables are all input-resolvable.
+func KeyDeterminismOracle(p *lang.Program, oracle EqualityOracle) *KeyDet {
 	kd := &KeyDet{PivotDerived: map[string]bool{}}
 
 	// Fixed point: GET results are pivot-derived; any assignment whose RHS
@@ -184,29 +220,40 @@ func KeyDeterminism(p *lang.Program) *KeyDet {
 	// pivot-derived variable AND guards a block that can change the RWS.
 	// RWS-irrelevance is decided by the relevant-variable analysis — the
 	// same criterion the symbolic executor uses to skip the fork, so a
-	// branch it would not fork on cannot become a traversal pivot here.
+	// branch it would not fork on cannot become a traversal pivot here —
+	// refined field-sensitively: arms that only write inert record fields
+	// (fields whose stored value provably never flows back into the RWS)
+	// cannot change the key-set either, mirroring the executor's merge of
+	// identical fork subtrees. A pivot condition is also discharged when
+	// the oracle proves every pivot-derived variable it mentions equal to
+	// an input-derived value at that point.
 	rel := Analyze(p)
-	var scan func(body []lang.Stmt)
-	scan = func(body []lang.Stmt) {
-		for _, st := range body {
+	inert := inertFields(p, rel)
+	var scan func(body []lang.Stmt, label string)
+	scan = func(body []lang.Stmt, label string) {
+		for i, st := range body {
+			path := fmt.Sprintf("%s[%d]", label, i)
 			switch s := st.(type) {
 			case lang.If:
-				if exprMentions(s.Cond, kd.PivotDerived) &&
-					(blockTouchesKeys(s.Then, rel) || blockTouchesKeys(s.Else, rel)) {
+				if via := mentionsOf(s.Cond, kd.PivotDerived); len(via) > 0 &&
+					!(rwsInert(s.Then, rel, inert) && rwsInert(s.Else, rel, inert)) &&
+					!allResolvable(oracle, path, via) {
 					kd.TraversalPivot = true
 				}
-				scan(s.Then)
-				scan(s.Else)
+				scan(s.Then, path+".then")
+				scan(s.Else, path+".else")
 			case lang.For:
-				if (exprMentions(s.From, kd.PivotDerived) || exprMentions(s.To, kd.PivotDerived)) &&
-					blockTouchesKeys(s.Body, rel) {
+				via := mentionsOf(s.From, kd.PivotDerived)
+				via = append(via, mentionsOf(s.To, kd.PivotDerived)...)
+				if len(via) > 0 && !rwsInert(s.Body, rel, inert) &&
+					!allResolvable(oracle, path, via) {
 					kd.TraversalPivot = true
 				}
-				scan(s.Body)
+				scan(s.Body, path+".body")
 			}
 		}
 	}
-	scan(p.Body)
+	scan(p.Body, "body")
 
 	// Per-access classification, in statement order.
 	classify := func(table string, op AccessOp, write bool, key []lang.Expr, pos lang.Pos, path string) {
@@ -214,6 +261,12 @@ func KeyDeterminism(p *lang.Program) *KeyDet {
 			PartDirect: make([]bool, len(key)), PartVia: make([][]string, len(key))}
 		for i, k := range key {
 			via := mentionsOf(k, kd.PivotDerived)
+			if len(via) > 0 && allResolvable(oracle, path, via) {
+				// Every pivot-derived variable in this part provably equals
+				// an input-derived value at this point: the part is direct
+				// after all, and the witness set is empty.
+				via = nil
+			}
 			ac.PartDirect[i] = len(via) == 0
 			ac.PartVia[i] = via
 		}
@@ -240,6 +293,190 @@ func KeyDeterminism(p *lang.Program) *KeyDet {
 	}
 	walkPath(p.Body, "body")
 	return kd
+}
+
+// fieldKey identifies one (record local, field) pair for the
+// field-sensitive inertness refinement.
+type fieldKey struct{ rec, field string }
+
+// inertFields computes the greatest set of (local, field) pairs whose
+// stored value provably cannot influence this transaction's read/write
+// set. Writing such a field is RWS-inert, so a branch whose arms only
+// write inert fields is not a traversal pivot even when its condition is
+// pivot-derived — the symbolic executor reaches the same conclusion
+// dynamically by merging the identical fork subtrees.
+//
+// The set starts at every SetField target and a leak pass deletes each
+// pair whose field value can flow back toward the RWS: reads in key
+// expressions, assignment and loop-bound right-hand sides, conditions
+// guarding non-inert work, and PUT values that a later GET of the same
+// table may re-read. Reads feeding an inert SetField target stay
+// contained (if that target is ever itself read in a leaking position,
+// its deletion re-triggers the pass). Emitted values leave the
+// transaction and cannot re-enter the read/write set. Iterating to a
+// fixed point makes the result coinductively sound: any concrete
+// influence chain from a field to the RWS ends in a leaking read, and
+// the deletions propagate backward along the chain.
+func inertFields(p *lang.Program, rel *Result) map[fieldKey]bool {
+	inert := map[fieldKey]bool{}
+	var seed func(body []lang.Stmt)
+	seed = func(body []lang.Stmt) {
+		for _, st := range body {
+			switch s := st.(type) {
+			case lang.SetField:
+				inert[fieldKey{s.Dst, s.Field}] = true
+			case lang.If:
+				seed(s.Then)
+				seed(s.Else)
+			case lang.For:
+				seed(s.Body)
+			}
+		}
+	}
+	seed(p.Body)
+	if len(inert) == 0 {
+		return inert
+	}
+
+	// Pre-order statement numbering: a PUT value can be re-read only by a
+	// same-table GET later in program order, or by any same-table GET when
+	// the PUT sits inside a loop (a later iteration's GET follows it).
+	maxGetOrder := map[string]int{}
+	order := 0
+	var number func(body []lang.Stmt)
+	number = func(body []lang.Stmt) {
+		for _, st := range body {
+			order++
+			switch s := st.(type) {
+			case lang.Get:
+				if order > maxGetOrder[s.Table] {
+					maxGetOrder[s.Table] = order
+				}
+			case lang.If:
+				number(s.Then)
+				number(s.Else)
+			case lang.For:
+				number(s.Body)
+			}
+		}
+	}
+	number(p.Body)
+
+	for changed := true; changed; {
+		changed = false
+		drop := func(k fieldKey) {
+			if inert[k] {
+				delete(inert, k)
+				changed = true
+			}
+		}
+		// leakExpr drops every field pair e reads: a direct Field read of a
+		// local drops that pair; a bare local read exposes all its fields.
+		var leakExpr func(e lang.Expr)
+		leakExpr = func(e lang.Expr) {
+			switch x := e.(type) {
+			case lang.LocalRef:
+				for k := range inert {
+					if k.rec == x.Name {
+						drop(k)
+					}
+				}
+			case lang.Field:
+				if base, ok := x.E.(lang.LocalRef); ok {
+					drop(fieldKey{base.Name, x.Name})
+					return
+				}
+				leakExpr(x.E)
+			case lang.Bin:
+				leakExpr(x.L)
+				leakExpr(x.R)
+			case lang.Not:
+				leakExpr(x.E)
+			case lang.Index:
+				leakExpr(x.E)
+				leakExpr(x.I)
+			case lang.Rec:
+				for _, f := range x.Fields {
+					leakExpr(f.E)
+				}
+			}
+		}
+		pos := 0
+		var walk func(body []lang.Stmt, inLoop bool)
+		walk = func(body []lang.Stmt, inLoop bool) {
+			for _, st := range body {
+				pos++
+				switch s := st.(type) {
+				case lang.Get:
+					for _, k := range s.Key {
+						leakExpr(k)
+					}
+				case lang.Put:
+					for _, k := range s.Key {
+						leakExpr(k)
+					}
+					if maxGetOrder[s.Table] > pos || (inLoop && maxGetOrder[s.Table] > 0) {
+						leakExpr(s.Val)
+					}
+				case lang.Del:
+					for _, k := range s.Key {
+						leakExpr(k)
+					}
+				case lang.Assign:
+					leakExpr(s.E)
+				case lang.SetField:
+					if !inert[fieldKey{s.Dst, s.Field}] {
+						leakExpr(s.E)
+					}
+				case lang.If:
+					if !rwsInert(s.Then, rel, inert) || !rwsInert(s.Else, rel, inert) {
+						leakExpr(s.Cond)
+					}
+					walk(s.Then, inLoop)
+					walk(s.Else, inLoop)
+				case lang.For:
+					if !rwsInert(s.Body, rel, inert) {
+						leakExpr(s.From)
+						leakExpr(s.To)
+					}
+					walk(s.Body, true)
+				}
+			}
+		}
+		walk(p.Body, false)
+	}
+	return inert
+}
+
+// rwsInert reports whether executing body provably cannot change the
+// read/write set, under the current inert-field set. It is never stricter
+// than the negation of blockTouchesKeys — a SetField passes when its
+// target pair is inert OR its destination is RWS-irrelevant — so the
+// refinement can only discharge traversal pivots, never introduce them.
+func rwsInert(body []lang.Stmt, rel *Result, inert map[fieldKey]bool) bool {
+	for _, st := range body {
+		switch s := st.(type) {
+		case lang.Get, lang.Put, lang.Del:
+			return false
+		case lang.Assign:
+			if rel.Relevant(s.Dst) {
+				return false
+			}
+		case lang.SetField:
+			if !inert[fieldKey{s.Dst, s.Field}] && rel.Relevant(s.Dst) {
+				return false
+			}
+		case lang.If:
+			if !rwsInert(s.Then, rel, inert) || !rwsInert(s.Else, rel, inert) {
+				return false
+			}
+		case lang.For:
+			if !rwsInert(s.Body, rel, inert) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // exprMentions reports whether e mentions any variable in set.

@@ -97,6 +97,14 @@ func TestLintBadFixtureGoldenFindings(t *testing.T) {
 		`directDT:76:5: info: [pivot-key] GET result "c" influences the identity of later accesses (dependent transaction), but the traversal is pivot-free: the direct part of the key-set is predicted client-side (2 of 3 accesses direct)`,
 		`directDT:78:5: info: [key-determinism] PUT ITEMS: key part(s) 0 depend on store state via "id" (pivot-dependent)`,
 		`directDT:80:5: info: [key-determinism] PUT COUNTER: key is derivable from the transaction inputs alone (direct); predicted client-side without pivot reads`,
+		`deadRelational:89:5: warning: [dead-branch] condition is always false over the declared input domains: then-branch is dead`,
+		// relLoopBound is pinned by absence: the zone keeps the clamped bound
+		// within the unroll budget, so it must contribute no findings at all.
+		`eqKeyParts:117:5: info: [key-determinism] GET COUNTER: key is derivable from the transaction inputs alone (direct); predicted client-side without pivot reads`,
+		`eqKeyParts:117:5: info: [pivot-key] GET result "c" influences the identity of later accesses (dependent transaction), but the traversal is pivot-free: the direct part of the key-set is predicted client-side (3 of 4 accesses direct)`,
+		`eqKeyParts:118:5: info: [key-determinism] PUT AUDIT: key is derivable from the transaction inputs alone (direct); predicted client-side without pivot reads`,
+		`eqKeyParts:120:5: info: [key-determinism] PUT ITEMS: key part(s) 0 depend on store state via "id" (pivot-dependent)`,
+		`eqKeyParts:122:5: info: [key-determinism] PUT COUNTER: key is derivable from the transaction inputs alone (direct); predicted client-side without pivot reads`,
 	}
 	if len(got) != len(want) {
 		t.Fatalf("got %d findings, want %d:\n%s", len(got), len(want), strings.Join(got, "\n"))
