@@ -9,20 +9,27 @@
 // and occasional WAL tail corruption), the leader is partitioned away, and
 // message loss/delay is injected — after which all replicas must still
 // converge. Chaos enables -datadir persistence (a temp directory when
-// unset) and runs over either transport: over tcp the simulated-network
-// faults (partition, loss, delay) are skipped while crash/restart close and
-// re-listen real sockets.
+// unset) and runs over either transport: over tcp, partition faults are
+// skipped (memnet-only) while loss/delay inject at the endpoints and
+// crash/restart close and re-listen real sockets.
 //
 // With -snapshot-every N (requires -datadir, implied under -chaos), each
 // replica captures a store snapshot every N applied batches, compacts its
 // raft log below it and prunes its WAL prefix, so crashed replicas recover
 // from snapshot + WAL suffix instead of replaying from index 1.
 //
+// Flow-control flags (-max-queue, -max-inflight, -submit-rate,
+// -retry-budget) bound the submit path: excess load is shed synchronously
+// with a typed error instead of queueing without bound, and retries draw
+// from a finite budget. -submit-window tunes how long one raft proposal is
+// waited on before the batch is idempotently re-proposed.
+//
 // Usage:
 //
 //	replicad [-replicas N] [-batches N] [-txs N] [-warehouses N] [-seed N]
 //	         [-transport mem|tcp] [-chaos] [-chaos-seed N] [-datadir DIR]
-//	         [-snapshot-every N]
+//	         [-snapshot-every N] [-max-queue N] [-max-inflight N]
+//	         [-submit-rate R] [-retry-budget R] [-submit-window D]
 package main
 
 import (
@@ -34,6 +41,7 @@ import (
 
 	"prognosticator/internal/chaos"
 	"prognosticator/internal/engine"
+	"prognosticator/internal/flowctl"
 	"prognosticator/internal/harness"
 	"prognosticator/internal/replica"
 	"prognosticator/internal/store"
@@ -55,11 +63,16 @@ func run() error {
 	warehouses := flag.Int("warehouses", 4, "TPC-C warehouses")
 	seed := flag.Int64("seed", 1, "workload seed")
 	transport := flag.String("transport", "mem", "consensus transport: mem (simulated) or tcp (loopback sockets)")
-	chaosOn := flag.Bool("chaos", false, "run a fault schedule alongside the workload (over tcp, partition/loss/delay faults are skipped)")
+	chaosOn := flag.Bool("chaos", false, "run a fault schedule alongside the workload (over tcp, partition faults are skipped; loss/delay inject at the endpoints)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "fault schedule seed (with -chaos)")
 	chaosSteps := flag.Int("chaos-steps", 0, "fault schedule length (0 = one step per two batches, with -chaos)")
 	dataDir := flag.String("datadir", "", "persist raft state and replica WALs under this directory (required for crash/restart faults; temp dir when -chaos is set and this is empty)")
 	snapshotEvery := flag.Uint64("snapshot-every", 0, "capture a store snapshot and compact the raft log every N applied batches (0 disables; requires -datadir)")
+	maxQueue := flag.Int("max-queue", 0, "bound each dispatcher's buffered request queue; submits beyond it are shed with flowctl.ErrOverload (0 = unbounded)")
+	maxInflight := flag.Int("max-inflight", 0, "bound concurrently admitted submit batches cluster-wide (0 = unbounded)")
+	submitRate := flag.Float64("submit-rate", 0, "token-bucket admission rate in batches/second; without a token the batch is shed, never queued (0 = unlimited)")
+	retryBudget := flag.Float64("retry-budget", 0, "cap on stored retry tokens; each retry withdraws one, each acknowledged submit deposits a fraction (0 = unlimited retries)")
+	submitWindow := flag.Duration("submit-window", 0, "how long one proposal is waited on before the batch is idempotently re-proposed through the then-current leader (0 = default 2s)")
 	flag.Parse()
 
 	if *snapshotEvery > 0 && *dataDir == "" && !*chaosOn {
@@ -91,6 +104,13 @@ func run() error {
 		// Under chaos a crashed replica lags until it rejoins; a majority
 		// carries the workload forward in the meantime.
 		QuorumSubmit: *chaosOn,
+		SubmitWindow: *submitWindow,
+		Flow: flowctl.Config{
+			MaxQueue:    *maxQueue,
+			MaxInflight: *maxInflight,
+			SubmitRate:  *submitRate,
+			RetryBudget: *retryBudget,
+		},
 		NewExecutor: func(id string, st *store.Store) (engine.Executor, error) {
 			tpcc.Populate(st, cfg)
 			// Deliberately different parallelism per replica: determinism
@@ -182,6 +202,9 @@ func run() error {
 		if cluster.Net != nil {
 			fmt.Printf("chaos: net %+v\n", cluster.Net.Stats())
 		}
+	}
+	if *maxQueue > 0 || *maxInflight > 0 || *submitRate > 0 || *retryBudget > 0 {
+		fmt.Printf("flow: %s (queue high water %d)\n", cluster.Flow().Counters(), cluster.QueueHighWater())
 	}
 	if *snapshotEvery > 0 {
 		for i := 0; i < cluster.Size(); i++ {

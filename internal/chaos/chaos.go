@@ -48,6 +48,16 @@ const (
 	InjectDelay
 	// ClearDelay removes artificial delay.
 	ClearDelay
+	// SlowApply throttles one live replica's apply loop by a few ms per
+	// batch, making it a straggler: commit quorum advances without it and
+	// its dispatcher queue feels backpressure.
+	SlowApply
+	// ClearSlowApply removes all apply throttles.
+	ClearSlowApply
+	// Overload fires a burst of concurrent submits through the Config.Burst
+	// callback, driving the admission controller into shedding. Skipped when
+	// no callback is configured.
+	Overload
 	numFaults int = iota
 )
 
@@ -62,6 +72,9 @@ var faultNames = [...]string{
 	ClearLoss:       "clear-loss",
 	InjectDelay:     "delay",
 	ClearDelay:      "clear-delay",
+	SlowApply:       "slow-apply",
+	ClearSlowApply:  "clear-slow-apply",
+	Overload:        "overload",
 }
 
 func (f Fault) String() string {
@@ -80,6 +93,11 @@ type Config struct {
 	Steps int
 	// Logf, when set, receives one line per applied fault.
 	Logf func(format string, args ...any)
+	// Burst, when set, is called by Overload steps with a seeded burst size;
+	// it should fire that many submits concurrently and tolerate
+	// flow-control rejections (typed flowctl errors are the expected
+	// outcome, not failures). Overload steps are skipped when nil.
+	Burst func(n int)
 }
 
 // Injector drives a fault plan against one cluster. Step may be called from
@@ -94,6 +112,7 @@ type Injector struct {
 	// each pass the quorum-budget check and together break quorum.
 	stepMu      sync.Mutex
 	partitioned bool // guarded by stepMu
+	slowed      bool // guarded by stepMu: some replica has an apply throttle
 
 	mu       sync.Mutex
 	rng      *rand.Rand
@@ -103,7 +122,7 @@ type Injector struct {
 
 // anchors are the fault kinds every plan is guaranteed to contain at least
 // once, so no soak run silently skips a recovery path.
-var anchors = []Fault{KillLeader, RestartCorrupt, PartitionLeader, HealPartition, InjectLoss, ClearLoss}
+var anchors = []Fault{KillLeader, RestartCorrupt, PartitionLeader, HealPartition, InjectLoss, ClearLoss, SlowApply, ClearSlowApply, Overload}
 
 // New builds an injector with a deterministic plan for cluster c. The plan
 // always contains every anchor fault; remaining slots are filled uniformly
@@ -302,37 +321,61 @@ func (in *Injector) apply(f Fault) (bool, error) {
 		return true, nil
 
 	case InjectLoss:
-		if in.c.Net == nil {
-			return false, nil
-		}
+		// Loss and delay are transport-abstracted (Cluster routes them to
+		// the memnet fabric or to per-endpoint TCP fault hooks), so these
+		// faults hit real sockets too.
 		in.mu.Lock()
 		p := 0.05 + in.rng.Float64()*0.20
 		in.mu.Unlock()
-		in.c.Net.SetLoss(p)
+		in.c.SetLoss(p)
 		return true, nil
 
 	case ClearLoss:
-		if in.c.Net == nil {
-			return false, nil
-		}
-		in.c.Net.SetLoss(0)
+		in.c.SetLoss(0)
 		return true, nil
 
 	case InjectDelay:
-		if in.c.Net == nil {
-			return false, nil
-		}
 		in.mu.Lock()
 		max := time.Duration(1+in.rng.Intn(4)) * time.Millisecond
 		in.mu.Unlock()
-		in.c.Net.SetDelay(0, max)
+		in.c.SetDelay(0, max)
 		return true, nil
 
 	case ClearDelay:
-		if in.c.Net == nil {
+		in.c.SetDelay(0, 0)
+		return true, nil
+
+	case SlowApply:
+		v := in.pickLive()
+		if v < 0 {
 			return false, nil
 		}
-		in.c.Net.SetDelay(0, 0)
+		in.mu.Lock()
+		d := time.Duration(1+in.rng.Intn(4)) * time.Millisecond
+		in.mu.Unlock()
+		in.c.SetApplyDelay(v, d)
+		in.slowed = true
+		return true, nil
+
+	case ClearSlowApply:
+		if !in.slowed {
+			return false, nil
+		}
+		for i := 0; i < in.c.Size(); i++ {
+			in.c.SetApplyDelay(i, 0)
+		}
+		in.slowed = false
+		return true, nil
+
+	case Overload:
+		if in.cfg.Burst == nil {
+			return false, nil
+		}
+		in.mu.Lock()
+		n := 8 + in.rng.Intn(24)
+		in.mu.Unlock()
+		in.cfg.Burst(n)
+		in.counters.Add("overload-submits", int64(n))
 		return true, nil
 	}
 	return false, fmt.Errorf("unknown fault %d", int(f))
@@ -364,8 +407,14 @@ func (in *Injector) Quiesce(within time.Duration) error {
 	in.partitioned = false
 	if in.c.Net != nil {
 		in.c.Net.Heal()
-		in.c.Net.SetLoss(0)
-		in.c.Net.SetDelay(0, 0)
+	}
+	in.c.SetLoss(0)
+	in.c.SetDelay(0, 0)
+	if in.slowed {
+		for i := 0; i < in.c.Size(); i++ {
+			in.c.SetApplyDelay(i, 0)
+		}
+		in.slowed = false
 	}
 	for _, i := range in.c.DownReplicas() {
 		if err := in.c.Restart(i); err != nil {

@@ -1,0 +1,61 @@
+package flowctl
+
+import (
+	"time"
+)
+
+// Deadline is an absolute time budget threaded through the submit path: from
+// SubmitBatch through leader routing, proposal flushes and apply-wait loops,
+// so no layer waits past the caller's budget. The zero Deadline means "no
+// deadline" and never expires.
+type Deadline struct {
+	at time.Time
+}
+
+// After returns a deadline d from now.
+func After(d time.Duration) Deadline { return Deadline{at: time.Now().Add(d)} }
+
+// At returns a deadline at the absolute time t.
+func At(t time.Time) Deadline { return Deadline{at: t} }
+
+// None returns the zero deadline (never expires).
+func None() Deadline { return Deadline{} }
+
+// IsZero reports whether this is the no-deadline sentinel.
+func (d Deadline) IsZero() bool { return d.at.IsZero() }
+
+// Time returns the absolute deadline (zero time for None).
+func (d Deadline) Time() time.Time { return d.at }
+
+// Expired reports whether the deadline has passed.
+func (d Deadline) Expired() bool {
+	return !d.at.IsZero() && !time.Now().Before(d.at)
+}
+
+// Remaining returns the budget left. A zero deadline reports a very large
+// remainder; an expired deadline reports <= 0.
+func (d Deadline) Remaining() time.Duration {
+	if d.at.IsZero() {
+		return time.Duration(1<<63 - 1)
+	}
+	return time.Until(d.at)
+}
+
+// Check returns ErrDeadlineExceeded if the deadline has passed, else nil.
+func (d Deadline) Check() error {
+	if d.Expired() {
+		return ErrDeadlineExceeded
+	}
+	return nil
+}
+
+// Bound returns the earlier of this deadline and now+window — the per-attempt
+// sub-budget pattern: a proposal is waited on for at most window before
+// re-routing, but never past the caller's overall deadline.
+func (d Deadline) Bound(window time.Duration) Deadline {
+	w := time.Now().Add(window)
+	if d.at.IsZero() || w.Before(d.at) {
+		return Deadline{at: w}
+	}
+	return d
+}

@@ -181,9 +181,10 @@ func pair(a, b string) [2]string {
 
 // Endpoint is one addressable node on the network.
 type Endpoint struct {
-	name  string
-	net   *Network
-	inbox chan Message
+	name      string
+	net       *Network
+	inbox     chan Message
+	overflows int64 // guarded by net.mu
 }
 
 // Name returns the endpoint's address.
@@ -191,6 +192,15 @@ func (e *Endpoint) Name() string { return e.name }
 
 // Inbox returns the delivery channel.
 func (e *Endpoint) Inbox() <-chan Message { return e.inbox }
+
+// Overflows returns how many inbound messages were dropped because THIS
+// endpoint's inbox was full — the per-node backpressure signal (the
+// network-wide total is Stats.DroppedOverflow).
+func (e *Endpoint) Overflows() int64 {
+	e.net.mu.Lock()
+	defer e.net.mu.Unlock()
+	return e.overflows
+}
 
 // Send delivers payload to the named endpoint, subject to the network's
 // loss, delay, partition and down configuration. Delivery is asynchronous; a
@@ -234,6 +244,7 @@ func (e *Endpoint) Send(to string, payload any) {
 			n.stats.Delivered++
 		default:
 			n.stats.DroppedOverflow++
+			dst.overflows++
 		}
 		n.mu.Unlock()
 		return
@@ -255,6 +266,7 @@ func (e *Endpoint) Send(to string, payload any) {
 				n.stats.Delivered++
 			default:
 				n.stats.DroppedOverflow++
+				dst.overflows++
 			}
 		}
 	})

@@ -1,0 +1,185 @@
+package raft
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"prognosticator/internal/memnet"
+)
+
+// newChunkCluster is newCluster with a tiny snapshot chunk size, forcing the
+// chunked InstallSnapshot path for any non-trivial snapshot.
+func newChunkCluster(t *testing.T, n int, seed int64, chunk int) *cluster {
+	t.Helper()
+	c := &cluster{t: t, net: memnet.New(seed), nodes: map[string]*Node{}}
+	for i := 0; i < n; i++ {
+		c.ids = append(c.ids, fmt.Sprintf("n%d", i))
+	}
+	for i, id := range c.ids {
+		node := NewNode(id, c.ids, c.net, Config{
+			ElectionTimeoutMin: 50 * time.Millisecond,
+			ElectionTimeoutMax: 100 * time.Millisecond,
+			HeartbeatInterval:  15 * time.Millisecond,
+			SnapshotChunkSize:  chunk,
+		}, seed+int64(i))
+		c.nodes[id] = node
+		node.Start()
+	}
+	t.Cleanup(func() {
+		for _, n := range c.nodes {
+			n.Stop()
+		}
+		c.net.Close()
+	})
+	return c
+}
+
+// isolateFollower picks a non-leader node, takes it off the network, and
+// returns it with the ids of the still-live members.
+func isolateFollower(c *cluster, leader *Node) (behind *Node, behindID string, live []string) {
+	for _, id := range c.ids {
+		if c.nodes[id] != leader && behind == nil {
+			behind, behindID = c.nodes[id], id
+			continue
+		}
+		live = append(live, id)
+	}
+	c.net.SetDown(behindID, true)
+	return behind, behindID, live
+}
+
+// TestChunkedSnapshotTransfer drives a snapshot much larger than the chunk
+// size to a far-behind follower: the transfer must stream in multiple
+// offset-addressed chunks and install bit-identical data.
+func TestChunkedSnapshotTransfer(t *testing.T) {
+	c := newChunkCluster(t, 3, 61, 64)
+	leader := c.waitLeader(3 * time.Second)
+	behind, behindID, live := isolateFollower(c, leader)
+	for i := 0; i < 6; i++ {
+		c.proposeAndWait(leader, fmt.Sprintf("cmd-%d", i), 3*time.Second, live...)
+	}
+	snapData := bytes.Repeat([]byte("chunked-snapshot-state-"), 50) // ~1.1 KiB, ~18 chunks
+	compactAt := leader.CommitIndex()
+	// Compact on every live node: the rejoining follower may force an
+	// election, and whichever node wins must be unable to append-replicate
+	// the compacted prefix.
+	for _, id := range live {
+		if err := c.nodes[id].Compact(compactAt, snapData); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.net.Drain(behindID)
+	c.net.SetDown(behindID, false)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for behind.SnapshotIndex() < compactAt {
+		if !time.Now().Before(deadline) {
+			t.Fatalf("follower snapshot index %d, want >= %d", behind.SnapshotIndex(), compactAt)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	var sent int64
+	for _, id := range live {
+		sent += c.nodes[id].ChunksSent()
+	}
+	if sent < 2 {
+		t.Fatalf("ChunksSent = %d, want >= 2 (single-shot path used for a large snapshot?)", sent)
+	}
+	var install *Committed
+	for _, e := range drainAtLeast(t, behind, 1, 3*time.Second) {
+		if e.Snapshot != nil {
+			e := e
+			install = &e
+			break
+		}
+	}
+	if install == nil {
+		t.Fatal("follower caught up without a snapshot delivery")
+	}
+	if install.Index != compactAt || !bytes.Equal(install.Snapshot, snapData) {
+		t.Fatalf("installed snapshot: index %d, %d bytes (want index %d, %d bytes, equal content)",
+			install.Index, len(install.Snapshot), compactAt, len(snapData))
+	}
+	// Replication continues with ordinary appends above the snapshot (the
+	// rejoin may have forced an election, so re-resolve the leader).
+	c.proposeAndWait(c.waitLeader(3*time.Second), "after-chunked-install", 3*time.Second)
+}
+
+// TestChunkedSnapshotSmallFastPath pins the fast path: a snapshot at or
+// below the chunk size ships as one InstallSnapshot message, no chunks.
+func TestChunkedSnapshotSmallFastPath(t *testing.T) {
+	c := newChunkCluster(t, 3, 67, 1<<20)
+	leader := c.waitLeader(3 * time.Second)
+	behind, behindID, live := isolateFollower(c, leader)
+	for i := 0; i < 5; i++ {
+		c.proposeAndWait(leader, fmt.Sprintf("cmd-%d", i), 3*time.Second, live...)
+	}
+	compactAt := leader.CommitIndex()
+	for _, id := range live {
+		if err := c.nodes[id].Compact(compactAt, []byte("small-state")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.net.Drain(behindID)
+	c.net.SetDown(behindID, false)
+	deadline := time.Now().Add(5 * time.Second)
+	for behind.SnapshotIndex() < compactAt {
+		if !time.Now().Before(deadline) {
+			t.Fatalf("follower snapshot index %d, want >= %d", behind.SnapshotIndex(), compactAt)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	var sent int64
+	for _, id := range live {
+		sent += c.nodes[id].ChunksSent()
+	}
+	if sent != 0 {
+		t.Fatalf("ChunksSent = %d, want 0 (small snapshot must take the single-message path)", sent)
+	}
+}
+
+// TestChunkedSnapshotTransferUnderLoss runs the chunked transfer over a
+// lossy fabric: dropped chunks and dropped acks must be recovered by the
+// heartbeat retransmitting the outstanding chunk and by the follower's
+// NextOffset cursor rewinding the leader, with the transfer still completing.
+func TestChunkedSnapshotTransferUnderLoss(t *testing.T) {
+	c := newChunkCluster(t, 3, 71, 64)
+	leader := c.waitLeader(3 * time.Second)
+	behind, behindID, live := isolateFollower(c, leader)
+	for i := 0; i < 6; i++ {
+		c.proposeAndWait(leader, fmt.Sprintf("cmd-%d", i), 3*time.Second, live...)
+	}
+	snapData := bytes.Repeat([]byte("lossy-transfer-"), 60) // ~900 B, ~15 chunks
+	compactAt := leader.CommitIndex()
+	for _, id := range live {
+		if err := c.nodes[id].Compact(compactAt, snapData); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.net.SetLoss(0.20)
+	defer c.net.SetLoss(0)
+	c.net.Drain(behindID)
+	c.net.SetDown(behindID, false)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for behind.SnapshotIndex() < compactAt {
+		if !time.Now().Before(deadline) {
+			t.Fatalf("follower snapshot index %d, want >= %d (transfer stalled under loss)",
+				behind.SnapshotIndex(), compactAt)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	var install *Committed
+	for _, e := range drainAtLeast(t, behind, 1, 5*time.Second) {
+		if e.Snapshot != nil {
+			e := e
+			install = &e
+			break
+		}
+	}
+	if install == nil || !bytes.Equal(install.Snapshot, snapData) {
+		t.Fatal("snapshot installed under loss does not match the leader's data")
+	}
+}

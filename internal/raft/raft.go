@@ -108,8 +108,9 @@ type AppendReply struct {
 }
 
 // InstallSnapshot ships the leader's state-machine snapshot to a follower
-// whose next needed entry has been compacted away. Single-shot (snapshots
-// here are small enough not to need chunking).
+// whose next needed entry has been compacted away, in a single message —
+// the fast path for snapshots no larger than Config.SnapshotChunkSize.
+// Larger snapshots go through InstallSnapshotChunk.
 type InstallSnapshot struct {
 	Term     uint64
 	Leader   string
@@ -124,12 +125,44 @@ type InstallSnapshotReply struct {
 	Index uint64 // follower's snapshot/commit coverage after handling
 }
 
+// InstallSnapshotChunk ships one contiguous piece of a large snapshot. The
+// follower stages chunks in arrival order (Offset must equal the bytes it
+// already holds) and installs once the buffer reaches Total. A chunk whose
+// Offset does not match is answered with the follower's actual cursor, so a
+// transfer interrupted by loss — or restarted from scratch after a follower
+// crash — resumes from wherever the follower really is instead of the
+// leader's guess.
+type InstallSnapshotChunk struct {
+	Term     uint64
+	Leader   string
+	Index    uint64 // last log index covered by the full snapshot
+	SnapTerm uint64 // term of that entry
+	Offset   uint64 // byte offset of Data within the snapshot
+	Total    uint64 // full snapshot size in bytes
+	Data     []byte
+}
+
+// InstallSnapshotChunkReply acknowledges one chunk. NextOffset is the
+// follower's staging cursor — the byte offset it needs next — and is the
+// resume point the leader continues from. Done reports the snapshot fully
+// installed (NextOffset == Total).
+type InstallSnapshotChunkReply struct {
+	Term       uint64
+	Index      uint64 // snapshot index the transfer is for
+	NextOffset uint64
+	Done       bool
+}
+
 // Config tunes timing. Zero values select defaults suitable for in-process
 // tests (short timeouts).
 type Config struct {
 	ElectionTimeoutMin time.Duration
 	ElectionTimeoutMax time.Duration
 	HeartbeatInterval  time.Duration
+	// SnapshotChunkSize is the largest snapshot shipped as a single
+	// InstallSnapshot message; bigger snapshots stream as offset-addressed
+	// chunks of this size with per-chunk acks and resume (default 256 KiB).
+	SnapshotChunkSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -141,6 +174,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.HeartbeatInterval == 0 {
 		c.HeartbeatInterval = 40 * time.Millisecond
+	}
+	if c.SnapshotChunkSize == 0 {
+		c.SnapshotChunkSize = 256 << 10
 	}
 	return c
 }
@@ -168,6 +204,18 @@ type Node struct {
 	nextIndex   map[string]uint64
 	matchIndex  map[string]uint64
 	leaderHint  string
+
+	// Chunked snapshot transfer state. Leader side: xfers holds, per peer
+	// mid-transfer, the offset of the outstanding (unacked) chunk — the
+	// heartbeat retransmits it, the ack advances it. Follower side: chunkBuf
+	// stages received bytes for the (chunkIndex, chunkTerm, chunkTotal)
+	// transfer; a crash clears it and the mismatch reply rewinds the leader.
+	xfers      map[string]uint64
+	chunkIndex uint64
+	chunkTerm  uint64
+	chunkTotal uint64
+	chunkBuf   []byte
+	chunksSent int64
 
 	storage    Storage
 	persistErr error
@@ -200,6 +248,7 @@ func NewNodeWithTransport(id string, peers []string, tr Transport, cfg Config, s
 		ep: tr, rng: rand.New(rand.NewSource(seed)),
 		role: Follower, votes: map[string]bool{},
 		nextIndex: map[string]uint64{}, matchIndex: map[string]uint64{},
+		xfers:   map[string]uint64{},
 		applyCh: make(chan Committed, 4096),
 		stopCh:  make(chan struct{}),
 	}
@@ -455,6 +504,7 @@ func (n *Node) hasMajorityLocked() bool {
 func (n *Node) becomeLeaderLocked() {
 	n.role = Leader
 	n.leaderHint = n.id
+	n.xfers = map[string]uint64{} // any prior leadership's transfers are void
 	lastIdx, _ := n.lastLogLocked()
 	for _, p := range n.peers {
 		n.nextIndex[p] = lastIdx + 1
@@ -487,11 +537,23 @@ func (n *Node) sendAppendLocked(peer string) {
 	}
 	if next <= n.snap.Index {
 		// The entries the follower needs were compacted away: ship the
-		// snapshot instead and resume appends from its index.
-		n.ep.Send(peer, InstallSnapshot{
-			Term: n.term, Leader: n.id,
-			Index: n.snap.Index, SnapTerm: n.snap.Term, Data: n.snap.Data,
-		})
+		// snapshot instead and resume appends from its index. Small
+		// snapshots go in one message; larger ones stream in chunks from
+		// the per-peer cursor (a heartbeat lands here again and retransmits
+		// the outstanding chunk if its ack was lost).
+		if len(n.snap.Data) <= n.cfg.SnapshotChunkSize {
+			n.ep.Send(peer, InstallSnapshot{
+				Term: n.term, Leader: n.id,
+				Index: n.snap.Index, SnapTerm: n.snap.Term, Data: n.snap.Data,
+			})
+			return
+		}
+		off := n.xfers[peer]
+		if off >= uint64(len(n.snap.Data)) {
+			// Cursor from a transfer of an older snapshot: restart.
+			off = 0
+		}
+		n.sendChunkLocked(peer, off)
 		return
 	}
 	prevIdx := next - 1
@@ -523,6 +585,10 @@ func (n *Node) handle(msg memnet.Message) {
 		n.onInstallSnapshot(msg.From, rpc)
 	case InstallSnapshotReply:
 		n.onInstallSnapshotReply(msg.From, rpc)
+	case InstallSnapshotChunk:
+		n.onInstallSnapshotChunk(msg.From, rpc)
+	case InstallSnapshotChunkReply:
+		n.onInstallSnapshotChunkReply(msg.From, rpc)
 	}
 }
 
@@ -656,26 +722,137 @@ func (n *Node) onInstallSnapshot(from string, rpc InstallSnapshot) {
 		n.ep.Send(from, InstallSnapshotReply{Term: n.term, Index: rpc.Index})
 		return
 	}
-	if n.termAtLocked(rpc.Index) == rpc.SnapTerm && rpc.Index <= n.lastIndexLocked() {
+	if !n.applySnapshotLocked(rpc.Index, rpc.SnapTerm, rpc.Data) {
+		return
+	}
+	n.ep.Send(from, InstallSnapshotReply{Term: n.term, Index: rpc.Index})
+}
+
+// applySnapshotLocked installs a fully received snapshot: retains any
+// matching log suffix, persists, delivers to the application in commit
+// order, and advances the commit index. Shared by the single-shot and
+// chunked paths.
+func (n *Node) applySnapshotLocked(index, snapTerm uint64, data []byte) bool {
+	if n.termAtLocked(index) == snapTerm && index <= n.lastIndexLocked() {
 		// Existing entry matches the snapshot's last entry: retain the
 		// suffix (Raft §7).
-		n.log = append([]Entry(nil), n.log[rpc.Index-n.snap.Index:]...)
+		n.log = append([]Entry(nil), n.log[index-n.snap.Index:]...)
 	} else {
 		n.log = nil
 	}
-	n.snap = Snapshot{Index: rpc.Index, Term: rpc.SnapTerm, Data: rpc.Data}
+	n.snap = Snapshot{Index: index, Term: snapTerm, Data: data}
 	if !n.persistSnapshotLocked() {
-		return
+		return false
 	}
 	// Deliver the snapshot to the application in commit order, then mark
 	// everything it covers committed.
 	select {
-	case n.applyCh <- Committed{Index: rpc.Index, Term: rpc.SnapTerm, Snapshot: rpc.Data}:
+	case n.applyCh <- Committed{Index: index, Term: snapTerm, Snapshot: data}:
 	case <-n.stopCh:
+		return false
+	}
+	n.commitIndex = index
+	return true
+}
+
+// sendChunkLocked transmits the chunk starting at off and records it as the
+// peer's outstanding chunk (the cursor the heartbeat retransmits from).
+func (n *Node) sendChunkLocked(peer string, off uint64) {
+	total := uint64(len(n.snap.Data))
+	end := off + uint64(n.cfg.SnapshotChunkSize)
+	if end > total {
+		end = total
+	}
+	n.xfers[peer] = off
+	n.chunksSent++
+	n.ep.Send(peer, InstallSnapshotChunk{
+		Term: n.term, Leader: n.id,
+		Index: n.snap.Index, SnapTerm: n.snap.Term,
+		Offset: off, Total: total, Data: n.snap.Data[off:end],
+	})
+}
+
+// ChunksSent returns how many snapshot chunks this node has transmitted as
+// leader (observability for tests asserting the chunked path actually ran).
+func (n *Node) ChunksSent() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.chunksSent
+}
+
+func (n *Node) onInstallSnapshotChunk(from string, rpc InstallSnapshotChunk) {
+	if rpc.Term > n.term {
+		n.stepDownLocked(rpc.Term)
+	}
+	if rpc.Term < n.term {
+		n.ep.Send(from, InstallSnapshotChunkReply{Term: n.term, Index: rpc.Index})
 		return
 	}
-	n.commitIndex = rpc.Index
-	n.ep.Send(from, InstallSnapshotReply{Term: n.term, Index: rpc.Index})
+	n.role = Follower
+	n.leaderHint = rpc.Leader
+	n.resetElectionDeadlineLocked()
+	if rpc.Index <= n.commitIndex {
+		// Stale transfer: everything the snapshot covers is already
+		// committed here. Report it complete so the leader moves to appends.
+		n.ep.Send(from, InstallSnapshotChunkReply{
+			Term: n.term, Index: rpc.Index, NextOffset: rpc.Total, Done: true,
+		})
+		return
+	}
+	if n.chunkIndex != rpc.Index || n.chunkTerm != rpc.SnapTerm || n.chunkTotal != rpc.Total {
+		// First chunk of a new transfer (or the leader moved to a newer
+		// snapshot mid-stream): drop any stale staging and start over. A
+		// freshly restarted follower lands here too — its empty buffer makes
+		// the reply below rewind the leader to offset 0.
+		n.chunkIndex, n.chunkTerm, n.chunkTotal = rpc.Index, rpc.SnapTerm, rpc.Total
+		n.chunkBuf = n.chunkBuf[:0]
+	}
+	if have := uint64(len(n.chunkBuf)); rpc.Offset == have && have < rpc.Total {
+		n.chunkBuf = append(n.chunkBuf, rpc.Data...)
+	}
+	// Any other offset is a duplicate or a gap: the reply's NextOffset
+	// (the staging cursor) tells the leader where to resume.
+	if have := uint64(len(n.chunkBuf)); have < rpc.Total {
+		n.ep.Send(from, InstallSnapshotChunkReply{Term: n.term, Index: rpc.Index, NextOffset: have})
+		return
+	}
+	data := append([]byte(nil), n.chunkBuf...)
+	n.chunkBuf, n.chunkIndex, n.chunkTerm, n.chunkTotal = nil, 0, 0, 0
+	if !n.applySnapshotLocked(rpc.Index, rpc.SnapTerm, data) {
+		return
+	}
+	n.ep.Send(from, InstallSnapshotChunkReply{
+		Term: n.term, Index: rpc.Index, NextOffset: rpc.Total, Done: true,
+	})
+}
+
+func (n *Node) onInstallSnapshotChunkReply(from string, rpc InstallSnapshotChunkReply) {
+	if rpc.Term > n.term {
+		n.stepDownLocked(rpc.Term)
+		return
+	}
+	if n.role != Leader || rpc.Term != n.term {
+		return
+	}
+	if rpc.Done {
+		delete(n.xfers, from)
+		if rpc.Index > n.matchIndex[from] {
+			n.matchIndex[from] = rpc.Index
+		}
+		n.nextIndex[from] = n.matchIndex[from] + 1
+		n.advanceCommitLocked()
+		// Continue catch-up with regular appends above the snapshot.
+		n.sendAppendLocked(from)
+		return
+	}
+	if rpc.Index != n.snap.Index {
+		// Ack for a transfer of an older snapshot: restart against the
+		// current one.
+		delete(n.xfers, from)
+		n.sendAppendLocked(from)
+		return
+	}
+	n.sendChunkLocked(from, rpc.NextOffset)
 }
 
 func (n *Node) onInstallSnapshotReply(from string, rpc InstallSnapshotReply) {
@@ -759,5 +936,6 @@ func (n *Node) commitToLocked(idx uint64) {
 // (e.g. tcpnet's gob streams).
 func WireTypes() []any {
 	return []any{RequestVote{}, VoteReply{}, AppendEntries{}, AppendReply{},
-		InstallSnapshot{}, InstallSnapshotReply{}}
+		InstallSnapshot{}, InstallSnapshotReply{},
+		InstallSnapshotChunk{}, InstallSnapshotChunkReply{}}
 }

@@ -20,9 +20,11 @@ import (
 	"fmt"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"prognosticator/internal/engine"
+	"prognosticator/internal/flowctl"
 	"prognosticator/internal/memnet"
 	"prognosticator/internal/raft"
 	"prognosticator/internal/sequencer"
@@ -63,6 +65,10 @@ type Replica struct {
 	lastSnap  uint64 // raft index of the newest taken or installed snapshot
 	snapTaken int
 	installed int // snapshots installed from a leader's InstallSnapshot
+
+	// applyDelay throttles the apply loop (nanoseconds per batch) — the
+	// chaos slow-apply fault: a replica that falls behind without crashing.
+	applyDelay atomic.Int64
 
 	stopCh   chan struct{}
 	stopOnce sync.Once
@@ -143,7 +149,16 @@ func (r *Replica) Stop() {
 	r.wg.Wait()
 }
 
+// SetApplyDelay throttles the apply loop: every batch apply sleeps d first
+// (0 restores full speed). Safe to call while the loop runs.
+func (r *Replica) SetApplyDelay(d time.Duration) {
+	r.applyDelay.Store(int64(d))
+}
+
 func (r *Replica) applyOne(c raft.Committed) error {
+	if d := time.Duration(r.applyDelay.Load()); d > 0 {
+		time.Sleep(d)
+	}
 	if c.Snapshot != nil {
 		return r.installSnapshot(c)
 	}
@@ -319,6 +334,15 @@ func (r *Replica) pruneDedupLocked() {
 		}
 	}
 	r.dedupDirty = false
+}
+
+// AppliedID reports whether a batch with the given idempotency ID has been
+// applied by this replica (and not yet pruned past the dedup watermark).
+func (r *Replica) AppliedID(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.appliedIDs[id]
+	return ok
 }
 
 // LastApplied returns the Raft index of the last applied batch.
@@ -523,6 +547,8 @@ type Cluster struct {
 	idPrefix string // boot nonce making batch IDs unique across cluster lifetimes
 	tcpDir   *tcpnet.Directory
 
+	flow *flowctl.Controller
+
 	mu          sync.Mutex
 	down        []bool
 	generations []int
@@ -530,9 +556,38 @@ type Cluster struct {
 	wlogs       []*wal.Log
 	recoveries  []RecoveryReport
 	batchSeq    uint64
+	applyDelays []time.Duration // reapplied on Restart (slow-apply fault)
+	lossProb    float64         // fault state reapplied to restarted endpoints
+	delayMin    time.Duration
+	delayMax    time.Duration
+
+	// floors tracks, per in-flight or abandoned batch ID, the leader commit
+	// index observed just before its FIRST proposal. By leader completeness
+	// every committed occurrence of that ID sits at an index above its floor,
+	// so min(floors) bounds how far the dedup watermark may advance while
+	// submissions run concurrently (see ackCommit).
+	floorMu sync.Mutex
+	floors  map[string]*submitFloor
 
 	errMu sync.Mutex
 	err   error
+}
+
+// submitFloor is the dedup-safety record for one submitted batch ID.
+type submitFloor struct {
+	// floor is the leader commit index read immediately before the first
+	// proposal: every occurrence of the ID commits strictly above it.
+	floor uint64
+	// maxIdx is the highest raft index any proposal of this ID received.
+	maxIdx uint64
+	// zombie marks an abandoned submission (deadline or budget ran out after
+	// a proposal): the client got an ambiguous error and will not resubmit,
+	// but an occurrence may still commit. The floor must keep holding the
+	// watermark back until the leader's commit index passes maxIdx — beyond
+	// that point no occurrence can newly commit (entries at or below the
+	// commit frontier are final; overwritten proposals can never win), so the
+	// record can be dropped.
+	zombie bool
 }
 
 // ClusterConfig configures NewCluster.
@@ -567,6 +622,17 @@ type ClusterConfig struct {
 	// the right semantics when callers compare all state hashes immediately
 	// after submit.
 	QuorumSubmit bool
+	// Flow is the admission/retry policy enforced on the submit path. The
+	// zero value disables every limit (unbounded queues, unlimited retries),
+	// preserving pre-flow-control behavior; Flow.Seed defaults to Seed so a
+	// seeded cluster has fully deterministic backoff jitter.
+	Flow flowctl.Config
+	// SubmitWindow bounds how long one proposal is waited on before the
+	// batch is re-proposed (idempotently) through the then-current leader
+	// (default 2s). A proposal can be lost without any error signal when its
+	// leader crashes after accepting it but before replicating it; chaos and
+	// slow-apply scenarios tune this down to re-route faster.
+	SubmitWindow time.Duration
 }
 
 // NewCluster assembles and starts an in-process cluster.
@@ -577,10 +643,18 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.NewExecutor == nil {
 		return nil, fmt.Errorf("replica: cluster needs a NewExecutor factory")
 	}
+	if cfg.SubmitWindow == 0 {
+		cfg.SubmitWindow = defaultSubmitWindow
+	}
+	if cfg.Flow.Seed == 0 {
+		cfg.Flow.Seed = cfg.Seed
+	}
 	c := &Cluster{
 		cfg:      cfg,
 		dataDir:  cfg.DataDir,
 		idPrefix: fmt.Sprintf("%x", time.Now().UnixNano()),
+		flow:     flowctl.NewController(cfg.Flow),
+		floors:   map[string]*submitFloor{},
 	}
 	n := cfg.Replicas
 	c.ids = make([]string, n)
@@ -595,6 +669,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	c.storages = make([]*raft.FileStorage, n)
 	c.wlogs = make([]*wal.Log, n)
 	c.recoveries = make([]RecoveryReport, n)
+	c.applyDelays = make([]time.Duration, n)
 	if cfg.TCP {
 		tcpnet.Register(raft.WireTypes()...)
 		c.tcpDir = tcpnet.NewDirectory()
@@ -686,15 +761,24 @@ func (c *Cluster) startNode(i int) error {
 			Compact: node.Compact,
 		})
 	}
+	disp := sequencer.NewDispatcher(node)
+	disp.SetMaxQueue(c.cfg.Flow.MaxQueue)
 	c.mu.Lock()
 	c.Nodes[i] = node
 	c.Replicas[i] = rep
-	c.Dispatchers[i] = sequencer.NewDispatcher(node)
+	c.Dispatchers[i] = disp
 	c.storages[i] = storage
 	c.wlogs[i] = wlog
 	c.recoveries[i] = recovered
+	// A restarted node rejoins with the cluster's standing fault state: the
+	// slow-apply throttle and, over TCP, the per-endpoint loss/delay (memnet
+	// keeps its own state across restarts; a fresh TCP endpoint starts clean).
+	rep.SetApplyDelay(c.applyDelays[i])
 	if c.cfg.TCP {
 		c.Endpoints[i] = ep
+		if c.lossProb > 0 || c.delayMax > 0 {
+			ep.SetFault(c.lossProb, c.delayMin, c.delayMax, c.cfg.Seed+int64(i))
+		}
 	}
 	c.mu.Unlock()
 	return nil
@@ -914,12 +998,82 @@ func (c *Cluster) Stop() {
 	}
 }
 
+// Flow returns the cluster's flow-control controller (admission counters,
+// inflight gauges, breaker state).
+func (c *Cluster) Flow() *flowctl.Controller { return c.flow }
+
+// QueueHighWater returns the deepest any live dispatcher's request queue has
+// been — the overload-soak assertion that the configured bound held.
+func (c *Cluster) QueueHighWater() int {
+	hw := 0
+	for i := range c.ids {
+		if q := c.dispatcher(i).QueueHighWater(); q > hw {
+			hw = q
+		}
+	}
+	return hw
+}
+
+// SetApplyDelay throttles replica i's apply loop (the chaos slow-apply
+// fault; 0 restores full speed). The throttle survives Crash/Restart.
+func (c *Cluster) SetApplyDelay(i int, d time.Duration) {
+	c.mu.Lock()
+	c.applyDelays[i] = d
+	rep := c.Replicas[i]
+	c.mu.Unlock()
+	rep.SetApplyDelay(d)
+}
+
+// SetLoss sets the cluster-wide message-loss probability, on either
+// transport: the memnet fabric, or per-endpoint injection over real TCP
+// sockets. Restarted TCP endpoints rejoin with the standing fault.
+func (c *Cluster) SetLoss(p float64) {
+	c.mu.Lock()
+	c.lossProb = p
+	c.mu.Unlock()
+	c.applyNetFaults()
+}
+
+// SetDelay sets the cluster-wide artificial delivery delay range on either
+// transport (0,0 clears it).
+func (c *Cluster) SetDelay(min, max time.Duration) {
+	c.mu.Lock()
+	c.delayMin, c.delayMax = min, max
+	c.mu.Unlock()
+	c.applyNetFaults()
+}
+
+func (c *Cluster) applyNetFaults() {
+	c.mu.Lock()
+	loss, dmin, dmax := c.lossProb, c.delayMin, c.delayMax
+	var eps []*tcpnet.Endpoint
+	if c.cfg.TCP {
+		eps = make([]*tcpnet.Endpoint, len(c.Endpoints))
+		copy(eps, c.Endpoints)
+	}
+	c.mu.Unlock()
+	if c.Net != nil {
+		c.Net.SetLoss(loss)
+		c.Net.SetDelay(dmin, dmax)
+		return
+	}
+	for i, ep := range eps {
+		if ep != nil && !c.IsDown(i) {
+			ep.SetFault(loss, dmin, dmax, c.cfg.Seed+int64(i))
+		}
+	}
+}
+
 // WaitLeader blocks until some live node is leader, returning its index.
 // When several nodes claim leadership (a stale leader isolated in a minority
 // partition never learns it was deposed), the claimant with the highest term
 // wins — only it can commit.
 func (c *Cluster) WaitLeader(within time.Duration) (int, error) {
-	deadline := time.Now().Add(within)
+	return c.waitLeader(flowctl.After(within))
+}
+
+func (c *Cluster) waitLeader(dl flowctl.Deadline) (int, error) {
+	bo := c.flow.NewBackoff()
 	for {
 		best, bestTerm := -1, uint64(0)
 		for i := range c.ids {
@@ -933,18 +1087,24 @@ func (c *Cluster) WaitLeader(within time.Duration) (int, error) {
 		if best >= 0 {
 			return best, nil
 		}
-		if !time.Now().Before(deadline) {
-			return -1, fmt.Errorf("replica: no leader within %v", within)
+		if err := bo.Sleep(dl); err != nil {
+			return -1, fmt.Errorf("replica: no leader: %w", err)
 		}
-		time.Sleep(5 * time.Millisecond)
 	}
 }
 
-// submitAttemptWindow bounds how long one proposal is waited on before the
-// batch is re-proposed (idempotently) through the then-current leader. A
-// proposal can be lost without any error signal when its leader crashes
-// after accepting it but before replicating it.
-const submitAttemptWindow = 2 * time.Second
+// defaultSubmitWindow is the ClusterConfig.SubmitWindow default: how long
+// one proposal is waited on before the batch is re-proposed (idempotently)
+// through the then-current leader.
+const defaultSubmitWindow = 2 * time.Second
+
+// Request is one submit-path transaction invocation. It is a type alias for
+// the anonymous struct SubmitBatch has always accepted, so existing
+// composite-literal call sites keep compiling unchanged.
+type Request = struct {
+	TxName string
+	Inputs map[string]value.Value
+}
 
 // SubmitBatch routes one batch of requests through the current leader and
 // waits until the replicas have applied it: every live replica by default, a
@@ -954,54 +1114,89 @@ const submitAttemptWindow = 2 * time.Second
 // re-proposed through the new leader: replicas execute the first committed
 // occurrence and skip duplicates. Exactly-once application, at-least-once
 // submission.
-func (c *Cluster) SubmitBatch(reqs []struct {
-	TxName string
-	Inputs map[string]value.Value
-}, within time.Duration) error {
+//
+// The ClusterConfig.Flow policy gates the whole call: admission (inflight
+// limit, rate bucket, circuit breaker) may shed it with an error wrapping
+// flowctl.ErrOverload — shed batches were certainly never proposed or
+// applied — and each re-proposal spends the retry budget. Every wait runs on
+// seeded jittered backoff under the caller's deadline.
+func (c *Cluster) SubmitBatch(reqs []Request, within time.Duration) error {
+	return c.SubmitBatchDeadline(reqs, flowctl.After(within))
+}
+
+// SubmitBatchDeadline is SubmitBatch under an explicit propagated deadline:
+// leader routing, the proposal, and the apply wait all share dl's budget and
+// none waits past it.
+func (c *Cluster) SubmitBatchDeadline(reqs []Request, dl flowctl.Deadline) error {
+	release, err := c.flow.Admit()
+	if err != nil {
+		return fmt.Errorf("replica: submit: %w", err)
+	}
+	defer release()
 	c.mu.Lock()
 	c.batchSeq++
 	id := fmt.Sprintf("%s-%d", c.idPrefix, c.batchSeq)
 	c.mu.Unlock()
-	deadline := time.Now().Add(within)
-	for {
-		li, err := c.WaitLeader(time.Until(deadline))
+	ereqs := make([]engine.Request, len(reqs))
+	for i, r := range reqs {
+		ereqs[i] = engine.Request{TxName: r.TxName, Inputs: r.Inputs}
+	}
+	bo := c.flow.NewBackoff()
+	proposed := false
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if err := c.flow.AllowRetry(); err != nil {
+				c.finishSubmit(id, proposed)
+				return fmt.Errorf("replica: batch %s: %w", id, err)
+			}
+		}
+		li, err := c.waitLeader(dl)
 		if err != nil {
+			c.finishSubmit(id, proposed)
 			return err
 		}
 		d := c.dispatcher(li)
-		for _, r := range reqs {
-			d.Submit(r.TxName, r.Inputs)
-		}
-		idx, err := d.FlushAs(id)
+		// The floor must be on record before the first proposal exists
+		// anywhere: every occurrence of this ID will commit above it.
+		c.registerFloor(id, d.CommitIndex())
+		idx, err := d.ProposeBatch(id, ereqs)
 		if err != nil {
-			// Leadership moved between WaitLeader and Flush: drop this
-			// node's buffer (the batch was never proposed) and re-route.
-			d.Discard()
 			if !errors.Is(err, sequencer.ErrNotLeader) {
+				c.finishSubmit(id, proposed)
 				return err
 			}
-			if time.Now().After(deadline) {
-				return fmt.Errorf("replica: no stable leader within %v", within)
+			// Leadership moved between waitLeader and the proposal: nothing
+			// was proposed on this node; back off and re-route.
+			c.flow.RecordRouteFailure()
+			if serr := bo.Sleep(dl); serr != nil {
+				c.finishSubmit(id, proposed)
+				return fmt.Errorf("replica: batch %s: no stable leader: %w", id, serr)
 			}
-			time.Sleep(5 * time.Millisecond)
 			continue
 		}
-		window := time.Now().Add(submitAttemptWindow)
-		if window.After(deadline) {
-			window = deadline
-		}
-		for time.Now().Before(window) {
+		c.flow.RecordRouteSuccess()
+		proposed = true
+		c.noteProposed(id, idx)
+		bo.Reset() // apply-wait polls restart from the small first steps
+		wdl := dl.Bound(c.cfg.SubmitWindow)
+		for {
 			if err := c.Err(); err != nil {
+				c.finishSubmit(id, proposed)
 				return err
 			}
-			if c.appliedBy(idx) {
-				c.ackWatermark(li)
+			if c.appliedBatch(id) {
+				c.flow.RecordSuccess()
+				c.ackCommit(li, id)
 				return nil
 			}
-			time.Sleep(2 * time.Millisecond)
+			if bo.Sleep(wdl) != nil {
+				break // attempt window over: re-route, or fail at the deadline
+			}
 		}
-		if !time.Now().Before(deadline) {
-			return fmt.Errorf("replica: batch %s (index %d) not applied within %v", id, idx, within)
+		if dl.Expired() {
+			c.finishSubmit(id, proposed)
+			return fmt.Errorf("replica: batch %s (index %d) not applied: %w",
+				id, idx, flowctl.ErrDeadlineExceeded)
 		}
 		// Ambiguous: the proposal may or may not have committed. Re-propose
 		// the same ID through whoever leads now; apply-time dedup makes the
@@ -1009,14 +1204,95 @@ func (c *Cluster) SubmitBatch(reqs []struct {
 	}
 }
 
-// ackWatermark propagates the dedup low-water mark after a batch is
-// acknowledged. SubmitBatch is serial, so at ack time every occurrence of
-// every acknowledged ID sits at an index <= the leader's current commit
-// index (a duplicate proposal from a deposed leader either committed below
-// it or was overwritten and can never commit) — making that commit index a
-// safe prune point for all replicas.
-func (c *Cluster) ackWatermark(leader int) {
-	wm := c.dispatcher(leader).CommitIndex()
+// registerFloor records the pre-proposal commit floor for a batch ID; only
+// the first call per ID sticks (retries keep the original, lower floor).
+func (c *Cluster) registerFloor(id string, commit uint64) {
+	c.floorMu.Lock()
+	defer c.floorMu.Unlock()
+	if _, ok := c.floors[id]; !ok {
+		c.floors[id] = &submitFloor{floor: commit}
+	}
+}
+
+// noteProposed records the raft index a proposal of this ID received.
+func (c *Cluster) noteProposed(id string, idx uint64) {
+	c.floorMu.Lock()
+	defer c.floorMu.Unlock()
+	if f, ok := c.floors[id]; ok && idx > f.maxIdx {
+		f.maxIdx = idx
+	}
+}
+
+// finishSubmit closes out a failed submission's floor. A batch that was
+// never successfully proposed cannot have committed anywhere — its floor is
+// simply dropped (and the shed/lost error already told the caller it was not
+// applied). A batch abandoned after a proposal turns into a zombie floor: it
+// keeps holding the dedup watermark back until the commit frontier passes
+// its last proposed index, after which its committed-occurrence set is final
+// and ackCommit sweeps it.
+func (c *Cluster) finishSubmit(id string, proposed bool) {
+	c.floorMu.Lock()
+	defer c.floorMu.Unlock()
+	f, ok := c.floors[id]
+	if !ok {
+		return
+	}
+	if !proposed || f.maxIdx == 0 {
+		delete(c.floors, id)
+		return
+	}
+	f.zombie = true
+}
+
+// ackCommit propagates the dedup low-water mark after a batch is
+// acknowledged. With concurrent submitters the leader's commit index alone
+// is NOT a safe prune point — another in-flight ID may have committed below
+// it and still get re-proposed above it, and pruning its entry would
+// double-apply the retry. Every occurrence of an in-flight ID commits above
+// that ID's registered floor, so the watermark advances to the minimum of
+// the leader's commit index and every other outstanding floor.
+//
+// An acknowledged or abandoned ID that was proposed more than once may
+// still have a committed occurrence above its first: its floor stays as a
+// zombie until the watermark computed WITHOUT it already covers its last
+// proposed index. Only then is pruning safe — any watermark high enough to
+// drop the ID's first occurrence is then also past its last, so no replica
+// can prune the entry and later meet a committed duplicate.
+func (c *Cluster) ackCommit(leader int, id string) {
+	commit := c.dispatcher(leader).CommitIndex()
+	c.floorMu.Lock()
+	if f, ok := c.floors[id]; ok {
+		f.zombie = true
+	}
+	// An active floor caps the watermark below its ID's first possible
+	// occurrence. A zombie is safe in either direction: watermark at or
+	// below its floor (its entries stay) or at or above its last proposed
+	// index (every occurrence is covered, so the prune cannot strand a
+	// later duplicate). Start from the commit frontier capped by active
+	// floors and lower it until every zombie satisfies one side.
+	wm := commit
+	for _, f := range c.floors {
+		if !f.zombie && f.floor < wm {
+			wm = f.floor
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range c.floors {
+			if f.zombie && f.maxIdx > wm && f.floor < wm {
+				wm = f.floor
+				changed = true
+			}
+		}
+	}
+	// Zombies fully covered by the watermark can never constrain it again:
+	// it only advances from here.
+	for zid, f := range c.floors {
+		if f.zombie && f.maxIdx <= wm {
+			delete(c.floors, zid)
+		}
+	}
+	c.floorMu.Unlock()
 	for i := range c.ids {
 		if c.IsDown(i) {
 			continue
@@ -1025,16 +1301,22 @@ func (c *Cluster) ackWatermark(leader int) {
 	}
 }
 
-// appliedBy reports whether enough replicas have applied entry idx: all live
-// replicas, or a majority of the membership with QuorumSubmit.
-func (c *Cluster) appliedBy(idx uint64) bool {
+/// appliedBatch reports whether enough replicas have applied the batch with
+// the given idempotency ID: all live replicas, or a majority of the
+// membership with QuorumSubmit. The check is by ID, not by raft index — a
+// deposed leader's proposal can be overwritten, letting the apply index
+// sail past the proposal's slot without the batch ever committing. The
+// submitter's own floor keeps the watermark below the ID's first
+// occurrence, so the dedup entry consulted here cannot be pruned while the
+// submit is still in flight.
+func (c *Cluster) appliedBatch(id string) bool {
 	applied, live := 0, 0
 	for i := range c.ids {
 		if c.IsDown(i) {
 			continue
 		}
 		live++
-		if c.replica(i).LastApplied() >= idx {
+		if c.replica(i).AppliedID(id) {
 			applied++
 		}
 	}
@@ -1048,12 +1330,13 @@ func (c *Cluster) appliedBy(idx uint64) bool {
 // leader's current commit index (and a leader exists). After a Restart and a
 // Heal, this is the quiesce point where all state hashes must agree.
 func (c *Cluster) WaitCaughtUp(within time.Duration) error {
-	deadline := time.Now().Add(within)
+	dl := flowctl.After(within)
+	bo := c.flow.NewBackoff()
 	for {
 		if err := c.Err(); err != nil {
 			return err
 		}
-		li, err := c.WaitLeader(time.Until(deadline))
+		li, err := c.waitLeader(dl)
 		if err != nil {
 			return err
 		}
@@ -1071,10 +1354,9 @@ func (c *Cluster) WaitCaughtUp(within time.Duration) error {
 		if done {
 			return nil
 		}
-		if !time.Now().Before(deadline) {
-			return fmt.Errorf("replica: not caught up to index %d within %v", target, within)
+		if err := bo.Sleep(dl); err != nil {
+			return fmt.Errorf("replica: not caught up to index %d within %v: %w", target, within, err)
 		}
-		time.Sleep(5 * time.Millisecond)
 	}
 }
 
@@ -1082,16 +1364,16 @@ func (c *Cluster) WaitCaughtUp(within time.Duration) error {
 // minIndex — the handshake a test (or operator) uses to know the replica's
 // snapshot both exists on disk and has truncated the consensus log.
 func (c *Cluster) WaitSnapshot(i int, minIndex uint64, within time.Duration) error {
-	deadline := time.Now().Add(within)
+	dl := flowctl.After(within)
+	bo := c.flow.NewBackoff()
 	for {
 		if got := c.node(i).SnapshotIndex(); got >= minIndex {
 			return nil
 		}
-		if !time.Now().Before(deadline) {
-			return fmt.Errorf("replica: %s not compacted to %d within %v (at %d)",
-				c.ids[i], minIndex, within, c.node(i).SnapshotIndex())
+		if err := bo.Sleep(dl); err != nil {
+			return fmt.Errorf("replica: %s not compacted to %d within %v (at %d): %w",
+				c.ids[i], minIndex, within, c.node(i).SnapshotIndex(), err)
 		}
-		time.Sleep(5 * time.Millisecond)
 	}
 }
 

@@ -218,6 +218,92 @@ func TestClusterInstallSnapshotCatchUp(t *testing.T) {
 	}
 }
 
+// TestClusterChunkedInstallSnapshotCrashResume is the chunked-transfer
+// acceptance test: with the chunk size forced far below the snapshot size,
+// a far-behind follower is crashed WHILE the leader is streaming chunks to
+// it. After the second restart the transfer must start over from the
+// follower's (empty) cursor, complete, and converge to the leader's state
+// hash.
+func TestClusterChunkedInstallSnapshotCrashResume(t *testing.T) {
+	const every = 4
+	cfg := clusterConfig(t, 3, nil)
+	cfg.DataDir = t.TempDir()
+	cfg.SnapshotEvery = every
+	cfg.Raft.SnapshotChunkSize = 64 // store snapshots run ~0.5-1 KiB
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	submitDeposits(t, c, 0, 2) // victim applies only indices 1-2
+	li, err := c.WaitLeader(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := (li + 1) % c.Size()
+	if err := c.Crash(victim); err != nil {
+		t.Fatal(err)
+	}
+	// Push the survivors past several snapshot intervals so the victim can
+	// only catch up via an InstallSnapshot.
+	submitDeposits(t, c, 2, 12)
+	li2, err := c.WaitLeader(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitSnapshot(li2, 2*every, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	totalChunks := func() int64 {
+		var n int64
+		for i := 0; i < c.Size(); i++ {
+			n += c.Nodes[i].ChunksSent()
+		}
+		return n
+	}
+	// Slow the fabric so the multi-chunk transfer is observable, rejoin the
+	// victim, and crash it again as soon as chunks are in flight.
+	c.SetDelay(1*time.Millisecond, 3*time.Millisecond)
+	if err := c.Restart(victim); err != nil {
+		t.Fatal(err)
+	}
+	started := time.Now()
+	for totalChunks() == 0 {
+		if time.Since(started) > 5*time.Second {
+			t.Fatal("no snapshot chunks sent within 5s of victim rejoin")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := c.Crash(victim); err != nil {
+		t.Fatal(err)
+	}
+	midCrashChunks := totalChunks()
+
+	c.SetDelay(0, 0)
+	if err := c.Restart(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitCaughtUp(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if inst := c.ReplicaAt(victim).SnapshotsInstalled(); inst < 1 {
+		t.Fatalf("victim caught up without InstallSnapshot (installed=%d)", inst)
+	}
+	// The restarted transfer re-streams from the follower's empty cursor, so
+	// more chunks flow after the mid-transfer crash.
+	if got := totalChunks(); got <= midCrashChunks {
+		t.Fatalf("no chunk traffic after mid-transfer crash (before=%d after=%d)", midCrashChunks, got)
+	}
+	if !c.Converged() {
+		t.Fatalf("diverged after crash-resumed chunked install: %v", c.StateHashes())
+	}
+	if c.Err() != nil {
+		t.Fatal(c.Err())
+	}
+}
+
 // tpccClusterConfig builds a tiny TPC-C deployment (1 warehouse, trimmed
 // rows) whose executor factory repopulates the same initial state on every
 // (re)start, as snapshot + WAL recovery requires.

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"prognosticator/internal/engine"
+	"prognosticator/internal/flowctl"
 	"prognosticator/internal/raft"
 	"prognosticator/internal/value"
 )
@@ -101,10 +102,13 @@ func DecodeBatch(c raft.Committed) (Batch, error) {
 // Dispatcher buffers client requests and proposes them as batches through
 // its Raft node. Safe for concurrent use.
 type Dispatcher struct {
-	node    *raft.Node
-	mu      sync.Mutex
-	buf     []engine.Request
-	prewarm func(txName string, inputs map[string]value.Value)
+	node     *raft.Node
+	mu       sync.Mutex
+	buf      []engine.Request
+	maxQueue int // 0 = unbounded
+	queueHW  int
+	shed     int
+	prewarm  func(txName string, inputs map[string]value.Value)
 }
 
 // NewDispatcher returns a dispatcher proposing through node.
@@ -124,15 +128,54 @@ func (d *Dispatcher) SetPrewarm(fn func(txName string, inputs map[string]value.V
 	d.prewarm = fn
 }
 
-// Submit buffers one request for the next batch.
-func (d *Dispatcher) Submit(txName string, inputs map[string]value.Value) {
+// SetMaxQueue bounds the buffered request queue: a Submit that would push the
+// depth past n sheds with flowctl.ErrOverload instead of growing the buffer
+// (0 restores the unbounded default). The bound is what keeps a stalled
+// leader from turning into unbounded dispatcher memory under sustained
+// submit pressure.
+func (d *Dispatcher) SetMaxQueue(n int) {
 	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.maxQueue = n
+}
+
+// QueueHighWater returns the deepest the request queue has ever been — the
+// soak assertion that the configured bound actually held.
+func (d *Dispatcher) QueueHighWater() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.queueHW
+}
+
+// Shed returns how many Submits were rejected by the queue bound.
+func (d *Dispatcher) Shed() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.shed
+}
+
+// Submit buffers one request for the next batch. With a queue bound set it
+// sheds deterministically — the request is rejected with an error wrapping
+// flowctl.ErrOverload, never queued — once the buffer is full. The error
+// may be ignored by callers running without a bound (the zero-config
+// dispatcher never sheds).
+func (d *Dispatcher) Submit(txName string, inputs map[string]value.Value) error {
+	d.mu.Lock()
+	if d.maxQueue > 0 && len(d.buf) >= d.maxQueue {
+		d.shed++
+		d.mu.Unlock()
+		return fmt.Errorf("%w: dispatcher queue full (%d buffered)", flowctl.ErrOverload, d.maxQueue)
+	}
 	fn := d.prewarm
 	d.buf = append(d.buf, engine.Request{TxName: txName, Inputs: inputs})
+	if len(d.buf) > d.queueHW {
+		d.queueHW = len(d.buf)
+	}
 	d.mu.Unlock()
 	if fn != nil {
 		fn(txName, inputs)
 	}
+	return nil
 }
 
 // Discard drops any buffered requests (used when a caller re-routes a
@@ -183,5 +226,31 @@ func (d *Dispatcher) FlushAs(id string) (uint64, error) {
 		return 0, fmt.Errorf("%w (hint: %s)", ErrNotLeader, d.node.LeaderHint())
 	}
 	d.buf = d.buf[:0]
+	return idx, nil
+}
+
+// ProposeBatch proposes reqs as one batch with the given idempotency ID,
+// bypassing the shared buffer entirely: the batch is encoded and handed to
+// Raft in a single step, so concurrent submitters can never interleave their
+// requests into each other's batches (Submit+FlushAs is only batch-atomic
+// for a serial caller). The prewarm hook still runs for every request. On
+// ErrNotLeader nothing is retained — the caller re-routes and re-proposes.
+func (d *Dispatcher) ProposeBatch(id string, reqs []engine.Request) (uint64, error) {
+	d.mu.Lock()
+	fn := d.prewarm
+	d.mu.Unlock()
+	if fn != nil {
+		for _, r := range reqs {
+			fn(r.TxName, r.Inputs)
+		}
+	}
+	data, err := EncodeBatchID(id, reqs)
+	if err != nil {
+		return 0, err
+	}
+	idx, _, ok := d.node.Propose(data)
+	if !ok {
+		return 0, fmt.Errorf("%w (hint: %s)", ErrNotLeader, d.node.LeaderHint())
+	}
 	return idx, nil
 }

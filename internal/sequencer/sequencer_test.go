@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"prognosticator/internal/engine"
+	"prognosticator/internal/flowctl"
 	"prognosticator/internal/memnet"
 	"prognosticator/internal/raft"
 	"prognosticator/internal/value"
@@ -117,6 +118,46 @@ func TestDispatcherFlushThroughRaft(t *testing.T) {
 		}
 	case <-time.After(2 * time.Second):
 		t.Fatal("batch never committed")
+	}
+}
+
+// TestDispatcherQueueShedding pins the bounded-queue admission behavior:
+// with SetMaxQueue the dispatcher sheds (never queues) excess submits with
+// an error wrapping flowctl.ErrOverload, the high-water mark stops at the
+// bound, and draining the buffer re-opens admission.
+func TestDispatcherQueueShedding(t *testing.T) {
+	d := NewDispatcher(nil)
+	d.SetMaxQueue(3)
+	for i := 0; i < 3; i++ {
+		if err := d.Submit("tx", nil); err != nil {
+			t.Fatalf("submit %d under the bound rejected: %v", i, err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		err := d.Submit("tx", nil)
+		if !errors.Is(err, flowctl.ErrOverload) {
+			t.Fatalf("over-bound submit error = %v, want flowctl.ErrOverload", err)
+		}
+	}
+	if d.Pending() != 3 {
+		t.Fatalf("pending = %d, want 3 (shed submits must not be queued)", d.Pending())
+	}
+	if hw := d.QueueHighWater(); hw != 3 {
+		t.Fatalf("queue high water = %d, want 3", hw)
+	}
+	if shed := d.Shed(); shed != 2 {
+		t.Fatalf("shed = %d, want 2", shed)
+	}
+	d.Discard()
+	if err := d.Submit("tx", nil); err != nil {
+		t.Fatalf("submit after discard rejected: %v", err)
+	}
+	// Unlimited by default: a zero bound never sheds.
+	u := NewDispatcher(nil)
+	for i := 0; i < 64; i++ {
+		if err := u.Submit("tx", nil); err != nil {
+			t.Fatalf("unbounded submit %d rejected: %v", i, err)
+		}
 	}
 }
 

@@ -11,8 +11,10 @@ package tcpnet
 import (
 	"encoding/gob"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 
 	"prognosticator/internal/memnet"
 )
@@ -53,6 +55,18 @@ func (d *Directory) Lookup(name string) (string, bool) {
 	return a, ok
 }
 
+// Stats counts one endpoint's send-path outcomes. Sent + DroppedLoss equals
+// the Send calls that passed the closed/lookup checks; InboxOverflow counts
+// inbound messages dropped because the receive queue was full — the
+// backpressure signal a soak asserts stays at zero (or is at least bounded)
+// under admission control.
+type Stats struct {
+	Sent          int64
+	DroppedLoss   int64
+	Delayed       int64
+	InboxOverflow int64
+}
+
 // Endpoint is one TCP-backed transport endpoint. It implements
 // raft.Transport.
 type Endpoint struct {
@@ -66,6 +80,15 @@ type Endpoint struct {
 	conns    []net.Conn
 	closed   bool
 	wg       sync.WaitGroup
+
+	// Injected fault state (chaos over real sockets): outbound messages are
+	// dropped with probability lossProb and delayed uniformly in
+	// [delayMin, delayMax], driven by a seeded rng for reproducible runs.
+	lossProb float64
+	delayMin time.Duration
+	delayMax time.Duration
+	rng      *rand.Rand
+	stats    Stats
 }
 
 // Listen binds a new endpoint on addr ("127.0.0.1:0" for an ephemeral port)
@@ -92,24 +115,78 @@ func (e *Endpoint) Addr() string { return e.ln.Addr().String() }
 // Inbox implements raft.Transport.
 func (e *Endpoint) Inbox() <-chan memnet.Message { return e.inbox }
 
+// SetFault configures injected loss and delay on this endpoint's outbound
+// path (chaos testing over real sockets; memnet has the equivalent fabric-
+// wide switches). loss is a drop probability in [0,1]; deliveries are
+// delayed uniformly in [min, max] when max > 0. The seed makes the fault
+// pattern reproducible; SetFault(0, 0, 0, 0) clears all faults.
+func (e *Endpoint) SetFault(loss float64, min, max time.Duration, seed int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.lossProb = loss
+	e.delayMin, e.delayMax = min, max
+	if loss > 0 || max > 0 {
+		e.rng = rand.New(rand.NewSource(seed))
+	} else {
+		e.rng = nil
+	}
+}
+
+// Stats returns a snapshot of this endpoint's send/receive outcome counters.
+func (e *Endpoint) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
 // Send implements raft.Transport: best-effort datagram semantics (dial on
-// demand, drop on any error — Raft tolerates loss).
+// demand, drop on any error — Raft tolerates loss). Injected faults
+// (SetFault) apply before the socket write: lost messages are never encoded,
+// delayed messages are written from a timer goroutine.
 func (e *Endpoint) Send(to string, payload any) {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
 		return
 	}
+	if e.rng != nil {
+		if e.lossProb > 0 && e.rng.Float64() < e.lossProb {
+			e.stats.DroppedLoss++
+			e.mu.Unlock()
+			return
+		}
+		if e.delayMax > 0 {
+			d := e.delayMin + time.Duration(e.rng.Int63n(int64(e.delayMax-e.delayMin)+1))
+			e.stats.Delayed++
+			e.mu.Unlock()
+			time.AfterFunc(d, func() { e.sendNow(to, payload) })
+			return
+		}
+	}
+	e.sendLocked(to, payload)
+	e.mu.Unlock()
+}
+
+// sendNow is the delayed-delivery path: re-checks closed under the lock.
+func (e *Endpoint) sendNow(to string, payload any) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	e.sendLocked(to, payload)
+}
+
+// sendLocked writes one message to the wire; e.mu must be held.
+func (e *Endpoint) sendLocked(to string, payload any) {
 	enc, ok := e.outgoing[to]
 	if !ok {
 		addr, found := e.dir.Lookup(to)
 		if !found {
-			e.mu.Unlock()
 			return
 		}
 		conn, err := net.Dial("tcp", addr)
 		if err != nil {
-			e.mu.Unlock()
 			return
 		}
 		enc = gob.NewEncoder(conn)
@@ -120,8 +197,9 @@ func (e *Endpoint) Send(to string, payload any) {
 	if err := enc.Encode(&msg); err != nil {
 		// Connection broken: forget it so the next Send re-dials.
 		delete(e.outgoing, to)
+		return
 	}
-	e.mu.Unlock()
+	e.stats.Sent++
 }
 
 // Close shuts the endpoint down.
@@ -173,7 +251,12 @@ func (e *Endpoint) readLoop(conn net.Conn) {
 		case e.inbox <- msg:
 		default:
 			// Full inbox drops, like memnet: transports are lossy by
-			// contract and Raft retries.
+			// contract and Raft retries. The counter is the backpressure
+			// signal — a soak asserts it stays bounded under admission
+			// control.
+			e.mu.Lock()
+			e.stats.InboxOverflow++
+			e.mu.Unlock()
 		}
 	}
 }

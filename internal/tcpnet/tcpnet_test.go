@@ -54,6 +54,105 @@ func TestSendReceiveOverTCP(t *testing.T) {
 	}
 }
 
+// TestSetFaultLossAndDelay pins the injected-fault hooks: full loss drops
+// every send before it reaches a socket, injected delay still delivers, and
+// clearing faults restores immediate delivery. The counters attribute every
+// outcome.
+func TestSetFaultLossAndDelay(t *testing.T) {
+	dir := NewDirectory()
+	a, err := Listen("a", "127.0.0.1:0", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Listen("b", "127.0.0.1:0", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	// Certain loss: nothing arrives, every send is counted as dropped.
+	a.SetFault(1.0, 0, 0, 7)
+	for i := 0; i < 5; i++ {
+		a.Send("b", ping{N: i})
+	}
+	if _, ok := recvWithin(t, b, 100*time.Millisecond); ok {
+		t.Fatal("message delivered despite loss probability 1.0")
+	}
+	if st := a.Stats(); st.DroppedLoss != 5 || st.Sent != 0 {
+		t.Fatalf("stats after full loss = %+v, want 5 dropped, 0 sent", st)
+	}
+
+	// Delay only: the message arrives after the injected latency.
+	a.SetFault(0, 5*time.Millisecond, 10*time.Millisecond, 7)
+	start := time.Now()
+	a.Send("b", ping{N: 99})
+	got, ok := recvWithin(t, b, 2*time.Second)
+	if !ok || got.(ping).N != 99 {
+		t.Fatalf("delayed message = %#v, %v", got, ok)
+	}
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Fatalf("delivered in %v, want >= 5ms injected delay", elapsed)
+	}
+	if st := a.Stats(); st.Delayed != 1 || st.Sent != 1 {
+		t.Fatalf("stats after delay = %+v, want 1 delayed, 1 sent", st)
+	}
+
+	// Cleared: back to immediate delivery, counters unchanged.
+	a.SetFault(0, 0, 0, 0)
+	a.Send("b", ping{N: 100})
+	if got, ok := recvWithin(t, b, 2*time.Second); !ok || got.(ping).N != 100 {
+		t.Fatalf("post-clear message = %#v, %v", got, ok)
+	}
+	if st := a.Stats(); st.DroppedLoss != 5 || st.Delayed != 1 || st.Sent != 2 {
+		t.Fatalf("final stats = %+v", st)
+	}
+}
+
+// TestSetFaultSeededLossDeterministic pins that the same seed yields the
+// same drop pattern, so chaos runs over real sockets replay identically.
+func TestSetFaultSeededLossDeterministic(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		dir := NewDirectory()
+		a, err := Listen("a", "127.0.0.1:0", dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer a.Close()
+		b, err := Listen("b", "127.0.0.1:0", dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer b.Close()
+		a.SetFault(0.5, 0, 0, seed)
+		var out []bool
+		last := int64(0)
+		for i := 0; i < 16; i++ {
+			a.Send("b", ping{N: i})
+			st := a.Stats()
+			out = append(out, st.DroppedLoss > last)
+			last = st.DroppedLoss
+		}
+		return out
+	}
+	p1, p2 := pattern(42), pattern(42)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("drop patterns diverge at send %d under the same seed", i)
+		}
+	}
+	diff := false
+	for i, v := range pattern(43) {
+		if v != p1[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical drop patterns (rng not seeded?)")
+	}
+}
+
 func TestSendToUnknownPeerDropped(t *testing.T) {
 	dir := NewDirectory()
 	a, err := Listen("a", "127.0.0.1:0", dir)
