@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"prognosticator/internal/vclock"
 	"sync"
 	"testing"
 	"time"
@@ -120,7 +121,7 @@ func (h *overloadHarness) finalBatch(rng *rand.Rand) {
 		if !errors.Is(err, flowctl.ErrOverload) || !time.Now().Before(deadline) {
 			h.t.Fatalf("final batch not admitted: %v", err)
 		}
-		time.Sleep(20 * time.Millisecond)
+		vclock.Wall.Sleep(20 * time.Millisecond)
 	}
 }
 
@@ -236,7 +237,7 @@ func TestOverloadSoak(t *testing.T) {
 		defer close(stepDone)
 		stepRng := rand.New(rand.NewSource(seed * 17))
 		for i := 0; i < in.Steps(); i++ {
-			time.Sleep(time.Duration(10+stepRng.Intn(30)) * time.Millisecond)
+			vclock.Wall.Sleep(time.Duration(10+stepRng.Intn(30)) * time.Millisecond)
 			if err := in.Step(i); err != nil {
 				t.Errorf("chaos step %d: %v", i, err)
 			}
@@ -250,7 +251,7 @@ func TestOverloadSoak(t *testing.T) {
 			rng := rand.New(rand.NewSource(seed*100 + int64(w)))
 			for a := 0; a < attempts; a++ {
 				h.submitOne(depositBatch(rng, 8), 60*time.Second)
-				time.Sleep(time.Duration(rng.Intn(8)) * time.Millisecond)
+				vclock.Wall.Sleep(time.Duration(rng.Intn(8)) * time.Millisecond)
 			}
 		}(w)
 	}
@@ -362,7 +363,7 @@ func overloadPropertyRun(t *testing.T, seed int64) {
 		defer close(stepDone)
 		stepRng := rand.New(rand.NewSource(seed * 17))
 		for i := 0; i < in.Steps(); i++ {
-			time.Sleep(time.Duration(5+stepRng.Intn(15)) * time.Millisecond)
+			vclock.Wall.Sleep(time.Duration(5+stepRng.Intn(15)) * time.Millisecond)
 			if err := in.Step(i); err != nil {
 				t.Errorf("chaos step %d: %v", i, err)
 			}
@@ -376,7 +377,7 @@ func overloadPropertyRun(t *testing.T, seed int64) {
 			rng := rand.New(rand.NewSource(seed*100 + int64(w)))
 			for a := 0; a < 10; a++ {
 				h.submitOne(depositBatch(rng, 6), 60*time.Second)
-				time.Sleep(time.Duration(rng.Intn(6)) * time.Millisecond)
+				vclock.Wall.Sleep(time.Duration(rng.Intn(6)) * time.Millisecond)
 			}
 		}(w)
 	}

@@ -3,6 +3,7 @@ package chaos
 import (
 	"math/rand"
 	"os"
+	"prognosticator/internal/vclock"
 	"strconv"
 	"sync"
 	"testing"
@@ -51,7 +52,15 @@ func bankRegistry(t testing.TB) *engine.Registry {
 			lang.PutS("ACC", lang.Key(lang.P("dst")), lang.L("d")),
 		},
 	}
-	reg, err := engine.NewRegistry(schema, deposit, transfer)
+	audit := &lang.Program{
+		Name:   "audit",
+		Params: []lang.Param{lang.IntParam("k", 0, soakAccounts-1)},
+		Body: []lang.Stmt{
+			lang.GetS("a", "ACC", lang.P("k")),
+			lang.EmitS("bal", lang.Fld(lang.L("a"), "bal")),
+		},
+	}
+	reg, err := engine.NewRegistry(schema, deposit, transfer, audit)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +210,7 @@ func soakRun(t *testing.T, tcp bool) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				time.Sleep(delay)
+				vclock.Wall.Sleep(delay)
 				if err := in.Step(i); err != nil {
 					t.Errorf("chaos step %d: %v", i, err)
 				}

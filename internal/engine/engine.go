@@ -284,9 +284,19 @@ func (e *Engine) executeRound(txs []*txRuntime, writer *store.WriteView) ([]*txR
 // client).
 func (e *Engine) execROT(tx *txRuntime, snap *store.ReadView) error {
 	t0 := time.Now()
-	resu, err := lang.Run(tx.prog, tx.req.Inputs, snap)
+	var kv lang.KV = snap
+	var ov *Overlay
+	if e.cfg.RecordFootprints {
+		ov = NewOverlay(snap)
+		ov.Record()
+		kv = ov
+	}
+	resu, err := lang.Run(tx.prog, tx.req.Inputs, kv)
 	if err != nil {
 		return fmt.Errorf("engine: ROT %s(seq %d): %w", tx.req.TxName, tx.req.Seq, err)
+	}
+	if ov != nil {
+		tx.out.ReadSet, _ = ov.Footprints()
 	}
 	tx.lastReads, tx.lastWrites = len(resu.Reads), 0
 	tx.out.Emitted = resu.Emitted
@@ -396,6 +406,9 @@ func (e *Engine) execUpdate(tx *txRuntime, writer *store.WriteView) (bool, error
 	}
 	ov := NewOverlay(writer)
 	ov.Guard(tx.ks.Reads, tx.ks.Writes)
+	if e.cfg.RecordFootprints {
+		ov.Record()
+	}
 	resu, err := lang.Run(tx.prog, tx.req.Inputs, ov)
 	if err != nil {
 		return false, fmt.Errorf("engine: execute %s(seq %d): %w", tx.req.TxName, tx.req.Seq, err)
@@ -406,6 +419,9 @@ func (e *Engine) execUpdate(tx *txRuntime, writer *store.WriteView) (bool, error
 		return false, nil
 	}
 	ov.Flush(writer)
+	if e.cfg.RecordFootprints {
+		tx.out.ReadSet, tx.out.WriteSet = ov.Footprints()
+	}
 	tx.out.Emitted = resu.Emitted
 	tx.out.Done = time.Now()
 	return true, nil
@@ -416,12 +432,18 @@ func (e *Engine) execUpdate(tx *txRuntime, writer *store.WriteView) (bool, error
 func (e *Engine) execDirect(tx *txRuntime, writer *store.WriteView) error {
 	t0 := time.Now()
 	ov := NewOverlay(writer)
+	if e.cfg.RecordFootprints {
+		ov.Record()
+	}
 	resu, err := lang.Run(tx.prog, tx.req.Inputs, ov)
 	if err != nil {
 		return fmt.Errorf("engine: sequential re-exec %s(seq %d): %w", tx.req.TxName, tx.req.Seq, err)
 	}
 	tx.lastReads, tx.lastWrites = len(resu.Reads), len(resu.Writes)
 	ov.Flush(writer)
+	if e.cfg.RecordFootprints {
+		tx.out.ReadSet, tx.out.WriteSet = ov.Footprints()
+	}
 	tx.out.Emitted = resu.Emitted
 	tx.out.Exec += time.Since(t0)
 	tx.out.Done = time.Now()

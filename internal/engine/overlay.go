@@ -1,6 +1,9 @@
 package engine
 
 import (
+	"fmt"
+	"hash/fnv"
+
 	"prognosticator/internal/lang"
 	"prognosticator/internal/store"
 	"prognosticator/internal/value"
@@ -22,6 +25,15 @@ type Overlay struct {
 	allowedRead  map[value.Encoded]bool
 	allowedWrite map[value.Encoded]bool
 	violated     bool
+	// rec, when non-nil, logs the first base read of each key (reads served
+	// from the transaction's own buffered writes are not observations of
+	// committed state and are skipped).
+	rec *footprintRecorder
+}
+
+type footprintRecorder struct {
+	seen  map[value.Encoded]bool
+	reads []Access
 }
 
 type overlayWrite struct {
@@ -70,7 +82,50 @@ func (o *Overlay) Get(k value.Key) (value.Value, bool) {
 		}
 		return w.val, true
 	}
-	return o.base.Get(k)
+	v, ok := o.base.Get(k)
+	if o.rec != nil && !o.rec.seen[e] {
+		o.rec.seen[e] = true
+		a := Access{Key: string(e)}
+		if ok {
+			a.Val = Fingerprint(v)
+		}
+		o.rec.reads = append(o.rec.reads, a)
+	}
+	return v, ok
+}
+
+// Record enables footprint logging: the first base read of every key and, at
+// Footprints time, the final buffered write per key.
+func (o *Overlay) Record() {
+	o.rec = &footprintRecorder{seen: map[value.Encoded]bool{}}
+}
+
+// Footprints returns the recorded read observations (first read per key, in
+// read order) and the final write per key (in first-write order). Both nil
+// unless Record was called.
+func (o *Overlay) Footprints() (reads, writes []Access) {
+	if o.rec == nil {
+		return nil, nil
+	}
+	writes = make([]Access, 0, len(o.order))
+	for _, e := range o.order {
+		w := o.writes[e]
+		a := Access{Key: string(e)}
+		if !w.deleted {
+			a.Val = Fingerprint(w.val)
+		}
+		writes = append(writes, a)
+	}
+	return o.rec.reads, writes
+}
+
+// Fingerprint returns a short stable fingerprint of a value, used to match a
+// read observation to the write that produced it without retaining whole
+// values in recorded histories.
+func Fingerprint(v value.Value) string {
+	h := fnv.New64a()
+	fmt.Fprint(h, v.String())
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // Put implements lang.KV.

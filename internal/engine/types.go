@@ -104,6 +104,12 @@ type Config struct {
 	// cache never goes stale; a dispatcher-side prewarmer (see
 	// Registry.DirectPrewarmer) can populate it before batches arrive.
 	DirectMemo *profile.DirectMemo
+	// RecordFootprints makes every committed execution record its observed
+	// read footprint and final write footprint (key → value fingerprint)
+	// into TxOutcome.ReadSet/WriteSet — the raw material for the
+	// serializability history checker (internal/history). Off by default:
+	// recording allocates per transaction.
+	RecordFootprints bool
 }
 
 // VariantName renders the configuration the way the paper labels it, e.g.
@@ -156,6 +162,21 @@ type TxOutcome struct {
 	// the batch start; set only by the virtual-time simulator (sim.go),
 	// which models an N-core replica on whatever host runs it.
 	VDone time.Duration
+	// ReadSet and WriteSet are the committed execution's observed read
+	// footprint (first read per key, before any own write) and final write
+	// footprint, recorded only with Config.RecordFootprints. Values are
+	// fingerprints (see Fingerprint); an empty Val is a not-found read or a
+	// delete.
+	ReadSet  []Access
+	WriteSet []Access
+}
+
+// Access is one recorded key access: the encoded key and a fingerprint of
+// the value observed (reads) or produced (writes). An empty Val marks a
+// not-found read or a deleting write.
+type Access struct {
+	Key string
+	Val string
 }
 
 // BatchResult is the outcome of executing one ordered batch.

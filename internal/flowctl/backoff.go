@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"prognosticator/internal/vclock"
 )
 
 // BackoffConfig tunes a jittered exponential backoff. Zero values select
@@ -43,15 +45,24 @@ func (c BackoffConfig) withDefaults() BackoffConfig {
 // instances (see Controller.NewBackoff). Safe for concurrent use anyway.
 type Backoff struct {
 	cfg BackoffConfig
+	clk vclock.Clock
 
 	mu      sync.Mutex
 	rng     *rand.Rand
 	attempt int
 }
 
-// NewBackoff returns a backoff seeded for reproducible jitter.
+// NewBackoff returns a backoff seeded for reproducible jitter, sleeping on
+// the wall clock.
 func NewBackoff(cfg BackoffConfig, seed int64) *Backoff {
-	return &Backoff{cfg: cfg.withDefaults(), rng: rand.New(rand.NewSource(seed))}
+	return NewBackoffClock(cfg, seed, vclock.Wall)
+}
+
+// NewBackoffClock returns a backoff seeded for reproducible jitter that
+// sleeps on clk — on a simulated clock every Sleep is a virtual wait, so
+// retry loops replay bit-identically from the seed.
+func NewBackoffClock(cfg BackoffConfig, seed int64, clk vclock.Clock) *Backoff {
+	return &Backoff{cfg: cfg.withDefaults(), clk: vclock.Or(clk), rng: rand.New(rand.NewSource(seed))}
 }
 
 // Next returns the next wait duration: exponential growth capped at Cap, with
@@ -107,7 +118,7 @@ func (b *Backoff) Sleep(dl Deadline) error {
 	if d > rem {
 		d = rem
 	}
-	time.Sleep(d)
+	b.clk.Sleep(d)
 	return nil
 }
 
@@ -187,7 +198,7 @@ func (s BreakerState) String() string {
 type Breaker struct {
 	threshold int
 	cooldown  time.Duration
-	now       func() time.Time
+	clk       vclock.Clock
 
 	mu          sync.Mutex
 	state       BreakerState
@@ -197,12 +208,11 @@ type Breaker struct {
 	trips       int64
 }
 
-// NewBreaker returns a closed breaker. now may be nil (time.Now).
-func NewBreaker(threshold int, cooldown time.Duration, now func() time.Time) *Breaker {
-	if now == nil {
-		now = time.Now
-	}
-	return &Breaker{threshold: threshold, cooldown: cooldown, now: now}
+// NewBreaker returns a closed breaker reading clk for its cooldown (nil =
+// wall clock). The half-open probe decision is a pure function of clk's
+// time, so breaker behavior replays exactly on a simulated clock.
+func NewBreaker(threshold int, cooldown time.Duration, clk vclock.Clock) *Breaker {
+	return &Breaker{threshold: threshold, cooldown: cooldown, clk: vclock.Or(clk)}
 }
 
 // Allow reports whether a request may proceed: nil when closed, nil for the
@@ -214,7 +224,7 @@ func (b *Breaker) Allow() error {
 	case Closed:
 		return nil
 	case Open:
-		if b.now().Sub(b.openedAt) >= b.cooldown {
+		if b.clk.Since(b.openedAt) >= b.cooldown {
 			b.state = HalfOpen
 			b.probing = true
 			return nil
@@ -247,14 +257,14 @@ func (b *Breaker) Failure() bool {
 	b.consecutive++
 	if b.state == HalfOpen {
 		b.state = Open
-		b.openedAt = b.now()
+		b.openedAt = b.clk.Now()
 		b.probing = false
 		b.trips++
 		return true
 	}
 	if b.state == Closed && b.consecutive >= b.threshold {
 		b.state = Open
-		b.openedAt = b.now()
+		b.openedAt = b.clk.Now()
 		b.trips++
 		return true
 	}

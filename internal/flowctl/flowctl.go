@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"prognosticator/internal/metrics"
+	"prognosticator/internal/vclock"
 )
 
 // Typed shed/loss errors. Callers match with errors.Is.
@@ -84,8 +85,10 @@ type Config struct {
 	// Seed drives backoff jitter; per-use Backoff instances derive distinct
 	// deterministic seeds from it.
 	Seed int64
-	// Now overrides the clock (tests). Nil uses time.Now.
-	Now func() time.Time
+	// Clock is the time source for the token bucket, breaker cooldown, and
+	// backoff sleeps. Nil uses the wall clock; a vclock.Sim clock makes every
+	// admission decision a pure function of (seed, virtual time).
+	Clock vclock.Clock
 }
 
 // Controller enforces one deployment's admission and retry policy. All
@@ -120,20 +123,18 @@ func NewController(cfg Config) *Controller {
 	if cfg.BreakerCooldown == 0 {
 		cfg.BreakerCooldown = 250 * time.Millisecond
 	}
-	if cfg.Now == nil {
-		cfg.Now = time.Now
-	}
+	cfg.Clock = vclock.Or(cfg.Clock)
 	c := &Controller{
 		cfg:      cfg,
 		counters: metrics.NewCounterSet(),
 		tokens:   cfg.SubmitBurst,
 	}
-	c.lastRefill = cfg.Now()
+	c.lastRefill = cfg.Clock.Now()
 	if cfg.RetryBudget > 0 {
 		c.budget = NewRetryBudget(cfg.RetryBudget, cfg.RetryRatio)
 	}
 	if cfg.BreakerThreshold > 0 {
-		c.breaker = NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Now)
+		c.breaker = NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Clock)
 	}
 	return c
 }
@@ -201,7 +202,7 @@ func (c *Controller) Admit() (release func(), err error) {
 // takeTokenLocked refills the token bucket from the clock and withdraws one
 // token, reporting whether one was available.
 func (c *Controller) takeTokenLocked() bool {
-	now := c.cfg.Now()
+	now := c.cfg.Clock.Now()
 	if elapsed := now.Sub(c.lastRefill); elapsed > 0 {
 		c.tokens += elapsed.Seconds() * c.cfg.SubmitRate
 		if c.tokens > c.cfg.SubmitBurst {
@@ -245,7 +246,7 @@ func (c *Controller) NewBackoff() *Backoff {
 		return NewBackoff(BackoffConfig{}, 1)
 	}
 	ord := c.seedCtr.Add(1)
-	return NewBackoff(c.cfg.Backoff, c.cfg.Seed+ord*2654435761)
+	return NewBackoffClock(c.cfg.Backoff, c.cfg.Seed+ord*2654435761, c.cfg.Clock)
 }
 
 // AllowRetry withdraws one retry token, returning ErrRetryBudgetExhausted if

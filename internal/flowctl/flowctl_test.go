@@ -1,7 +1,11 @@
 package flowctl
 
 import (
+	"prognosticator/internal/vclock"
+
 	"errors"
+	"fmt"
+	"strings"
 	"testing"
 	"time"
 )
@@ -191,9 +195,11 @@ func TestInflightLimit(t *testing.T) {
 }
 
 func TestRateLimitFakeClock(t *testing.T) {
-	now := time.Unix(1000, 0)
-	clock := func() time.Time { return now }
-	c := NewController(Config{SubmitRate: 10, SubmitBurst: 2, Now: clock})
+	sim := vclock.NewSim(1)
+	clk := sim.Clock()
+	vclock.Hold(clk)
+	defer vclock.Release(clk)
+	c := NewController(Config{SubmitRate: 10, SubmitBurst: 2, Clock: clk})
 	// Burst of 2 admits, third sheds.
 	for i := 0; i < 2; i++ {
 		rel, err := c.Admit()
@@ -206,7 +212,7 @@ func TestRateLimitFakeClock(t *testing.T) {
 		t.Fatalf("over-burst Admit = %v, want ErrOverload", err)
 	}
 	// 100ms at 10/s refills exactly one token.
-	now = now.Add(100 * time.Millisecond)
+	clk.Sleep(100 * time.Millisecond)
 	rel, err := c.Admit()
 	if err != nil {
 		t.Fatalf("post-refill Admit = %v", err)
@@ -216,7 +222,7 @@ func TestRateLimitFakeClock(t *testing.T) {
 		t.Fatal("second post-refill Admit admitted")
 	}
 	// A long idle caps the bucket at burst, not rate*elapsed.
-	now = now.Add(time.Hour)
+	clk.Sleep(time.Hour)
 	for i := 0; i < 2; i++ {
 		rel, err := c.Admit()
 		if err != nil {
@@ -269,9 +275,11 @@ func TestRetryBudget(t *testing.T) {
 }
 
 func TestBreakerLifecycle(t *testing.T) {
-	now := time.Unix(1000, 0)
-	clock := func() time.Time { return now }
-	c := NewController(Config{BreakerThreshold: 3, BreakerCooldown: time.Second, Now: clock})
+	sim := vclock.NewSim(1)
+	clk := sim.Clock()
+	vclock.Hold(clk)
+	defer vclock.Release(clk)
+	c := NewController(Config{BreakerThreshold: 3, BreakerCooldown: time.Second, Clock: clk})
 
 	// Failures below the threshold keep the breaker closed.
 	c.RecordRouteFailure()
@@ -291,7 +299,7 @@ func TestBreakerLifecycle(t *testing.T) {
 		t.Fatalf("open-breaker Admit = %v, want ErrCircuitOpen (wrapping ErrOverload)", err)
 	}
 	// After the cooldown one half-open probe is admitted, a second sheds.
-	now = now.Add(2 * time.Second)
+	clk.Sleep(2 * time.Second)
 	rel, err := c.Admit()
 	if err != nil {
 		t.Fatalf("half-open probe Admit = %v", err)
@@ -308,7 +316,7 @@ func TestBreakerLifecycle(t *testing.T) {
 	if c.BreakerState() != Open {
 		t.Fatal("failed probe did not re-open")
 	}
-	now = now.Add(2 * time.Second)
+	clk.Sleep(2 * time.Second)
 	rel, err = c.Admit()
 	if err != nil {
 		t.Fatalf("second probe Admit = %v", err)
@@ -352,5 +360,65 @@ func TestControllerBackoffSeeding(t *testing.T) {
 	}
 	if !diverged {
 		t.Fatal("distinct backoff instances shared one jitter stream")
+	}
+}
+
+// TestAdmitShedSequenceReplayable is the determinism contract for admission
+// control: with the token bucket, breaker, and backoff all running on a
+// simulated clock, two same-seed runs of an identical submit script produce
+// bit-identical admit/shed sequences — the property chaos soaks rely on to
+// replay a failing seed.
+func TestAdmitShedSequenceReplayable(t *testing.T) {
+	run := func(seed int64) string {
+		sim := vclock.NewSim(seed)
+		clk := sim.Clock()
+		vclock.Hold(clk)
+		defer vclock.Release(clk)
+		c := NewController(Config{
+			MaxInflight:      2,
+			SubmitRate:       20,
+			SubmitBurst:      3,
+			BreakerThreshold: 2,
+			BreakerCooldown:  40 * time.Millisecond,
+			Seed:             seed,
+			Clock:            clk,
+		})
+		bo := c.NewBackoff()
+		var seq []string
+		for i := 0; i < 40; i++ {
+			rel, err := c.Admit()
+			switch {
+			case err == nil:
+				seq = append(seq, "admit")
+				// Route failures on a deterministic pattern to exercise the
+				// breaker's open/half-open transitions.
+				if vclock.Hash64(uint64(seed), uint64(i))%3 == 0 {
+					c.RecordRouteFailure()
+				} else {
+					c.RecordRouteSuccess()
+				}
+				rel()
+			case errors.Is(err, ErrCircuitOpen):
+				seq = append(seq, "shed-breaker")
+			default:
+				seq = append(seq, "shed")
+			}
+			clk.Sleep(bo.Next())
+		}
+		return fmt.Sprintf("%v now=%v", seq, sim.Now().Sub(vclock.NewSim(0).Now()))
+	}
+	a, b := run(5), run(5)
+	if a != b {
+		t.Fatalf("same-seed admit/shed sequences differ:\n%s\n%s", a, b)
+	}
+	shed := false
+	for _, w := range []string{"shed", "admit"} {
+		if !strings.Contains(a, w) {
+			t.Fatalf("scenario never produced %q: %s", w, a)
+		}
+		shed = true
+	}
+	if !shed {
+		t.Fatal("unreachable")
 	}
 }

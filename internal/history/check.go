@@ -1,0 +1,181 @@
+package history
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// version is one committed value of a key: the index (into the effective
+// order) of the op that wrote it, or -1 for the initial state.
+type version struct {
+	op  int
+	val string
+}
+
+// Check verifies that the recorded history is serializable AND equivalent
+// to the known commit order — the full guarantee of a deterministic
+// database. initial maps keys to their fingerprints before the first
+// recorded op; keys absent from it start as not-found (fingerprint ""),
+// which is exact when all data is created through recorded transactions.
+//
+// Two properties are verified over the effective serial order (see
+// sortEffective):
+//
+//  1. Read conformance: every read observed the value written by the
+//     latest preceding write of that key (or the initial state). A read of
+//     an older version is a "stale read" — the history may still be
+//     serializable in some other order, but it breaks determinism's
+//     promise that the agreed order IS the equivalent serial order.
+//  2. Acyclicity: the direct serialization graph — WR (read-from), WW
+//     (version order) and RW (anti-dependency) edges, with each read
+//     attributed to the nearest preceding write producing its fingerprint —
+//     has no cycle. A cycle means no serial order at all explains the
+//     history (lost update, write skew, …).
+//
+// A read whose fingerprint matches no preceding write at all is reported
+// as a "fractured read" (it observed a value that was never committed).
+// Cycles are reported in preference to stale reads; nil means the history
+// is exactly serializable in commit order.
+func Check(ops []Op, initial map[string]string) error {
+	sorted := sortEffective(ops)
+
+	// Build per-key version lists in effective order. Each op's write set
+	// holds at most one (final) write per key, so versions are strictly
+	// ordered by writer position.
+	versions := map[string][]version{}
+	verOf := func(k string) []version {
+		if vs, ok := versions[k]; ok {
+			return vs
+		}
+		vs := []version{{op: -1, val: initial[k]}}
+		versions[k] = vs
+		return vs
+	}
+	for i := range sorted {
+		for _, w := range sorted[i].Writes {
+			versions[w.Key] = append(verOf(w.Key), version{op: i, val: w.Val})
+		}
+	}
+
+	adj := make([][]int, len(sorted))
+	addEdge := func(from, to int) {
+		if from != to {
+			adj[from] = append(adj[from], to)
+		}
+	}
+
+	var stale error
+	for i := range sorted {
+		for _, r := range sorted[i].Reads {
+			vs := verOf(r.Key)
+			// Latest version committed before op i (index 0 is the initial
+			// version with op -1, so j >= 0 always).
+			j := sort.Search(len(vs), func(j int) bool { return vs[j].op >= i }) - 1
+			// Attribute the read: nearest preceding version with a matching
+			// fingerprint (the charitable choice when values repeat).
+			m := j
+			for m >= 0 && vs[m].val != r.Val {
+				m--
+			}
+			if m < 0 {
+				return fmt.Errorf("history: fractured read: op %s read %s=%q, which no preceding write produced",
+					sorted[i].ID, r.Key, r.Val)
+			}
+			if m != j && stale == nil {
+				stale = fmt.Errorf("history: stale read: op %s read %s from op %s, but the latest preceding write is op %s",
+					sorted[i].ID, r.Key, opID(sorted, vs[m].op), opID(sorted, vs[j].op))
+			}
+			if vs[m].op >= 0 {
+				addEdge(vs[m].op, i) // WR: read-from
+			}
+			// RW anti-dependency: the read of version m precedes the write
+			// of the next version (skipping the op's own overwrite).
+			for n := m + 1; n < len(vs); n++ {
+				if vs[n].op != i {
+					addEdge(i, vs[n].op)
+					break
+				}
+			}
+		}
+	}
+	// WW: version order per key.
+	for _, vs := range versions {
+		prev := -1
+		for _, v := range vs {
+			if v.op < 0 {
+				continue
+			}
+			if prev >= 0 {
+				addEdge(prev, v.op)
+			}
+			prev = v.op
+		}
+	}
+
+	if cyc := findCycle(adj); cyc != nil {
+		ids := make([]string, len(cyc))
+		for i, n := range cyc {
+			ids[i] = sorted[n].ID
+		}
+		return fmt.Errorf("history: serializability violation: dependency cycle %s", strings.Join(ids, " -> "))
+	}
+	return stale
+}
+
+func opID(sorted []Op, i int) string {
+	if i < 0 {
+		return "<initial>"
+	}
+	return sorted[i].ID
+}
+
+// findCycle runs an iterative three-color DFS and returns the node indices
+// of one cycle (in edge order), or nil if the graph is acyclic.
+func findCycle(adj [][]int) []int {
+	const (
+		white = 0 // unvisited
+		gray  = 1 // on the current DFS path
+		black = 2 // fully explored
+	)
+	color := make([]int, len(adj))
+	parent := make([]int, len(adj))
+	for root := range adj {
+		if color[root] != white {
+			continue
+		}
+		parent[root] = -1
+		// Stack frames: (node, next edge index to explore).
+		type frame struct{ node, edge int }
+		stack := []frame{{root, 0}}
+		color[root] = gray
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.edge < len(adj[f.node]) {
+				next := adj[f.node][f.edge]
+				f.edge++
+				switch color[next] {
+				case white:
+					color[next] = gray
+					parent[next] = f.node
+					stack = append(stack, frame{next, 0})
+				case gray:
+					// Back edge: walk parents from f.node back to next.
+					cyc := []int{next}
+					for n := f.node; n != next; n = parent[n] {
+						cyc = append(cyc, n)
+					}
+					// Reverse into edge order: next -> ... -> f.node.
+					for l, r := 1, len(cyc)-1; l < r; l, r = l+1, r-1 {
+						cyc[l], cyc[r] = cyc[r], cyc[l]
+					}
+					return cyc
+				}
+			} else {
+				color[f.node] = black
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,181 @@
+package history
+
+import (
+	"strings"
+	"testing"
+
+	"prognosticator/internal/engine"
+	"prognosticator/internal/profile"
+)
+
+func acc(pairs ...string) []engine.Access {
+	if len(pairs)%2 != 0 {
+		panic("acc: odd pairs")
+	}
+	out := make([]engine.Access, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		out = append(out, engine.Access{Key: pairs[i], Val: pairs[i+1]})
+	}
+	return out
+}
+
+func op(id string, index, seq uint64, class profile.Class, round int, reads, writes []engine.Access) Op {
+	return Op{ID: id, Index: index, Seq: seq, Name: id, Class: class, Round: round, Reads: reads, Writes: writes}
+}
+
+func TestCheckEmptyHistory(t *testing.T) {
+	if err := Check(nil, nil); err != nil {
+		t.Fatalf("empty history: %v", err)
+	}
+}
+
+func TestCheckConformantHistory(t *testing.T) {
+	ops := []Op{
+		// Batch 1: create x and y.
+		op("b1/0", 1, 0, profile.ClassIT, 0, acc("x", ""), acc("x", "v1")),
+		op("b1/1", 1, 1, profile.ClassIT, 0, acc("y", ""), acc("y", "v1")),
+		// Batch 2: read-modify-write x; read y.
+		op("b2/2", 2, 2, profile.ClassIT, 0, acc("x", "v1"), acc("x", "v2")),
+		op("b2/3", 2, 3, profile.ClassROT, 0, acc("y", "v1"), nil),
+	}
+	if err := Check(ops, nil); err != nil {
+		t.Fatalf("conformant history rejected: %v", err)
+	}
+}
+
+func TestCheckROTReadsBatchStartSnapshot(t *testing.T) {
+	// The ROT has a higher seq than the update in the same batch, but reads
+	// the beginning-of-batch state — that is the engine's contract, and the
+	// checker must order it before the batch's updates.
+	ops := []Op{
+		op("b1/0", 1, 0, profile.ClassIT, 0, nil, acc("x", "v1")),
+		op("b2/1", 2, 1, profile.ClassIT, 0, acc("x", "v1"), acc("x", "v2")),
+		op("b2/2", 2, 2, profile.ClassROT, 0, acc("x", "v1"), nil),
+	}
+	if err := Check(ops, nil); err != nil {
+		t.Fatalf("ROT snapshot read rejected: %v", err)
+	}
+}
+
+func TestCheckRound0DTBeforeIT(t *testing.T) {
+	// Lock-table enqueue order is DTs before ITs, so a lower-seq IT that
+	// conflicts with a higher-seq DT reads the DT's write.
+	ops := []Op{
+		op("b1/0", 1, 0, profile.ClassIT, 0, nil, acc("x", "v0")),
+		op("b2/1", 2, 1, profile.ClassIT, 0, acc("x", "vDT"), acc("x", "v2")),
+		op("b2/2", 2, 2, profile.ClassDT, 0, acc("x", "v0"), acc("x", "vDT")),
+	}
+	if err := Check(ops, nil); err != nil {
+		t.Fatalf("DT-before-IT order rejected: %v", err)
+	}
+}
+
+func TestCheckRetryRoundOrdering(t *testing.T) {
+	// A DT that aborted once (Round 1) commits after every round-0 commit,
+	// including higher-seq ones, and observes their writes.
+	ops := []Op{
+		op("b1/0", 1, 0, profile.ClassIT, 0, nil, acc("x", "v0")),
+		op("b2/1", 2, 1, profile.ClassDT, 1, acc("x", "v2"), acc("x", "v3")),
+		op("b2/2", 2, 2, profile.ClassIT, 0, acc("x", "v0"), acc("x", "v2")),
+	}
+	if err := Check(ops, nil); err != nil {
+		t.Fatalf("retry-round order rejected: %v", err)
+	}
+}
+
+func TestCheckInitialState(t *testing.T) {
+	ops := []Op{
+		op("b1/0", 1, 0, profile.ClassIT, 0, acc("x", "seeded"), acc("x", "v1")),
+	}
+	if err := Check(ops, map[string]string{"x": "seeded"}); err != nil {
+		t.Fatalf("initial-state read rejected: %v", err)
+	}
+	if err := Check(ops, nil); err == nil {
+		t.Fatal("read of unseeded value accepted")
+	}
+}
+
+func TestCheckLostUpdate(t *testing.T) {
+	// Both transactions read the initial x and blind-write their increment:
+	// the classic lost update. WW says T1 -> T2; T2's read of the initial
+	// version says T2 -> T1 (anti-dependency). Cycle.
+	ops := []Op{
+		op("t1", 1, 0, profile.ClassIT, 0, acc("x", ""), acc("x", "v1")),
+		op("t2", 2, 1, profile.ClassIT, 0, acc("x", ""), acc("x", "v2")),
+	}
+	err := Check(ops, nil)
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("lost update not detected as cycle: %v", err)
+	}
+}
+
+func TestCheckWriteSkew(t *testing.T) {
+	// T1 reads x,y and writes x; T2 reads x,y and writes y — each misses
+	// the other's write. Two anti-dependencies form a cycle.
+	ops := []Op{
+		op("t1", 1, 0, profile.ClassIT, 0, acc("x", "v0", "y", "v0"), acc("x", "v1")),
+		op("t2", 2, 1, profile.ClassIT, 0, acc("x", "v0", "y", "v0"), acc("y", "v1")),
+	}
+	err := Check(ops, map[string]string{"x": "v0", "y": "v0"})
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("write skew not detected as cycle: %v", err)
+	}
+}
+
+func TestCheckStaleRead(t *testing.T) {
+	// T2 reads the initial x even though T1 overwrote it: serializable in
+	// the order T2,T1 — but not in the agreed commit order, which is the
+	// property a deterministic database promises.
+	ops := []Op{
+		op("t1", 1, 0, profile.ClassIT, 0, nil, acc("x", "v1")),
+		op("t2", 2, 1, profile.ClassROT, 0, acc("x", ""), nil),
+	}
+	err := Check(ops, nil)
+	if err == nil || !strings.Contains(err.Error(), "stale read") {
+		t.Fatalf("stale read not detected: %v", err)
+	}
+}
+
+func TestCheckFracturedRead(t *testing.T) {
+	ops := []Op{
+		op("t1", 1, 0, profile.ClassIT, 0, nil, acc("x", "v1")),
+		op("t2", 2, 1, profile.ClassROT, 0, acc("x", "never-written"), nil),
+	}
+	err := Check(ops, nil)
+	if err == nil || !strings.Contains(err.Error(), "fractured read") {
+		t.Fatalf("fractured read not detected: %v", err)
+	}
+}
+
+func TestCheckDeleteRoundTrip(t *testing.T) {
+	// A delete is a write with an empty fingerprint; a later read must see
+	// not-found again.
+	ops := []Op{
+		op("t1", 1, 0, profile.ClassIT, 0, nil, acc("x", "v1")),
+		op("t2", 2, 1, profile.ClassIT, 0, acc("x", "v1"), acc("x", "")),
+		op("t3", 3, 2, profile.ClassROT, 0, acc("x", ""), nil),
+	}
+	if err := Check(ops, nil); err != nil {
+		t.Fatalf("delete round-trip rejected: %v", err)
+	}
+}
+
+func TestRecorderDedupAndPending(t *testing.T) {
+	rec := NewRecorder()
+	res := &engine.BatchResult{Outcomes: []engine.TxOutcome{
+		{Seq: 0, TxName: "a", Class: profile.ClassIT, WriteSet: acc("x", "v1")},
+		{Seq: 1, TxName: "b", Class: profile.ClassIT, Pending: true},
+	}}
+	rec.Observe("r1", 7, "batch-1", nil, res)
+	rec.Observe("r2", 7, "batch-1", nil, res) // duplicate from another replica
+	if got := rec.Len(); got != 1 {
+		t.Fatalf("Len = %d, want 1 (dedup by batch ID, pending skipped)", got)
+	}
+	ops := rec.Ops()
+	if ops[0].ID != "batch-1/0" || ops[0].Index != 7 || ops[0].Round != 0 {
+		t.Fatalf("unexpected op: %+v", ops[0])
+	}
+	if err := rec.Check(nil); err != nil {
+		t.Fatalf("recorded history rejected: %v", err)
+	}
+}

@@ -5,12 +5,20 @@
 // scenarios deterministically within one process. Delivery and drop counters
 // distinguish every drop cause, so tests assert on observable network state
 // instead of sleeping.
+//
+// All time flows through an injected vclock.Clock: artificial delays are
+// clock timers (virtual under simulation — zero real sleeps), every enqueued
+// message holds a simulation event token until its receiver acknowledges it,
+// and loss/delay decisions come from per-(from,to) hash streams rather than a
+// shared rng, so the fault pattern each link sees is independent of goroutine
+// scheduling — the property whole-cluster seed replay rests on.
 package memnet
 
 import (
-	"math/rand"
 	"sync"
 	"time"
+
+	"prognosticator/internal/vclock"
 )
 
 // Message is one delivered datagram.
@@ -33,17 +41,24 @@ type Stats struct {
 	DroppedOverflow int64
 	// DroppedPartition counts drops across a partition boundary.
 	DroppedPartition int64
-	// DroppedDown counts drops to or from a node marked down.
+	// DroppedDown counts drops to or from a node marked down, including
+	// in-flight delayed messages canceled when their destination went down.
 	DroppedDown int64
 	// DroppedClosed counts drops after the network was closed.
 	DroppedClosed int64
+	// DroppedCanceled counts in-flight delayed messages canceled by Drain —
+	// a restarting node must not receive datagrams addressed to its previous
+	// life, even ones already "on the wire".
+	DroppedCanceled int64
 }
 
 // Network is the in-process fabric. All methods are safe for concurrent
 // use.
 type Network struct {
+	clk  vclock.Clock
+	seed int64
+
 	mu        sync.Mutex
-	rng       *rand.Rand
 	endpoints map[string]*Endpoint
 	dropProb  float64
 	minDelay  time.Duration
@@ -54,18 +69,37 @@ type Network struct {
 	down   map[string]bool
 	closed bool
 	stats  Stats
+	// pairCtr numbers each (from,to) link's fault decisions; together with
+	// the seed it indexes a deterministic hash stream per link.
+	pairCtr map[[2]string]uint64
+	// pending tracks undelivered delayed sends by destination so Drain and
+	// SetDown can cancel them before they fire.
+	pending    map[string]map[uint64]*delayedSend
+	pendingSeq uint64
 }
 
-// New returns a network with no loss, no delay and no partitions. The seed
-// drives loss and delay decisions, keeping fault scenarios reproducible.
-func New(seed int64) *Network {
+// New returns a wall-clock network with no loss, no delay and no partitions.
+// The seed drives loss and delay decisions, keeping fault scenarios
+// reproducible.
+func New(seed int64) *Network { return NewWithClock(seed, nil) }
+
+// NewWithClock returns a network whose artificial delays run on clk (nil =
+// wall clock). Under a vclock.Sim clock, delivery holds simulation event
+// tokens: receivers must vclock.Ack each message consumed from an Inbox.
+func NewWithClock(seed int64, clk vclock.Clock) *Network {
 	return &Network{
-		rng:       rand.New(rand.NewSource(seed)),
+		clk:       vclock.Or(clk),
+		seed:      seed,
 		endpoints: map[string]*Endpoint{},
 		blocked:   map[[2]string]bool{},
 		down:      map[string]bool{},
+		pairCtr:   map[[2]string]uint64{},
+		pending:   map[string]map[uint64]*delayedSend{},
 	}
 }
+
+// Clock returns the network's time source.
+func (n *Network) Clock() vclock.Clock { return n.clk }
 
 // Endpoint registers (or returns) the named endpoint.
 func (n *Network) Endpoint(name string) *Endpoint {
@@ -94,35 +128,68 @@ func (n *Network) SetDelay(min, max time.Duration) {
 }
 
 // SetDown marks a node crashed (true) or recovered (false). A down node
-// neither sends nor receives; drops are counted as DroppedDown.
+// neither sends nor receives; drops are counted as DroppedDown. Taking a node
+// down also discards its queued inbox and cancels in-flight delayed messages
+// addressed to it — a crashed process loses its socket buffers, and under
+// simulation their event tokens must be released or virtual time would stall
+// waiting on a receiver that no longer exists.
 func (n *Network) SetDown(name string, down bool) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	if down {
 		n.down[name] = true
+		n.cancelPendingLocked(name, &n.stats.DroppedDown)
 	} else {
 		delete(n.down, name)
 	}
+	e := n.endpoints[name]
+	n.mu.Unlock()
+	if down && e != nil {
+		n.drainInbox(e)
+	}
 }
 
-// Drain discards all messages queued in the named endpoint's inbox and
-// returns how many were discarded. A restarting node drains its inbox so the
-// fresh process does not observe datagrams addressed to its previous life.
+// Drain discards all messages queued in the named endpoint's inbox, cancels
+// in-flight delayed messages addressed to it, and returns how many queued
+// messages were discarded. A restarting node drains its inbox so the fresh
+// process does not observe datagrams addressed to its previous life.
 func (n *Network) Drain(name string) int {
 	n.mu.Lock()
 	e, ok := n.endpoints[name]
+	if ok {
+		n.cancelPendingLocked(name, &n.stats.DroppedCanceled)
+	}
 	n.mu.Unlock()
 	if !ok {
 		return 0
 	}
+	return n.drainInbox(e)
+}
+
+// drainInbox empties e's inbox, releasing each message's event token.
+func (n *Network) drainInbox(e *Endpoint) int {
 	dropped := 0
 	for {
 		select {
 		case <-e.inbox:
+			vclock.Release(n.clk)
 			dropped++
 		default:
 			return dropped
 		}
+	}
+}
+
+// cancelPendingLocked cancels every undelivered delayed send to name,
+// crediting counter once per canceled message. No event tokens are held for
+// messages still riding a timer, so cancellation only stops the timers.
+func (n *Network) cancelPendingLocked(name string, counter *int64) {
+	for id, ds := range n.pending[name] {
+		ds.canceled = true
+		if ds.tm != nil {
+			ds.tm.Stop()
+		}
+		delete(n.pending[name], id)
+		*counter++
 	}
 }
 
@@ -179,6 +246,8 @@ func pair(a, b string) [2]string {
 	return [2]string{b, a}
 }
 
+func strHash(s string) uint64 { return vclock.HashString(s) }
+
 // Endpoint is one addressable node on the network.
 type Endpoint struct {
 	name      string
@@ -190,7 +259,9 @@ type Endpoint struct {
 // Name returns the endpoint's address.
 func (e *Endpoint) Name() string { return e.name }
 
-// Inbox returns the delivery channel.
+// Inbox returns the delivery channel. Under a simulated clock, consumers must
+// call vclock.Ack for every message received (after vclock.Wake), retiring
+// the event token the sender holds on its behalf.
 func (e *Endpoint) Inbox() <-chan Message { return e.inbox }
 
 // Overflows returns how many inbound messages were dropped because THIS
@@ -202,9 +273,22 @@ func (e *Endpoint) Overflows() int64 {
 	return e.overflows
 }
 
+// delayedSend is one message riding a delay timer toward its destination.
+type delayedSend struct {
+	id       uint64
+	msg      Message
+	dst      *Endpoint
+	tm       vclock.Timer
+	canceled bool
+}
+
 // Send delivers payload to the named endpoint, subject to the network's
 // loss, delay, partition and down configuration. Delivery is asynchronous; a
 // full inbox drops the message (backpressure-as-loss, as UDP would).
+//
+// Loss and delay are drawn from a hash stream indexed by (seed, from, to,
+// ordinal): each link sees a deterministic fault pattern regardless of how
+// sends on different links interleave.
 func (e *Endpoint) Send(to string, payload any) {
 	n := e.net
 	n.mu.Lock()
@@ -223,10 +307,16 @@ func (e *Endpoint) Send(to string, payload any) {
 		n.mu.Unlock()
 		return
 	}
-	if n.dropProb > 0 && n.rng.Float64() < n.dropProb {
-		n.stats.DroppedLoss++
-		n.mu.Unlock()
-		return
+	link := [2]string{e.name, to}
+	ctr := n.pairCtr[link]
+	n.pairCtr[link] = ctr + 1
+	if n.dropProb > 0 {
+		h := vclock.Hash64(uint64(n.seed), strHash(e.name), strHash(to), ctr, 0)
+		if float64(h%(1<<53))/(1<<53) < n.dropProb {
+			n.stats.DroppedLoss++
+			n.mu.Unlock()
+			return
+		}
 	}
 	dst, ok := n.endpoints[to]
 	if !ok {
@@ -235,39 +325,70 @@ func (e *Endpoint) Send(to string, payload any) {
 	}
 	var delay time.Duration
 	if n.maxDelay > 0 {
-		delay = n.minDelay + time.Duration(n.rng.Int63n(int64(n.maxDelay-n.minDelay)+1))
+		h := vclock.Hash64(uint64(n.seed), strHash(e.name), strHash(to), ctr, 1)
+		delay = n.minDelay + time.Duration(h%uint64(n.maxDelay-n.minDelay+1))
 	}
 	msg := Message{From: e.name, To: to, Payload: payload}
 	if delay == 0 {
-		select {
-		case dst.inbox <- msg:
-			n.stats.Delivered++
-		default:
-			n.stats.DroppedOverflow++
-			dst.overflows++
-		}
-		n.mu.Unlock()
+		n.enqueueLocked(dst, msg)
 		return
 	}
+	n.pendingSeq++
+	ds := &delayedSend{id: n.pendingSeq, msg: msg, dst: dst}
+	// The AfterFunc is created under n.mu: timer creation never runs the
+	// callback inline, and holding the lock closes the window in which a
+	// Drain could miss a not-yet-registered timer.
+	ds.tm = n.clk.AfterFunc(delay, func() { n.deliverDelayed(ds) })
+	if n.pending[to] == nil {
+		n.pending[to] = map[uint64]*delayedSend{}
+	}
+	n.pending[to][ds.id] = ds
 	n.mu.Unlock()
-	time.AfterFunc(delay, func() {
-		n.mu.Lock()
-		defer n.mu.Unlock()
-		switch {
-		case n.closed:
-			n.stats.DroppedClosed++
-		case n.down[msg.From] || n.down[msg.To]:
-			n.stats.DroppedDown++
-		case n.blocked[pair(msg.From, msg.To)]:
-			n.stats.DroppedPartition++
-		default:
-			select {
-			case dst.inbox <- msg:
-				n.stats.Delivered++
-			default:
-				n.stats.DroppedOverflow++
-				dst.overflows++
-			}
-		}
-	})
+}
+
+// enqueueLocked places msg in dst's inbox (or drops on overflow), holding a
+// simulation event token across the handoff. Callers hold n.mu; the lock is
+// released before the overflow token release, which may advance virtual time
+// and re-enter the network from a timer callback.
+func (n *Network) enqueueLocked(dst *Endpoint, msg Message) {
+	vclock.Hold(n.clk) // before the receiver can possibly consume it
+	delivered := false
+	select {
+	case dst.inbox <- msg:
+		n.stats.Delivered++
+		delivered = true
+	default:
+		n.stats.DroppedOverflow++
+		dst.overflows++
+	}
+	n.mu.Unlock()
+	if !delivered {
+		vclock.Release(n.clk)
+	}
+}
+
+// deliverDelayed is the delay-timer callback: re-check the fault state at
+// fire time (a partition, crash or close that happened while the message was
+// "on the wire" still applies) and deliver.
+func (n *Network) deliverDelayed(ds *delayedSend) {
+	n.mu.Lock()
+	if m := n.pending[ds.msg.To]; m != nil {
+		delete(m, ds.id)
+	}
+	switch {
+	case ds.canceled:
+		// Counted by the canceling site (Drain or SetDown).
+		n.mu.Unlock()
+	case n.closed:
+		n.stats.DroppedClosed++
+		n.mu.Unlock()
+	case n.down[ds.msg.From] || n.down[ds.msg.To]:
+		n.stats.DroppedDown++
+		n.mu.Unlock()
+	case n.blocked[pair(ds.msg.From, ds.msg.To)]:
+		n.stats.DroppedPartition++
+		n.mu.Unlock()
+	default:
+		n.enqueueLocked(ds.dst, ds.msg)
+	}
 }

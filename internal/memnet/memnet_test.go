@@ -3,6 +3,8 @@ package memnet
 import (
 	"testing"
 	"time"
+
+	"prognosticator/internal/vclock"
 )
 
 func recvWithin(t *testing.T, e *Endpoint, d time.Duration) (Message, bool) {
@@ -10,7 +12,7 @@ func recvWithin(t *testing.T, e *Endpoint, d time.Duration) (Message, bool) {
 	select {
 	case m := <-e.Inbox():
 		return m, true
-	case <-time.After(d):
+	case <-vclock.Wall.After(d):
 		return Message{}, false
 	}
 }
@@ -142,7 +144,7 @@ func TestStatsDistinguishDropCauses(t *testing.T) {
 func TestStatsCountOverflowSeparatelyFromLoss(t *testing.T) {
 	n := New(9)
 	a := n.Endpoint("a")
-	n.Endpoint("b") // registered, never read: the inbox fills up
+	n.Endpoint("b")    // registered, never read: the inbox fills up
 	const total = 1100 // inbox capacity is 1024
 	for i := 0; i < total; i++ {
 		a.Send("b", i)
@@ -221,5 +223,114 @@ func TestDelayedMessageRespectsLatePartition(t *testing.T) {
 	n.Partition([]string{"a"}, []string{"b"})
 	if _, ok := recvWithin(t, b, 200*time.Millisecond); ok {
 		t.Fatal("in-flight message crossed a partition applied before delivery")
+	}
+}
+
+// Regression: a delayed send used to ride a raw goroutine timer that could
+// fire after Drain, leaking a previous life's datagram into a restarted
+// node's inbox. Drain must cancel in-flight delayed sends, not just empty the
+// inbox.
+func TestDrainCancelsInFlightDelayedSends(t *testing.T) {
+	n := New(13)
+	a, b := n.Endpoint("a"), n.Endpoint("b")
+	n.SetDelay(30*time.Millisecond, 40*time.Millisecond)
+	a.Send("b", "stale")
+	if got := n.Drain("b"); got != 0 {
+		t.Fatalf("Drain discarded %d queued messages, want 0 (message was in flight)", got)
+	}
+	if _, ok := recvWithin(t, b, 150*time.Millisecond); ok {
+		t.Fatal("delayed message leaked past Drain into the next life")
+	}
+	if got := n.Stats().DroppedCanceled; got != 1 {
+		t.Fatalf("DroppedCanceled = %d, want 1", got)
+	}
+}
+
+// Same cancellation property under the simulated clock: after Drain, pushing
+// virtual time far past the delay must deliver nothing and leak no event
+// token (a leaked token would stall the advance and hang the Sleep below).
+func TestSimDrainCancelsDelayedSend(t *testing.T) {
+	sim := vclock.NewSim(1)
+	clk := sim.Clock()
+	vclock.Hold(clk)
+	defer vclock.Release(clk)
+
+	n := NewWithClock(1, clk)
+	a, b := n.Endpoint("a"), n.Endpoint("b")
+	n.SetDelay(50*time.Millisecond, 60*time.Millisecond)
+	a.Send("b", "in-flight")
+	if got := n.Drain("b"); got != 0 {
+		t.Fatalf("Drain discarded %d queued messages, want 0", got)
+	}
+	clk.Sleep(500 * time.Millisecond)
+	select {
+	case m := <-b.Inbox():
+		t.Fatalf("canceled delayed message delivered: %+v", m)
+	default:
+	}
+	if got := n.Stats().DroppedCanceled; got != 1 {
+		t.Fatalf("DroppedCanceled = %d, want 1", got)
+	}
+}
+
+// Delayed delivery on the simulated clock: the delay elapses in virtual time
+// (no real sleeping), and the message's event token hands off cleanly from
+// the timer callback to the receiver's Ack.
+func TestSimDelayedDelivery(t *testing.T) {
+	sim := vclock.NewSim(2)
+	clk := sim.Clock()
+	vclock.Hold(clk)
+	defer vclock.Release(clk)
+
+	n := NewWithClock(2, clk)
+	a, b := n.Endpoint("a"), n.Endpoint("b")
+	n.SetDelay(20*time.Millisecond, 40*time.Millisecond)
+	start := clk.Now()
+	a.Send("b", "slow")
+
+	vclock.Park(clk)
+	m := <-b.Inbox()
+	vclock.Wake(clk)
+	vclock.Ack(clk)
+
+	if m.Payload.(string) != "slow" {
+		t.Fatalf("payload = %v", m.Payload)
+	}
+	elapsed := clk.Since(start)
+	if elapsed < 20*time.Millisecond || elapsed > 40*time.Millisecond {
+		t.Fatalf("virtual delay = %v, want within [20ms, 40ms]", elapsed)
+	}
+	if got := n.Stats().Delivered; got != 1 {
+		t.Fatalf("Delivered = %d, want 1", got)
+	}
+}
+
+// SetDown must discard the crashed node's queued inbox and cancel in-flight
+// delayed sends, releasing their event tokens — otherwise virtual time would
+// stall waiting on a receiver that no longer exists.
+func TestSimSetDownReleasesQueuedTokens(t *testing.T) {
+	sim := vclock.NewSim(3)
+	clk := sim.Clock()
+	vclock.Hold(clk)
+	defer vclock.Release(clk)
+
+	n := NewWithClock(3, clk)
+	a, b := n.Endpoint("a"), n.Endpoint("b")
+	a.Send("b", "queued") // immediate: holds an event token in b's inbox
+	n.SetDelay(50*time.Millisecond, 60*time.Millisecond)
+	a.Send("b", "in-flight")
+	n.SetDown("b", true)
+	// If either the queued token or the delayed timer survived, this Sleep
+	// would hang: busy would never reach zero, or the fired delivery would
+	// hold a token no one acknowledges.
+	clk.Sleep(time.Second)
+	select {
+	case m := <-b.Inbox():
+		t.Fatalf("crashed node received %+v", m)
+	default:
+	}
+	s := n.Stats()
+	if s.DroppedDown != 1 {
+		t.Fatalf("DroppedDown = %d, want 1 (the canceled in-flight send)", s.DroppedDown)
 	}
 }

@@ -1,6 +1,9 @@
 package profile
 
 import (
+	"fmt"
+	"math/rand"
+	"sync"
 	"testing"
 
 	"prognosticator/internal/metrics"
@@ -95,6 +98,86 @@ func TestDirectMemoEviction(t *testing.T) {
 	}
 	if mi := counters.Value("direct_memo_miss"); mi != 4 {
 		t.Fatalf("evicted entry should miss: misses = %d, want 4", mi)
+	}
+}
+
+// TestDirectMemoConcurrentStress hammers one memo from many goroutines with
+// an input domain four times the capacity, so hits, misses, duplicate-insert
+// races and evictions all occur under contention. Run under -race it checks
+// the lock discipline; the invariants below check that the LRU stays bounded
+// and the counters stay consistent with each other.
+func TestDirectMemoConcurrentStress(t *testing.T) {
+	const (
+		capacity   = 16
+		goroutines = 8
+		iters      = 2000
+		domain     = capacity * 4
+	)
+	counters := metrics.NewCounterSet()
+	m := NewDirectMemo(capacity, counters)
+	p := memoProfile()
+
+	// Expected encodings per input, computed up front: cached key-sets must
+	// always match a fresh instantiation, whichever goroutine inserted them.
+	want := make([]string, domain)
+	for u := int64(0); u < domain; u++ {
+		ks, err := p.InstantiateDirect(memoInputs(u))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[u] = string(ks.Reads[0].Encode())
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g) * 977))
+			for i := 0; i < iters; i++ {
+				u := rng.Int63n(domain)
+				ks, err := m.InstantiateDirect(p, memoInputs(u))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got := string(ks.Reads[0].Encode()); got != want[u] {
+					errs <- fmt.Errorf("input %d: cached key %q, want %q", u, got, want[u])
+					return
+				}
+				// The bound must hold at every moment, not just at the end.
+				if n := m.Len(); n > capacity {
+					errs <- fmt.Errorf("memo grew to %d entries (capacity %d)", n, capacity)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	hits := counters.Value("direct_memo_hit")
+	misses := counters.Value("direct_memo_miss")
+	evicts := counters.Value("direct_memo_evict")
+	if hits+misses != goroutines*iters {
+		t.Errorf("hit(%d)+miss(%d) = %d, want one of each per call (%d)",
+			hits, misses, hits+misses, goroutines*iters)
+	}
+	// Every eviction removes an inserted entry, every insert was a miss (two
+	// racing misses on one key insert once), so: inserts = evicts + Len, and
+	// inserts <= misses.
+	if n := int64(m.Len()); evicts+n > misses {
+		t.Errorf("evicts(%d)+len(%d) exceeds misses(%d) — counters inconsistent", evicts, n, misses)
+	}
+	if m.Len() != capacity {
+		t.Errorf("Len = %d after saturating workload, want full capacity %d", m.Len(), capacity)
+	}
+	if evicts == 0 {
+		t.Error("no evictions despite domain 4x capacity — stress never overflowed the LRU")
 	}
 }
 

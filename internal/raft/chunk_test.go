@@ -3,6 +3,7 @@ package raft
 import (
 	"bytes"
 	"fmt"
+	"prognosticator/internal/vclock"
 	"testing"
 	"time"
 
@@ -78,7 +79,7 @@ func TestChunkedSnapshotTransfer(t *testing.T) {
 		if !time.Now().Before(deadline) {
 			t.Fatalf("follower snapshot index %d, want >= %d", behind.SnapshotIndex(), compactAt)
 		}
-		time.Sleep(5 * time.Millisecond)
+		vclock.Wall.Sleep(5 * time.Millisecond)
 	}
 	var sent int64
 	for _, id := range live {
@@ -129,7 +130,7 @@ func TestChunkedSnapshotSmallFastPath(t *testing.T) {
 		if !time.Now().Before(deadline) {
 			t.Fatalf("follower snapshot index %d, want >= %d", behind.SnapshotIndex(), compactAt)
 		}
-		time.Sleep(5 * time.Millisecond)
+		vclock.Wall.Sleep(5 * time.Millisecond)
 	}
 	var sent int64
 	for _, id := range live {
@@ -169,7 +170,7 @@ func TestChunkedSnapshotTransferUnderLoss(t *testing.T) {
 			t.Fatalf("follower snapshot index %d, want >= %d (transfer stalled under loss)",
 				behind.SnapshotIndex(), compactAt)
 		}
-		time.Sleep(5 * time.Millisecond)
+		vclock.Wall.Sleep(5 * time.Millisecond)
 	}
 	var install *Committed
 	for _, e := range drainAtLeast(t, behind, 1, 5*time.Second) {

@@ -16,12 +16,12 @@
 package raft
 
 import (
-	"math/rand"
 	"sort"
 	"sync"
 	"time"
 
 	"prognosticator/internal/memnet"
+	"prognosticator/internal/vclock"
 )
 
 // Role is a Raft server state.
@@ -163,6 +163,10 @@ type Config struct {
 	// InstallSnapshot message; bigger snapshots stream as offset-addressed
 	// chunks of this size with per-chunk acks and resume (default 256 KiB).
 	SnapshotChunkSize int
+	// Clock is the time source for election and heartbeat timers. Nil uses
+	// the wall clock; a vclock.Sim clock runs the node in virtual time, where
+	// the event loop participates in the simulation's token accounting.
+	Clock vclock.Clock
 }
 
 func (c Config) withDefaults() Config {
@@ -183,11 +187,13 @@ func (c Config) withDefaults() Config {
 
 // Node is one Raft server.
 type Node struct {
-	id    string
-	peers []string
-	cfg   Config
-	ep    Transport
-	rng   *rand.Rand
+	id     string
+	idHash uint64
+	peers  []string
+	cfg    Config
+	ep     Transport
+	clk    vclock.Clock
+	seed   int64
 
 	mu   sync.Mutex
 	role Role
@@ -226,6 +232,9 @@ type Node struct {
 	wg       sync.WaitGroup
 
 	electionDeadline time.Time
+	// jitterCtr numbers election-deadline resets; with the seed and node id
+	// it indexes the deterministic jitter stream.
+	jitterCtr uint64
 }
 
 // NewNode creates a node attached to the network; Start must be called to
@@ -243,9 +252,10 @@ func NewNodeWithTransport(id string, peers []string, tr Transport, cfg Config, s
 			others = append(others, p)
 		}
 	}
+	cfg = cfg.withDefaults()
 	return &Node{
-		id: id, peers: others, cfg: cfg.withDefaults(),
-		ep: tr, rng: rand.New(rand.NewSource(seed)),
+		id: id, idHash: vclock.HashString(id), peers: others, cfg: cfg,
+		ep: tr, clk: vclock.Or(cfg.Clock), seed: seed,
 		role: Follower, votes: map[string]bool{},
 		nextIndex: map[string]uint64{}, matchIndex: map[string]uint64{},
 		xfers:   map[string]uint64{},
@@ -353,13 +363,22 @@ func (n *Node) Start() {
 	n.resetElectionDeadlineLocked()
 	n.mu.Unlock()
 	n.wg.Add(1)
+	vclock.Hold(n.clk) // run token, transferred to the loop goroutine
 	go n.run()
 }
 
-// Stop terminates the node (crash-stop).
+// Stop terminates the node (crash-stop). Committed records still queued on
+// the apply channel are discarded — exactly what a crash does.
 func (n *Node) Stop() {
 	n.stopOnce.Do(func() { close(n.stopCh) })
 	n.wg.Wait()
+	for {
+		select {
+		case <-n.applyCh:
+		default:
+			return
+		}
+	}
 }
 
 // Status returns the node's current role and term.
@@ -436,16 +455,25 @@ func (n *Node) Propose(cmd []byte) (uint64, uint64, bool) {
 
 func (n *Node) run() {
 	defer n.wg.Done()
-	ticker := time.NewTicker(n.cfg.HeartbeatInterval / 2)
-	defer ticker.Stop()
+	defer vclock.Release(n.clk) // run token held since Start
+	tick := n.cfg.HeartbeatInterval / 2
+	tm := n.clk.NewTimer(tick)
+	defer tm.Stop()
 	for {
+		vclock.Park(n.clk)
 		select {
 		case <-n.stopCh:
+			vclock.Wake(n.clk)
 			return
 		case msg := <-n.ep.Inbox():
+			vclock.Wake(n.clk)
+			vclock.Ack(n.clk) // retire the message's event token
 			n.handle(msg)
-		case <-ticker.C:
+		case <-tm.C():
+			vclock.Wake(n.clk)
+			vclock.Ack(n.clk) // retire the timer's fire token
 			n.tick()
+			tm.Reset(tick)
 		}
 	}
 }
@@ -453,21 +481,26 @@ func (n *Node) run() {
 func (n *Node) tick() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	now := time.Now()
 	switch n.role {
 	case Leader:
 		n.broadcastAppendLocked()
 	default:
-		if now.After(n.electionDeadline) {
+		if n.clk.Now().After(n.electionDeadline) {
 			n.startElectionLocked()
 		}
 	}
 }
 
+// resetElectionDeadlineLocked arms a fresh randomized election timeout. The
+// jitter is a hash of (seed, node id, reset ordinal) — a per-node stream
+// independent of goroutine scheduling, so elections replay identically for a
+// fixed seed on the simulated clock. Nanosecond resolution makes cross-node
+// deadline ties (which the simulation would break arbitrarily) measure-zero.
 func (n *Node) resetElectionDeadlineLocked() {
 	span := n.cfg.ElectionTimeoutMax - n.cfg.ElectionTimeoutMin
-	d := n.cfg.ElectionTimeoutMin + time.Duration(n.rng.Int63n(int64(span)+1))
-	n.electionDeadline = time.Now().Add(d)
+	n.jitterCtr++
+	jitter := vclock.Hash64(uint64(n.seed), n.idHash, n.jitterCtr) % uint64(span+1)
+	n.electionDeadline = n.clk.Now().Add(n.cfg.ElectionTimeoutMin + time.Duration(jitter))
 }
 
 func (n *Node) lastLogLocked() (uint64, uint64) {
@@ -746,13 +779,30 @@ func (n *Node) applySnapshotLocked(index, snapTerm uint64, data []byte) bool {
 	}
 	// Deliver the snapshot to the application in commit order, then mark
 	// everything it covers committed.
-	select {
-	case n.applyCh <- Committed{Index: index, Term: snapTerm, Snapshot: data}:
-	case <-n.stopCh:
+	if !n.deliverLocked(Committed{Index: index, Term: snapTerm, Snapshot: data}) {
 		return false
 	}
 	n.commitIndex = index
 	return true
+}
+
+// deliverLocked places one committed record on the apply channel. Returns
+// false if the node stopped before delivery.
+//
+// Queued records deliberately carry NO simulation event token: the apply
+// channel models work pending over time (a throttled consumer is a
+// legitimate straggler whose backlog must not freeze virtual time), unlike
+// transport inboxes whose messages are instantaneous events. Under a
+// simulated clock the consumer drains this channel from a polled loop
+// (replica.Start), so consumption is scheduled by timers, not by the
+// Park/Wake handoff protocol.
+func (n *Node) deliverLocked(c Committed) bool {
+	select {
+	case n.applyCh <- c:
+		return true
+	case <-n.stopCh:
+		return false
+	}
 }
 
 // sendChunkLocked transmits the chunk starting at off and records it as the
@@ -922,9 +972,7 @@ func (n *Node) advanceCommitLocked() {
 func (n *Node) commitToLocked(idx uint64) {
 	for i := n.commitIndex + 1; i <= idx; i++ {
 		e := n.entryAtLocked(i)
-		select {
-		case n.applyCh <- Committed{Index: i, Term: e.Term, Cmd: e.Cmd}:
-		case <-n.stopCh:
+		if !n.deliverLocked(Committed{Index: i, Term: e.Term, Cmd: e.Cmd}) {
 			return
 		}
 		n.commitIndex = i

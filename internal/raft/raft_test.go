@@ -2,6 +2,7 @@ package raft
 
 import (
 	"fmt"
+	"prognosticator/internal/vclock"
 	"testing"
 	"time"
 
@@ -57,7 +58,7 @@ func (c *cluster) waitLeader(within time.Duration, among ...string) *Node {
 		if len(leaders) == 1 {
 			return leaders[0]
 		}
-		time.Sleep(5 * time.Millisecond)
+		vclock.Wall.Sleep(5 * time.Millisecond)
 	}
 	c.t.Fatalf("no single leader among %v within %v", among, within)
 	return nil
@@ -86,7 +87,7 @@ func (c *cluster) proposeAndWait(leader *Node, cmd string, within time.Duration,
 		if done {
 			return
 		}
-		time.Sleep(5 * time.Millisecond)
+		vclock.Wall.Sleep(5 * time.Millisecond)
 	}
 	c.t.Fatalf("entry %d not committed everywhere within %v", idx, within)
 }
@@ -199,7 +200,7 @@ func TestPartitionedMinorityCannotCommit(t *testing.T) {
 	c.net.Partition(minority, majority)
 	// The old leader may accept proposals but must never commit them.
 	idx, _, _ := leader.Propose([]byte("doomed"))
-	time.Sleep(300 * time.Millisecond)
+	vclock.Wall.Sleep(300 * time.Millisecond)
 	if leader.CommitIndex() >= idx {
 		t.Fatal("minority leader committed an entry")
 	}
@@ -240,7 +241,7 @@ func TestLossyNetworkStillCommits(t *testing.T) {
 		}
 		deadline := time.Now().Add(5 * time.Second)
 		for time.Now().Before(deadline) && leader.CommitIndex() < idx {
-			time.Sleep(10 * time.Millisecond)
+			vclock.Wall.Sleep(10 * time.Millisecond)
 		}
 		if leader.CommitIndex() < idx {
 			t.Fatalf("entry %d not committed under loss", idx)

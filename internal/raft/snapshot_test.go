@@ -2,6 +2,7 @@ package raft
 
 import (
 	"fmt"
+	"prognosticator/internal/vclock"
 	"testing"
 	"time"
 
@@ -122,7 +123,7 @@ func waitCommit(t *testing.T, n *Node, idx uint64, within time.Duration) {
 		if !time.Now().Before(deadline) {
 			t.Fatalf("commit index %d, want >= %d within %v", n.CommitIndex(), idx, within)
 		}
-		time.Sleep(5 * time.Millisecond)
+		vclock.Wall.Sleep(5 * time.Millisecond)
 	}
 }
 
@@ -141,7 +142,7 @@ func drainAtLeast(t *testing.T, n *Node, min int, within time.Duration) []Commit
 		select {
 		case e := <-n.Apply():
 			out = append(out, e)
-		case <-time.After(idle):
+		case <-vclock.Wall.After(idle):
 			if len(out) >= min {
 				return out
 			}
@@ -210,7 +211,7 @@ func TestNodeRestartFromSnapshot(t *testing.T) {
 		if !time.Now().Before(deadline) {
 			t.Fatal("no leader within 3s")
 		}
-		time.Sleep(5 * time.Millisecond)
+		vclock.Wall.Sleep(5 * time.Millisecond)
 	}
 	for i := 1; i <= 6; i++ {
 		if _, _, ok := node.Propose([]byte(fmt.Sprintf("cmd-%d", i))); !ok {
@@ -249,7 +250,7 @@ func TestNodeRestartFromSnapshot(t *testing.T) {
 		if !time.Now().Before(deadline) {
 			t.Fatal("no leader after restart within 3s")
 		}
-		time.Sleep(5 * time.Millisecond)
+		vclock.Wall.Sleep(5 * time.Millisecond)
 	}
 	if _, _, ok := node2.Propose([]byte("post-restart")); !ok {
 		t.Fatal("propose rejected after restart")
@@ -297,12 +298,14 @@ func TestLeaderShipsSnapshotToFarBehindFollower(t *testing.T) {
 	c.net.Drain(behindID)
 	c.net.SetDown(behindID, false)
 
-	deadline := time.Now().Add(5 * time.Second)
+	// Generous deadline: under full-suite load the snapshot resend cadence
+	// can need several retries before the follower installs.
+	deadline := time.Now().Add(15 * time.Second)
 	for behind.SnapshotIndex() < compactAt {
 		if !time.Now().Before(deadline) {
 			t.Fatalf("follower snapshot index %d, want >= %d", behind.SnapshotIndex(), compactAt)
 		}
-		time.Sleep(5 * time.Millisecond)
+		vclock.Wall.Sleep(5 * time.Millisecond)
 	}
 	var install *Committed
 	for _, e := range drainAtLeast(t, behind, 1, 3*time.Second) {

@@ -2,6 +2,7 @@ package raft
 
 import (
 	"fmt"
+	"prognosticator/internal/vclock"
 	"testing"
 	"time"
 
@@ -109,7 +110,7 @@ func TestNodeRestartRetainsLog(t *testing.T) {
 					return nodes[id]
 				}
 			}
-			time.Sleep(5 * time.Millisecond)
+			vclock.Wall.Sleep(5 * time.Millisecond)
 		}
 		t.Fatal("no leader")
 		return nil
@@ -125,7 +126,7 @@ func TestNodeRestartRetainsLog(t *testing.T) {
 	}
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) && leader.CommitIndex() < committed[len(committed)-1] {
-		time.Sleep(5 * time.Millisecond)
+		vclock.Wall.Sleep(5 * time.Millisecond)
 	}
 
 	// Crash a follower and restart it from its storage.
@@ -157,7 +158,7 @@ func TestNodeRestartRetainsLog(t *testing.T) {
 	}
 	deadline = time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) && restarted.CommitIndex() < idx {
-		time.Sleep(5 * time.Millisecond)
+		vclock.Wall.Sleep(5 * time.Millisecond)
 	}
 	if restarted.CommitIndex() < idx {
 		t.Fatal("restarted node did not catch up")

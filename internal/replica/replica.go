@@ -31,6 +31,7 @@ import (
 	"prognosticator/internal/store"
 	"prognosticator/internal/tcpnet"
 	"prognosticator/internal/value"
+	"prognosticator/internal/vclock"
 	"prognosticator/internal/wal"
 )
 
@@ -40,6 +41,12 @@ type Replica struct {
 	exec engine.Executor
 	st   *store.Store
 	log  *wal.Log // nil disables durability
+	clk  vclock.Clock
+
+	// onApply, when non-nil, observes every non-duplicate batch application
+	// (index, batch ID, requests, outcomes) from the apply loop — the history
+	// recorder's tap. Set before Start.
+	onApply func(index uint64, id string, reqs []engine.Request, res *engine.BatchResult)
 
 	mu          sync.Mutex
 	lastApplied uint64 // raft index of last applied batch
@@ -101,10 +108,22 @@ func (r *Replica) EnableSnapshots(cfg SnapshotConfig) {
 // New returns a replica applying batches through exec. wlog may be nil.
 func New(id string, exec engine.Executor, st *store.Store, wlog *wal.Log) *Replica {
 	return &Replica{
-		ID: id, exec: exec, st: st, log: wlog,
+		ID: id, exec: exec, st: st, log: wlog, clk: vclock.Wall,
 		appliedIDs: map[string]uint64{},
 		stopCh:     make(chan struct{}),
 	}
+}
+
+// SetClock sets the replica's time source (default: wall clock). Must be
+// called before Start.
+func (r *Replica) SetClock(clk vclock.Clock) { r.clk = vclock.Or(clk) }
+
+// OnApply registers an observer called from the apply loop for every
+// non-duplicate batch application, in apply order. Must be set before Start.
+// Duplicate and re-delivered batches are not reported — the observer sees
+// exactly the executed history.
+func (r *Replica) OnApply(fn func(index uint64, id string, reqs []engine.Request, res *engine.BatchResult)) {
+	r.onApply = fn
 }
 
 // Resume seeds the replica's apply position from a recovery, so that Raft's
@@ -122,11 +141,50 @@ func (r *Replica) Resume(rep RecoveryReport) {
 	}
 }
 
+// applyPollInterval is the simulated-clock apply loop's drain cadence in
+// virtual time. Records on the apply channel carry no event tokens (see
+// raft.Node.deliverLocked), so under a simulated clock the loop polls:
+// consumption is scheduled by timers and a throttled (SetApplyDelay)
+// straggler's backlog cannot freeze virtual time.
+const applyPollInterval = 200 * time.Microsecond
+
 // Start launches the apply loop consuming committed entries.
 func (r *Replica) Start(applyCh <-chan raft.Committed, onError func(error)) {
 	r.wg.Add(1)
-	go func() {
-		defer r.wg.Done()
+	if vclock.IsSim(r.clk) {
+		vclock.Hold(r.clk) // run token, transferred to the loop goroutine
+		go r.runSimApply(applyCh, onError)
+		return
+	}
+	go r.runWallApply(applyCh, onError)
+}
+
+// runWallApply blocks on the apply channel directly (real time).
+func (r *Replica) runWallApply(applyCh <-chan raft.Committed, onError func(error)) {
+	defer r.wg.Done()
+	for {
+		select {
+		case <-r.stopCh:
+			return
+		case c := <-applyCh:
+			if err := r.applyOne(c); err != nil {
+				if onError != nil {
+					onError(err)
+				}
+				return
+			}
+		}
+	}
+}
+
+// runSimApply drains the apply channel on a virtual-time poll tick. Between
+// ticks the goroutine parks, so all pending timers (including this loop's
+// own tick) can fire; stop is honored immediately even while parked, which
+// keeps crash-stop independent of virtual time advancing.
+func (r *Replica) runSimApply(applyCh <-chan raft.Committed, onError func(error)) {
+	defer r.wg.Done()
+	defer vclock.Release(r.clk)
+	for {
 		for {
 			select {
 			case <-r.stopCh:
@@ -138,9 +196,26 @@ func (r *Replica) Start(applyCh <-chan raft.Committed, onError func(error)) {
 					}
 					return
 				}
+				continue
+			default:
 			}
+			break
 		}
-	}()
+		// The poll timer is armed ONLY while parked: applyOne may sleep in
+		// virtual time (SetApplyDelay), and an armed timer firing unread
+		// during that sleep would hold its fire token and freeze the clock.
+		tm := r.clk.NewTimer(applyPollInterval)
+		vclock.Park(r.clk)
+		select {
+		case <-r.stopCh:
+			vclock.Wake(r.clk)
+			tm.Stop()
+			return
+		case <-tm.C():
+			vclock.Wake(r.clk)
+			vclock.Ack(r.clk) // retire the tick's fire token
+		}
+	}
 }
 
 // Stop terminates the apply loop.
@@ -157,7 +232,7 @@ func (r *Replica) SetApplyDelay(d time.Duration) {
 
 func (r *Replica) applyOne(c raft.Committed) error {
 	if d := time.Duration(r.applyDelay.Load()); d > 0 {
-		time.Sleep(d)
+		r.clk.Sleep(d)
 	}
 	if c.Snapshot != nil {
 		return r.installSnapshot(c)
@@ -196,8 +271,12 @@ func (r *Replica) applyOne(c raft.Committed) error {
 			return fmt.Errorf("replica %s: wal: %w", r.ID, err)
 		}
 	}
-	if _, err := r.exec.ExecuteBatch(b.Requests); err != nil {
+	res, err := r.exec.ExecuteBatch(b.Requests)
+	if err != nil {
 		return fmt.Errorf("replica %s: apply batch %d: %w", r.ID, c.Index, err)
+	}
+	if r.onApply != nil {
+		r.onApply(c.Index, b.ID, b.Requests, res)
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -256,7 +335,7 @@ func (r *Replica) snapshotLocked() error {
 	r.snapTaken++
 	if compact := r.snapCfg.Compact; compact != nil {
 		idx := snap.Index
-		go func() { _ = compact(idx, encoded) }()
+		vclock.Go(r.clk, func() { _ = compact(idx, encoded) })
 	}
 	return nil
 }
@@ -542,6 +621,7 @@ type Cluster struct {
 	Dispatchers []*sequencer.Dispatcher
 
 	cfg      ClusterConfig
+	clk      vclock.Clock
 	ids      []string
 	dataDir  string
 	idPrefix string // boot nonce making batch IDs unique across cluster lifetimes
@@ -633,6 +713,16 @@ type ClusterConfig struct {
 	// leader crashes after accepting it but before replicating it; chaos and
 	// slow-apply scenarios tune this down to re-route faster.
 	SubmitWindow time.Duration
+	// Clock is the time source threaded through every layer: raft timers,
+	// flow control, memnet delays, apply throttles, and all submit-path
+	// deadlines. Nil uses the wall clock. A vclock.Sim clock runs the whole
+	// cluster in virtual time, making a run a pure function of (Seed, config).
+	// Not supported with TCP (real sockets need real time).
+	Clock vclock.Clock
+	// OnApply, when non-nil, observes every non-duplicate batch application
+	// on every replica (the history recorder's tap): replica ID, raft index,
+	// batch idempotency ID, the ordered requests and their outcomes.
+	OnApply func(replicaID string, index uint64, batchID string, reqs []engine.Request, res *engine.BatchResult)
 }
 
 // NewCluster assembles and starts an in-process cluster.
@@ -649,10 +739,24 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.Flow.Seed == 0 {
 		cfg.Flow.Seed = cfg.Seed
 	}
+	if cfg.TCP && vclock.IsSim(cfg.Clock) {
+		return nil, fmt.Errorf("replica: simulated clock is not supported over TCP (real sockets need real time)")
+	}
+	clk := vclock.Or(cfg.Clock)
+	if cfg.Flow.Clock == nil {
+		cfg.Flow.Clock = clk
+	}
+	if cfg.Raft.Clock == nil {
+		cfg.Raft.Clock = clk
+	}
 	c := &Cluster{
-		cfg:      cfg,
-		dataDir:  cfg.DataDir,
-		idPrefix: fmt.Sprintf("%x", time.Now().UnixNano()),
+		cfg:     cfg,
+		clk:     clk,
+		dataDir: cfg.DataDir,
+		// The boot nonce comes from the injected clock: under simulation the
+		// virtual epoch is fixed, so batch IDs — and everything derived from
+		// them — are identical across same-seed runs.
+		idPrefix: fmt.Sprintf("%x", clk.Now().UnixNano()),
 		flow:     flowctl.NewController(cfg.Flow),
 		floors:   map[string]*submitFloor{},
 	}
@@ -675,7 +779,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		c.tcpDir = tcpnet.NewDirectory()
 		c.Endpoints = make([]*tcpnet.Endpoint, n)
 	} else {
-		c.Net = memnet.New(cfg.Seed)
+		c.Net = memnet.NewWithClock(cfg.Seed, clk)
 	}
 	for i := range c.ids {
 		if err := c.startNode(i); err != nil {
@@ -753,6 +857,12 @@ func (c *Cluster) startNode(i int) error {
 		}
 	}
 	rep := New(id, exec, st, wlog)
+	rep.SetClock(c.clk)
+	if onApply := c.cfg.OnApply; onApply != nil {
+		rep.OnApply(func(index uint64, batchID string, reqs []engine.Request, res *engine.BatchResult) {
+			onApply(id, index, batchID, reqs, res)
+		})
+	}
 	rep.Resume(recovered)
 	if c.cfg.SnapshotEvery > 0 && c.dataDir != "" {
 		rep.EnableSnapshots(SnapshotConfig{
@@ -1069,7 +1179,7 @@ func (c *Cluster) applyNetFaults() {
 // partition never learns it was deposed), the claimant with the highest term
 // wins — only it can commit.
 func (c *Cluster) WaitLeader(within time.Duration) (int, error) {
-	return c.waitLeader(flowctl.After(within))
+	return c.waitLeader(flowctl.AfterClock(c.clk, within))
 }
 
 func (c *Cluster) waitLeader(dl flowctl.Deadline) (int, error) {
@@ -1121,7 +1231,7 @@ type Request = struct {
 // applied — and each re-proposal spends the retry budget. Every wait runs on
 // seeded jittered backoff under the caller's deadline.
 func (c *Cluster) SubmitBatch(reqs []Request, within time.Duration) error {
-	return c.SubmitBatchDeadline(reqs, flowctl.After(within))
+	return c.SubmitBatchDeadline(reqs, flowctl.AfterClock(c.clk, within))
 }
 
 // SubmitBatchDeadline is SubmitBatch under an explicit propagated deadline:
@@ -1301,7 +1411,7 @@ func (c *Cluster) ackCommit(leader int, id string) {
 	}
 }
 
-/// appliedBatch reports whether enough replicas have applied the batch with
+// appliedBatch reports whether enough replicas have applied the batch with
 // the given idempotency ID: all live replicas, or a majority of the
 // membership with QuorumSubmit. The check is by ID, not by raft index — a
 // deposed leader's proposal can be overwritten, letting the apply index
@@ -1330,7 +1440,7 @@ func (c *Cluster) appliedBatch(id string) bool {
 // leader's current commit index (and a leader exists). After a Restart and a
 // Heal, this is the quiesce point where all state hashes must agree.
 func (c *Cluster) WaitCaughtUp(within time.Duration) error {
-	dl := flowctl.After(within)
+	dl := flowctl.AfterClock(c.clk, within)
 	bo := c.flow.NewBackoff()
 	for {
 		if err := c.Err(); err != nil {
@@ -1364,7 +1474,7 @@ func (c *Cluster) WaitCaughtUp(within time.Duration) error {
 // minIndex — the handshake a test (or operator) uses to know the replica's
 // snapshot both exists on disk and has truncated the consensus log.
 func (c *Cluster) WaitSnapshot(i int, minIndex uint64, within time.Duration) error {
-	dl := flowctl.After(within)
+	dl := flowctl.AfterClock(c.clk, within)
 	bo := c.flow.NewBackoff()
 	for {
 		if got := c.node(i).SnapshotIndex(); got >= minIndex {

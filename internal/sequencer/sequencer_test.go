@@ -2,6 +2,7 @@ package sequencer
 
 import (
 	"errors"
+	"prognosticator/internal/vclock"
 	"testing"
 	"time"
 
@@ -85,7 +86,7 @@ func TestDispatcherFlushThroughRaft(t *testing.T) {
 		if time.Now().After(deadline) {
 			t.Fatal("single node did not become leader")
 		}
-		time.Sleep(5 * time.Millisecond)
+		vclock.Wall.Sleep(5 * time.Millisecond)
 	}
 	d := NewDispatcher(node)
 	if idx, err := d.Flush(); err != nil || idx != 0 {
@@ -116,7 +117,7 @@ func TestDispatcherFlushThroughRaft(t *testing.T) {
 		if len(reqs) != 2 || reqs[0].TxName != "tx1" || reqs[1].TxName != "tx2" {
 			t.Fatalf("decoded %+v", reqs)
 		}
-	case <-time.After(2 * time.Second):
+	case <-vclock.Wall.After(2 * time.Second):
 		t.Fatal("batch never committed")
 	}
 }

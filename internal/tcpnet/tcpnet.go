@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"prognosticator/internal/memnet"
+	"prognosticator/internal/vclock"
 )
 
 // Register registers payload types with the gob codec; call once at startup
@@ -88,7 +89,17 @@ type Endpoint struct {
 	delayMin time.Duration
 	delayMax time.Duration
 	rng      *rand.Rand
+	clk      vclock.Clock
 	stats    Stats
+}
+
+// SetClock sets the time source used for injected delays (default: wall
+// clock). The sockets themselves always run in real time; only the fault
+// timers are virtualized.
+func (e *Endpoint) SetClock(clk vclock.Clock) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.clk = vclock.Or(clk)
 }
 
 // Listen binds a new endpoint on addr ("127.0.0.1:0" for an ephemeral port)
@@ -158,8 +169,9 @@ func (e *Endpoint) Send(to string, payload any) {
 		if e.delayMax > 0 {
 			d := e.delayMin + time.Duration(e.rng.Int63n(int64(e.delayMax-e.delayMin)+1))
 			e.stats.Delayed++
+			clk := vclock.Or(e.clk)
 			e.mu.Unlock()
-			time.AfterFunc(d, func() { e.sendNow(to, payload) })
+			clk.AfterFunc(d, func() { e.sendNow(to, payload) })
 			return
 		}
 	}

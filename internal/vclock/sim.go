@@ -1,0 +1,287 @@
+package vclock
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// simEpoch is the fixed virtual base time. It is a constant (not wall-clock
+// derived) so everything stamped from the clock — batch-ID prefixes, token
+// bucket refills, deadlines — is identical across same-seed runs.
+var simEpoch = time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// Sim is a seeded virtual clock. Obtain Clock handles with Clock(); register
+// goroutine/event tokens with the package helpers (Hold/Release/Park/Wake/
+// Ack/Go). Virtual time advances only when the busy counter reaches zero:
+// the goroutine whose Release zeroed it pops the earliest pending timer,
+// sets now to its deadline, and fires it (the fire token wakes the waiter or
+// runs the AfterFunc inline).
+type Sim struct {
+	seed int64
+
+	mu       sync.Mutex
+	now      time.Time
+	busy     int
+	timers   timerHeap
+	seq      uint64
+	advances uint64
+}
+
+// NewSim returns a simulated clock seeded with seed. The seed does not
+// perturb the clock itself (time is driven purely by timer deadlines); it is
+// carried so layers can derive decision streams via Hash64(Seed(), ...).
+func NewSim(seed int64) *Sim {
+	return &Sim{seed: seed, now: simEpoch}
+}
+
+// Seed returns the simulation seed.
+func (s *Sim) Seed() int64 { return s.seed }
+
+// Clock returns a Clock handle on the simulation. Handles are cheap and
+// shareable; all of them observe the same virtual time.
+func (s *Sim) Clock() Clock { return &SimClock{s: s} }
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Advances returns how many timer fires have driven virtual time so far. It
+// is part of a run's replayable trace: two same-seed runs advance the same
+// number of times.
+func (s *Sim) Advances() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.advances
+}
+
+// Stats returns the busy-token count and pending-timer count, for debugging
+// stalled simulations (a hang with busy > 0 and no runnable goroutine means
+// a leaked token; busy == 0 with no timers means a real deadlock).
+func (s *Sim) Stats() (busy, pendingTimers int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.busy, s.timers.Len()
+}
+
+func (s *Sim) inc() {
+	s.mu.Lock()
+	s.busy++
+	s.mu.Unlock()
+}
+
+// dec retires one busy token. If the counter hits zero, this goroutine
+// performs the advance: pop the earliest timer, move now, fire. Channel
+// timers are delivered under the lock (buffered, never blocks); AfterFunc
+// callbacks run outside the lock holding the fire token, which dec then
+// retires in the next loop iteration (an AfterFunc chain is a loop, not
+// recursion).
+func (s *Sim) dec() {
+	for {
+		s.mu.Lock()
+		s.busy--
+		if s.busy < 0 {
+			s.mu.Unlock()
+			panic("vclock: busy token released twice (Park/Release without matching Wake/Hold)")
+		}
+		var fn func()
+		if s.busy == 0 {
+			fn = s.advanceLocked()
+		}
+		s.mu.Unlock()
+		if fn == nil {
+			return
+		}
+		fn()
+	}
+}
+
+// advanceLocked fires the earliest pending timer, if any. Exactly one timer
+// fires per advance; ties on the deadline fire in creation order across
+// successive advances at the same virtual instant. Returns a non-nil func
+// for AfterFunc timers (run it outside the lock, then release its token).
+func (s *Sim) advanceLocked() func() {
+	if s.timers.Len() == 0 {
+		return nil
+	}
+	tm := heap.Pop(&s.timers).(*simTimer)
+	if tm.when.After(s.now) {
+		s.now = tm.when
+	}
+	s.advances++
+	s.busy++ // fire token: transferred to the waiter or retired after fn
+	tm.state = timerFired
+	if tm.fn != nil {
+		return tm.fn
+	}
+	tm.ch <- s.now // cap 1, sole pending fire: never blocks
+	return nil
+}
+
+// SimClock is a Clock handle on a Sim. Exported only so code can detect
+// simulation via type assertion; construct with (*Sim).Clock().
+type SimClock struct{ s *Sim }
+
+// Sim returns the underlying simulation.
+func (c *SimClock) Sim() *Sim { return c.s }
+
+func (c *SimClock) Now() time.Time                  { return c.s.Now() }
+func (c *SimClock) Since(t time.Time) time.Duration { return c.s.Now().Sub(t) }
+
+// Sleep blocks for d of virtual time: the caller's run token is released and
+// the timer's fire token wakes it, so the busy accounting is seamless.
+func (c *SimClock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	tm := c.s.addTimer(d, nil)
+	c.s.dec()
+	<-tm.ch // fire token becomes our run token
+}
+
+func (c *SimClock) After(d time.Duration) <-chan time.Time { return c.NewTimer(d).C() }
+
+func (c *SimClock) NewTimer(d time.Duration) Timer {
+	return &simTimerHandle{s: c.s, t: c.s.addTimer(d, nil)}
+}
+
+func (c *SimClock) AfterFunc(d time.Duration, f func()) Timer {
+	return &simTimerHandle{s: c.s, t: c.s.addTimer(d, f)}
+}
+
+func (s *Sim) addTimer(d time.Duration, fn func()) *simTimer {
+	if d < 0 {
+		d = 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	tm := &simTimer{when: s.now.Add(d), seq: s.seq, fn: fn, state: timerPending}
+	if fn == nil {
+		tm.ch = make(chan time.Time, 1)
+	}
+	heap.Push(&s.timers, tm)
+	return tm
+}
+
+type timerState int
+
+const (
+	timerPending timerState = iota
+	timerFired
+	timerStopped
+)
+
+type simTimer struct {
+	when  time.Time
+	seq   uint64
+	ch    chan time.Time
+	fn    func()
+	state timerState
+	idx   int // heap index, -1 when popped
+}
+
+type simTimerHandle struct {
+	s *Sim
+	t *simTimer
+}
+
+func (h *simTimerHandle) C() <-chan time.Time { return h.t.ch }
+
+// Stop cancels a pending timer. If the timer already fired but its tick was
+// never read, Stop drains the channel and retires the orphaned fire token —
+// otherwise a raced `select` arm (e.g. a stop signal beating the tick) would
+// stall virtual time forever.
+func (h *simTimerHandle) Stop() bool {
+	h.s.mu.Lock()
+	t := h.t
+	switch t.state {
+	case timerPending:
+		heap.Remove(&h.s.timers, t.idx)
+		t.state = timerStopped
+		h.s.mu.Unlock()
+		return true
+	case timerFired:
+		if t.ch != nil {
+			select {
+			case <-t.ch:
+				// Unread tick: retire its fire token. We hold the lock, so
+				// decrement directly; busy stays > 0 (the caller runs).
+				h.s.busy--
+				if h.s.busy < 0 {
+					h.s.mu.Unlock()
+					panic("vclock: timer fire token released twice")
+				}
+			default:
+			}
+		}
+		t.state = timerStopped
+		h.s.mu.Unlock()
+		return false
+	default:
+		h.s.mu.Unlock()
+		return false
+	}
+}
+
+// Reset re-arms the timer for d from the current virtual now.
+func (h *simTimerHandle) Reset(d time.Duration) bool {
+	active := h.Stop()
+	if d < 0 {
+		d = 0
+	}
+	s := h.s
+	s.mu.Lock()
+	t := h.t
+	s.seq++
+	t.when = s.now.Add(d)
+	t.seq = s.seq
+	t.state = timerPending
+	if t.fn == nil && t.ch == nil {
+		t.ch = make(chan time.Time, 1)
+	}
+	heap.Push(&s.timers, t)
+	s.mu.Unlock()
+	return active
+}
+
+func (s *Sim) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return fmt.Sprintf("sim(seed=%d now=%s busy=%d timers=%d advances=%d)",
+		s.seed, s.now.Format(time.RFC3339Nano), s.busy, s.timers.Len(), s.advances)
+}
+
+// timerHeap orders timers by (deadline, creation seq).
+type timerHeap []*simTimer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if !h[i].when.Equal(h[j].when) {
+		return h[i].when.Before(h[j].when)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *timerHeap) Push(x any) {
+	t := x.(*simTimer)
+	t.idx = len(*h)
+	*h = append(*h, t)
+}
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.idx = -1
+	*h = old[:n-1]
+	return t
+}

@@ -1,0 +1,173 @@
+// Package vclock abstracts time behind a Clock interface with two
+// implementations: Wall (production, delegating to package time) and Sim (a
+// seeded virtual clock for deterministic whole-cluster tests).
+//
+// The simulated clock advances virtual time only at quiescence — when every
+// registered goroutine is blocked and no cross-goroutine event (network
+// message, raft apply record, timer fire) is in flight. Code that runs on the
+// simulated clock therefore executes in milliseconds of real time with zero
+// real sleeps, and a whole run is a pure function of (seed, config).
+//
+// Accounting model: the Sim keeps a single busy counter. Every running
+// goroutine contributes one token (Hold at spawn / Release at exit, or use
+// Go), and every undelivered event contributes one token (Hold before making
+// it receivable, Release/Ack after the receiver consumed it). A goroutine
+// about to block on a non-clock channel Parks (releases its run token) and
+// Wakes on return (re-acquires it); the clock's own Sleep/Timer primitives do
+// this internally, transferring the timer-fire token to the woken goroutine.
+// When the counter hits zero the releasing goroutine pops the earliest
+// pending timer, moves virtual now to its deadline, and fires it.
+//
+// All helpers (Hold/Release/Park/Wake/Ack/Go) are no-ops on non-Sim clocks,
+// so production code paths carry no simulation cost beyond an interface call.
+package vclock
+
+import (
+	"hash/fnv"
+	"time"
+)
+
+// Clock is the time source injected through raft, flowctl, memnet, tcpnet,
+// and the replica layer. Implementations: Wall and (*Sim).Clock().
+type Clock interface {
+	// Now returns the current (wall or virtual) time.
+	Now() time.Time
+	// Since returns Now().Sub(t).
+	Since(t time.Time) time.Duration
+	// Sleep blocks for d (virtual time on Sim: the calling goroutine parks
+	// and the fire token wakes it; no real time elapses).
+	Sleep(d time.Duration)
+	// After returns a channel that delivers the fire time after d. Prefer
+	// NewTimer in long-lived loops: an abandoned After channel on the Sim
+	// clock leaks its fire token and stalls virtual time.
+	After(d time.Duration) <-chan time.Time
+	// NewTimer returns a timer that fires once after d.
+	NewTimer(d time.Duration) Timer
+	// AfterFunc runs f after d on some goroutine (inline on the advancing
+	// goroutine under Sim). The returned timer's Stop cancels a pending f.
+	AfterFunc(d time.Duration, f func()) Timer
+}
+
+// Timer mirrors time.Timer behind an interface so the Sim can account for
+// fire tokens. C returns nil for AfterFunc timers.
+type Timer interface {
+	C() <-chan time.Time
+	// Stop cancels the timer, reporting whether it was still pending. On the
+	// Sim clock Stop also consumes an already-fired-but-unread tick so the
+	// fire token cannot leak.
+	Stop() bool
+	// Reset re-arms the timer for d, reporting whether it was still pending.
+	Reset(d time.Duration) bool
+}
+
+// Wall is the production clock backed by package time.
+var Wall Clock = wallClock{}
+
+type wallClock struct{}
+
+func (wallClock) Now() time.Time                         { return time.Now() }
+func (wallClock) Since(t time.Time) time.Duration        { return time.Since(t) }
+func (wallClock) Sleep(d time.Duration)                  { time.Sleep(d) }
+func (wallClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+func (wallClock) NewTimer(d time.Duration) Timer { return &wallTimer{t: time.NewTimer(d)} }
+
+func (wallClock) AfterFunc(d time.Duration, f func()) Timer {
+	return &wallTimer{t: time.AfterFunc(d, f)}
+}
+
+type wallTimer struct{ t *time.Timer }
+
+func (w *wallTimer) C() <-chan time.Time        { return w.t.C }
+func (w *wallTimer) Stop() bool                 { return w.t.Stop() }
+func (w *wallTimer) Reset(d time.Duration) bool { return w.t.Reset(d) }
+
+// Or returns clk if non-nil, else Wall. Config structs use it so a zero
+// Clock field keeps today's wall-time behavior.
+func Or(clk Clock) Clock {
+	if clk == nil {
+		return Wall
+	}
+	return clk
+}
+
+// IsSim reports whether clk is a simulated clock.
+func IsSim(clk Clock) bool { _, ok := clk.(*SimClock); return ok }
+
+// Hold registers one unit of pending work (a running goroutine or an
+// undelivered event) with clk's simulation; no-op on other clocks. Virtual
+// time cannot advance while any unit is held.
+func Hold(clk Clock) {
+	if sc, ok := clk.(*SimClock); ok {
+		sc.s.inc()
+	}
+}
+
+// Release retires a unit registered with Hold; if it was the last, the
+// calling goroutine advances virtual time to the next timer deadline.
+func Release(clk Clock) {
+	if sc, ok := clk.(*SimClock); ok {
+		sc.s.dec()
+	}
+}
+
+// Park releases the calling goroutine's run token immediately before it
+// blocks on a non-clock channel operation (e.g. a select over a message
+// inbox). Pair with Wake on every select arm. Never call holding a lock a
+// woken peer might need.
+func Park(clk Clock) { Release(clk) }
+
+// Wake re-acquires the calling goroutine's run token after a Park-ed block
+// returns. Call it first on every select arm, before Ack.
+func Wake(clk Clock) { Hold(clk) }
+
+// Ack retires the event token of a message just consumed from a channel the
+// sender Hold-ed for. Call after Wake (the consumer's own token keeps the
+// system busy while it processes the message).
+func Ack(clk Clock) { Release(clk) }
+
+// Go runs fn on a new goroutine that counts as busy for its whole lifetime
+// (the Hold happens before spawn, so there is no gap in which the sim could
+// advance). Use instead of the go statement for clock-aware code.
+func Go(clk Clock, fn func()) {
+	if sc, ok := clk.(*SimClock); ok {
+		sc.s.inc()
+		go func() {
+			defer sc.s.dec()
+			fn()
+		}()
+		return
+	}
+	go fn()
+}
+
+// Hash64 mixes the given values through splitmix64 into one 64-bit hash.
+// Layers use it to derive per-decision randomness (raft election jitter,
+// memnet per-pair loss/delay streams) as a pure function of stable
+// identifiers instead of drawing from a shared rng, whose draw order would
+// depend on goroutine scheduling.
+func Hash64(vs ...uint64) uint64 {
+	h := uint64(0x2545F4914F6CDD1D)
+	for _, v := range vs {
+		h = splitmix64(h ^ v)
+	}
+	return splitmix64(h)
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// HashString folds a string identifier (a node or endpoint name) into a
+// uint64 suitable as a Hash64 input, via FNV-1a.
+func HashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

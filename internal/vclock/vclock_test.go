@@ -1,0 +1,294 @@
+package vclock
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWallBasics(t *testing.T) {
+	clk := Or(nil)
+	if clk != Wall {
+		t.Fatalf("Or(nil) = %v, want Wall", clk)
+	}
+	if IsSim(clk) {
+		t.Fatal("Wall reported as sim")
+	}
+	t0 := clk.Now()
+	clk.Sleep(time.Millisecond)
+	if clk.Since(t0) <= 0 {
+		t.Fatal("wall Since did not advance across Sleep")
+	}
+	tm := clk.NewTimer(time.Millisecond)
+	select {
+	case <-tm.C():
+	case <-time.After(time.Second):
+		t.Fatal("wall timer did not fire")
+	}
+	if tm.Stop() {
+		t.Fatal("Stop on fired wall timer returned true")
+	}
+	tm.Reset(time.Millisecond)
+	select {
+	case <-tm.C():
+	case <-time.After(time.Second):
+		t.Fatal("reset wall timer did not fire")
+	}
+	done := make(chan struct{})
+	clk.AfterFunc(time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("wall AfterFunc did not run")
+	}
+	<-clk.After(time.Millisecond)
+	// Hold/Release/Park/Wake/Ack are no-ops on Wall.
+	Hold(clk)
+	Release(clk)
+	Park(clk)
+	Wake(clk)
+	Ack(clk)
+	ran := make(chan struct{})
+	Go(clk, func() { close(ran) })
+	<-ran
+}
+
+func TestSimSleepAdvancesVirtualTime(t *testing.T) {
+	sim := NewSim(1)
+	clk := sim.Clock()
+	if !IsSim(clk) {
+		t.Fatal("sim clock not detected by IsSim")
+	}
+	if clk.(*SimClock).Sim() != sim {
+		t.Fatal("SimClock.Sim mismatch")
+	}
+	Hold(clk) // the test goroutine registers as busy
+	defer Release(clk)
+	start := clk.Now()
+	real0 := time.Now()
+	clk.Sleep(10 * time.Hour)
+	if got := clk.Since(start); got != 10*time.Hour {
+		t.Fatalf("virtual Sleep advanced %v, want 10h", got)
+	}
+	if elapsed := time.Since(real0); elapsed > 5*time.Second {
+		t.Fatalf("virtual sleep took %v of real time", elapsed)
+	}
+	clk.Sleep(0) // no-op, must not deadlock
+	if sim.Advances() != 1 {
+		t.Fatalf("advances = %d, want 1", sim.Advances())
+	}
+	if sim.Seed() != 1 {
+		t.Fatalf("seed = %d", sim.Seed())
+	}
+}
+
+func TestSimTimerOrderingAcrossGoroutines(t *testing.T) {
+	sim := NewSim(7)
+	clk := sim.Clock()
+	Hold(clk)
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	for _, d := range []struct {
+		name  string
+		sleep time.Duration
+	}{{"c", 30 * time.Millisecond}, {"a", 10 * time.Millisecond}, {"b", 20 * time.Millisecond}} {
+		d := d
+		wg.Add(1)
+		Go(clk, func() {
+			defer wg.Done()
+			clk.Sleep(d.sleep)
+			mu.Lock()
+			order = append(order, fmt.Sprintf("%s@%v", d.name, clk.Since(simEpoch)))
+			mu.Unlock()
+		})
+	}
+	Release(clk) // let the sim run the three sleepers
+	wg.Wait()
+	want := "[a@10ms b@20ms c@30ms]"
+	if got := fmt.Sprintf("%v", order); got != want {
+		t.Fatalf("wake order = %v, want %v", got, want)
+	}
+}
+
+func TestSimAfterFuncChain(t *testing.T) {
+	sim := NewSim(2)
+	clk := sim.Clock()
+	Hold(clk)
+	var fired []time.Duration
+	clk.AfterFunc(5*time.Millisecond, func() {
+		fired = append(fired, clk.Since(simEpoch))
+		clk.AfterFunc(5*time.Millisecond, func() {
+			fired = append(fired, clk.Since(simEpoch))
+		})
+	})
+	// Sleep past both: the chain runs inline on this goroutine's dec loop.
+	clk.Sleep(50 * time.Millisecond)
+	Release(clk)
+	if len(fired) != 2 || fired[0] != 5*time.Millisecond || fired[1] != 10*time.Millisecond {
+		t.Fatalf("AfterFunc chain fired at %v", fired)
+	}
+}
+
+func TestSimParkWakeMessagePassing(t *testing.T) {
+	sim := NewSim(3)
+	clk := sim.Clock()
+	Hold(clk)
+	inbox := make(chan int, 16)
+	stop := make(chan struct{})
+	got := make(chan int, 16)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	Go(clk, func() {
+		defer wg.Done()
+		for {
+			Park(clk)
+			select {
+			case <-stop:
+				Wake(clk)
+				return
+			case v := <-inbox:
+				Wake(clk)
+				Ack(clk)
+				got <- v
+			}
+		}
+	})
+	// Delayed send: schedule via AfterFunc; the event token is held only
+	// once the message is actually enqueued.
+	clk.AfterFunc(time.Second, func() {
+		Hold(clk)
+		inbox <- 42
+	})
+	clk.Sleep(2 * time.Second) // advances past the delivery
+	select {
+	case v := <-got:
+		if v != 42 {
+			t.Fatalf("got %d", v)
+		}
+	default:
+		t.Fatal("delayed message not delivered after virtual sleep")
+	}
+	close(stop)
+	wg.Wait()
+	Release(clk)
+}
+
+// TestSimTimerStopConsumesFiredToken pins the select-race guard: a timer that
+// fired while its owner was parked (but whose tick the owner never read,
+// because another select arm won) leaves an orphaned fire token; Stop must
+// retire it, or virtual time stalls forever.
+func TestSimTimerStopConsumesFiredToken(t *testing.T) {
+	sim := NewSim(4)
+	clk := sim.Clock()
+	Hold(clk)
+	tm := clk.NewTimer(time.Millisecond)
+	Park(clk) // quiescence: the timer fires, tick left unread
+	Wake(clk)
+	if tm.Stop() {
+		t.Fatal("Stop on fired timer returned true")
+	}
+	// The orphaned fire token must have been retired: this Sleep hangs if
+	// busy never reaches zero again.
+	clk.Sleep(time.Millisecond)
+	// Stop on a pending timer cancels it outright.
+	tm2 := clk.NewTimer(time.Hour)
+	if !tm2.Stop() {
+		t.Fatal("Stop on pending timer returned false")
+	}
+	if _, pending := sim.Stats(); pending != 0 {
+		t.Fatalf("pending timers after stops: %d", pending)
+	}
+	// Reset re-arms at a new deadline.
+	tm3 := clk.NewTimer(time.Hour)
+	if !tm3.Reset(time.Millisecond) {
+		t.Fatal("Reset on pending timer returned false")
+	}
+	Park(clk)
+	at := <-tm3.C() // fire token becomes this goroutine's run token
+	if got := at.Sub(simEpoch); got != 3*time.Millisecond {
+		t.Fatalf("reset timer fired at +%v, want +3ms (1ms past the 2ms now)", got)
+	}
+	Release(clk)
+}
+
+func TestSimAfterChannel(t *testing.T) {
+	sim := NewSim(5)
+	clk := sim.Clock()
+	Hold(clk)
+	ch := clk.After(time.Minute)
+	Park(clk)
+	at := <-ch // woken by the fire; its token becomes our run token
+	if got := at.Sub(simEpoch); got != time.Minute {
+		t.Fatalf("After fired at +%v, want +1m", got)
+	}
+	_ = sim.String() // smoke the debug formatter
+	if busy, _ := sim.Stats(); busy != 1 {
+		t.Fatalf("busy = %d, want 1 (this goroutine)", busy)
+	}
+	Release(clk)
+}
+
+func TestSimDoubleReleasePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	sim := NewSim(6)
+	Release(sim.Clock())
+}
+
+// TestSimDeterministicTrace runs the same multi-goroutine scenario twice with
+// the same seed and requires identical event traces: wake order, virtual
+// timestamps, advance counts. The per-step nanosecond term makes every
+// cumulative deadline unique, so the trace cannot depend on how the runtime
+// schedules timer creation.
+func TestSimDeterministicTrace(t *testing.T) {
+	run := func(seed int64) string {
+		sim := NewSim(seed)
+		clk := sim.Clock()
+		Hold(clk)
+		var mu sync.Mutex
+		var trace []string
+		var wg sync.WaitGroup
+		for i := 0; i < 5; i++ {
+			i := i
+			wg.Add(1)
+			Go(clk, func() {
+				defer wg.Done()
+				for step := 0; step < 3; step++ {
+					ms := time.Duration(Hash64(uint64(seed), uint64(i), uint64(step))%1000) * time.Millisecond
+					eps := time.Duration(i+1) * time.Duration(1<<(4*(step+1))) * time.Nanosecond
+					clk.Sleep(ms + eps)
+					mu.Lock()
+					trace = append(trace, fmt.Sprintf("g%d.%d@%v", i, step, clk.Since(simEpoch)))
+					mu.Unlock()
+				}
+			})
+		}
+		Release(clk)
+		wg.Wait()
+		return fmt.Sprintf("%v advances=%d now=%v", trace, sim.Advances(), sim.Now().Sub(simEpoch))
+	}
+	a, b := run(11), run(11)
+	if a != b {
+		t.Fatalf("same-seed traces differ:\n%s\n%s", a, b)
+	}
+	if c := run(12); c == a {
+		t.Fatalf("different seeds produced identical traces: %s", c)
+	}
+}
+
+func TestHash64(t *testing.T) {
+	if Hash64(1, 2, 3) != Hash64(1, 2, 3) {
+		t.Fatal("Hash64 not deterministic")
+	}
+	if Hash64(1, 2, 3) == Hash64(1, 2, 4) {
+		t.Fatal("Hash64 collision on adjacent inputs")
+	}
+	if Hash64() == Hash64(0) {
+		t.Fatal("Hash64 ignores a zero element")
+	}
+}
