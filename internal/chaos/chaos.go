@@ -16,6 +16,7 @@ import (
 
 	"prognosticator/internal/metrics"
 	"prognosticator/internal/replica"
+	"prognosticator/internal/vclock"
 )
 
 // Fault is one schedulable fault kind.
@@ -180,6 +181,10 @@ func (in *Injector) Step(i int) error {
 	}
 	f := in.plan[i]
 	in.mu.Unlock()
+	// Chaos anchors are scheduler yield points: under the cooperative
+	// scheduler the picker may interleave other actors before the fault
+	// lands, and where it does so is itself a pure function of the seed.
+	vclock.Yield(in.c.Clock())
 	in.stepMu.Lock()
 	applied, err := in.apply(f)
 	in.stepMu.Unlock()

@@ -4,8 +4,8 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
-	"strings"
 	"testing"
 	"time"
 
@@ -15,6 +15,7 @@ import (
 	"prognosticator/internal/profile"
 	"prognosticator/internal/raft"
 	"prognosticator/internal/replica"
+	"prognosticator/internal/sched"
 	"prognosticator/internal/sequencer"
 	"prognosticator/internal/store"
 	"prognosticator/internal/value"
@@ -67,12 +68,11 @@ func bankBatch(rng *rand.Rand, txs int) []replica.Request {
 }
 
 // simTrace accumulates the replayable event log of one simulated run. Every
-// line carries the virtual timestamp for debugging, but the replay contract
-// compares the timestamp-stripped event sequence: when several actors are
-// runnable at the same virtual instant, Go's select fairness orders their
-// message arrivals racily (e.g. which candidate's vote request a follower
-// sees first), which can shift election timing without changing the event
-// sequence or the final state.
+// line carries its virtual timestamp, and under the cooperative scheduler
+// (internal/sched) the timestamps are part of the replay contract: the
+// entire interleaving — which actor runs when, which message arrives first,
+// when elections fire — is a pure function of the seed, so two same-seed
+// runs must produce byte-identical traces, timestamps included.
 type simTrace struct {
 	sim *vclock.Sim
 	buf bytes.Buffer
@@ -86,129 +86,121 @@ func (tr *simTrace) add(format string, args ...any) {
 
 func (tr *simTrace) String() string { return tr.buf.String() }
 
-// stripTimes drops the "t=<ns> " prefix from every trace line, leaving the
-// bare event sequence the replay assertion compares.
-func stripTimes(trace string) string {
-	var out bytes.Buffer
-	for _, line := range strings.Split(trace, "\n") {
-		if i := strings.Index(line, " "); i >= 0 && strings.HasPrefix(line, "t=") {
-			line = line[i+1:]
-		}
-		out.WriteString(line)
-		out.WriteByte('\n')
-	}
-	return out.String()
-}
-
-// assertReplay requires two same-seed runs to have produced the identical
-// event sequence and final state hash. Virtual timestamps are shown in the
-// failure output but excluded from the comparison (see simTrace).
+// assertReplay requires two same-seed runs to have produced byte-identical
+// event traces — virtual timestamps included — and the same final state
+// hash. This is the bit-stable replay guarantee: no timestamp stripping, no
+// tolerance for runtime-ordered wakeups.
 func assertReplay(t *testing.T, seed int64, tr1, tr2 string, h1, h2 uint64) {
 	t.Helper()
 	if h1 != h2 {
 		t.Errorf("same-seed runs reached different states: %x vs %x", h1, h2)
 	}
-	if stripTimes(tr1) != stripTimes(tr2) {
+	if tr1 != tr2 {
 		t.Errorf("same-seed runs produced different event traces (seed %d):\n--- run 1 ---\n%s--- run 2 ---\n%s", seed, tr1, tr2)
 	}
 }
 
 // runSimChaosSoak is one fully simulated chaos soak: a 3-replica cluster on
-// a seeded virtual clock, a sequential client, and the chaos fault plan
-// fired inline at batch boundaries. Returns the replayable event trace and
-// the converged state hash.
+// a seeded virtual clock under the cooperative scheduler, a sequential
+// client (the root actor), and the chaos fault plan fired inline at batch
+// boundaries. Returns the replayable event trace and the converged state
+// hash.
 func runSimChaosSoak(t *testing.T, seed int64) (string, uint64) {
 	t.Helper()
 	const steps, batches, txsPerBatch = 12, 24, 8
 	sim := vclock.NewSim(seed)
 	clk := sim.Clock()
-	vclock.Hold(clk) // the client is an actor: time may not advance under it
-	defer vclock.Release(clk)
-
 	reg := bankRegistry(t)
-	c, err := replica.NewCluster(replica.ClusterConfig{
-		Replicas: 3,
-		Seed:     seed,
-		Clock:    clk,
-		NewExecutor: func(id string, st *store.Store) (engine.Executor, error) {
-			return engine.New(reg, st, engine.Config{Workers: 4}), nil
-		},
-		DataDir:       t.TempDir(),
-		SnapshotEvery: 8,
-		QuorumSubmit:  true,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer c.Stop()
-
+	dir := t.TempDir()
 	tr := &simTrace{sim: sim}
-	in := New(c, Config{Seed: seed, Steps: steps, Logf: t.Logf})
-	tr.add("plan %v", in.Plan())
+	var want uint64
 
-	refStore := store.New()
-	refExec := engine.New(reg, refStore, engine.Config{Workers: 4})
-	refIdx := uint64(0)
-	mirror := func(reqs []replica.Request) {
-		t.Helper()
-		if err := mirrorBatch(refExec, &refIdx, reqs); err != nil {
+	if err := sched.Run(sim, func() {
+		c, err := replica.NewCluster(replica.ClusterConfig{
+			Replicas: 3,
+			Seed:     seed,
+			Clock:    clk,
+			NewExecutor: func(id string, st *store.Store) (engine.Executor, error) {
+				return engine.New(reg, st, engine.Config{Workers: 4}), nil
+			},
+			DataDir:       dir,
+			SnapshotEvery: 8,
+			QuorumSubmit:  true,
+		})
+		if err != nil {
 			t.Fatal(err)
 		}
-	}
+		defer c.Stop()
 
-	workRng := rand.New(rand.NewSource(seed * 31))
-	stepIdx := 0
-	stepEvery := batches / steps
-	if stepEvery < 1 {
-		stepEvery = 1
-	}
-	for b := 0; b < batches; b++ {
-		if b%stepEvery == 0 && stepIdx < in.Steps() {
-			if err := in.Step(stepIdx); err != nil {
-				t.Fatalf("chaos step %d: %v", stepIdx, err)
+		in := New(c, Config{Seed: seed, Steps: steps, Logf: t.Logf})
+		tr.add("plan %v", in.Plan())
+
+		refStore := store.New()
+		refExec := engine.New(reg, refStore, engine.Config{Workers: 4})
+		refIdx := uint64(0)
+		mirror := func(reqs []replica.Request) {
+			t.Helper()
+			if err := mirrorBatch(refExec, &refIdx, reqs); err != nil {
+				t.Fatal(err)
 			}
-			tr.add("step %d %s", stepIdx, in.Plan()[stepIdx])
-			stepIdx++
 		}
-		reqs := bankBatch(workRng, txsPerBatch)
-		if err := c.SubmitBatch(reqs, 60*time.Second); err != nil {
-			t.Fatalf("batch %d: %v", b, err)
-		}
-		mirror(reqs)
-		tr.add("batch %d ok", b)
-	}
 
-	if err := in.Quiesce(60 * time.Second); err != nil {
+		workRng := rand.New(rand.NewSource(seed * 31))
+		stepIdx := 0
+		stepEvery := batches / steps
+		if stepEvery < 1 {
+			stepEvery = 1
+		}
+		for b := 0; b < batches; b++ {
+			if b%stepEvery == 0 && stepIdx < in.Steps() {
+				if err := in.Step(stepIdx); err != nil {
+					t.Fatalf("chaos step %d: %v", stepIdx, err)
+				}
+				tr.add("step %d %s", stepIdx, in.Plan()[stepIdx])
+				stepIdx++
+			}
+			reqs := bankBatch(workRng, txsPerBatch)
+			if err := c.SubmitBatch(reqs, 60*time.Second); err != nil {
+				t.Fatalf("batch %d: %v", b, err)
+			}
+			mirror(reqs)
+			tr.add("batch %d ok", b)
+		}
+
+		if err := in.Quiesce(60 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Err(); err != nil {
+			t.Fatal(err)
+		}
+		tr.add("quiesced")
+
+		// Final all-live batch: propagates the dedup watermark everywhere.
+		final := bankBatch(workRng, txsPerBatch)
+		if err := c.SubmitBatch(final, 60*time.Second); err != nil {
+			t.Fatalf("final batch: %v", err)
+		}
+		mirror(final)
+
+		if !c.Converged() {
+			t.Fatalf("replicas diverged after quiesce: %v", c.StateHashes())
+		}
+		want = refStore.StateHash(refStore.Epoch())
+		hashes := c.StateHashes()
+		for i, h := range hashes {
+			if h != want {
+				t.Fatalf("replica %d state %x != fault-free reference %x", i, h, want)
+			}
+		}
+		for i := 0; i < c.Size(); i++ {
+			if got := c.ReplicaAt(i).Batches(); got != batches+1 {
+				t.Errorf("replica %d reflects %d batches, want %d", i, got, batches+1)
+			}
+		}
+		tr.add("converged hash=%016x", want)
+	}); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Err(); err != nil {
-		t.Fatal(err)
-	}
-	tr.add("quiesced")
-
-	// Final all-live batch: propagates the dedup watermark everywhere.
-	final := bankBatch(workRng, txsPerBatch)
-	if err := c.SubmitBatch(final, 60*time.Second); err != nil {
-		t.Fatalf("final batch: %v", err)
-	}
-	mirror(final)
-
-	if !c.Converged() {
-		t.Fatalf("replicas diverged after quiesce: %v", c.StateHashes())
-	}
-	want := refStore.StateHash(refStore.Epoch())
-	hashes := c.StateHashes()
-	for i, h := range hashes {
-		if h != want {
-			t.Fatalf("replica %d state %x != fault-free reference %x", i, h, want)
-		}
-	}
-	for i := 0; i < c.Size(); i++ {
-		if got := c.ReplicaAt(i).Batches(); got != batches+1 {
-			t.Errorf("replica %d reflects %d batches, want %d", i, got, batches+1)
-		}
-	}
-	tr.add("converged hash=%016x", want)
 	return tr.String(), want
 }
 
@@ -240,6 +232,40 @@ func TestSimChaosSoak(t *testing.T) {
 	assertReplay(t, seed, tr1, tr2, h1, h2)
 }
 
+// Golden replay pins for TestGoldenSeedReplay: the converged state hash and
+// the FNV-1a hash of the full event trace for one fixed seed. These values
+// are part of the determinism contract — they must reproduce on any
+// machine, any GOMAXPROCS, with or without -race. They legitimately change
+// only when the simulation's event sequence changes by design (scheduler
+// pick function, chaos plan, workload generator, timer cadence, message
+// encoding); regenerate by running
+//
+//	go test -run TestGoldenSeedReplay -v ./internal/chaos
+//
+// and copying the hashes from the failure output.
+const (
+	goldenSeed             = 42
+	goldenStateHash uint64 = 0xbfde4f046cd3036f
+	goldenTraceHash uint64 = 0x1f4f593a10dab785
+)
+
+// TestGoldenSeedReplay is the cross-machine regression pin for bit-stable
+// simulation: seed 42's chaos soak must converge to exactly the golden
+// state hash with exactly the golden event trace, forever. A failure here
+// without an intentional simulation change means determinism regressed —
+// some new code path consults the Go runtime's scheduling, a map order, or
+// wall time.
+func TestGoldenSeedReplay(t *testing.T) {
+	tr, state := runSimChaosSoak(t, goldenSeed)
+	h := fnv.New64a()
+	h.Write([]byte(tr))
+	traceHash := h.Sum64()
+	if state != goldenStateHash || traceHash != goldenTraceHash {
+		t.Errorf("golden replay diverged (seed %d):\n  state hash %#016x, want %#016x\n  trace hash %#016x, want %#016x\nIf the simulation changed BY DESIGN, update goldenStateHash/goldenTraceHash to these values.",
+			goldenSeed, state, goldenStateHash, traceHash, goldenTraceHash)
+	}
+}
+
 // runSimOverloadSoak drives sustained sequential submit pressure against a
 // flow-limited cluster on the virtual clock: admission decisions (token
 // bucket, retry budget, breaker) all run in virtual time, so the
@@ -249,99 +275,103 @@ func runSimOverloadSoak(t *testing.T, seed int64) (string, uint64) {
 	const attempts, txsPerBatch = 40, 8
 	sim := vclock.NewSim(seed)
 	clk := sim.Clock()
-	vclock.Hold(clk)
-	defer vclock.Release(clk)
-
 	reg := bankRegistry(t)
-	c, err := replica.NewCluster(replica.ClusterConfig{
-		Replicas: 3,
-		Seed:     seed,
-		Clock:    clk,
-		NewExecutor: func(id string, st *store.Store) (engine.Executor, error) {
-			return engine.New(reg, st, engine.Config{Workers: 4}), nil
-		},
-		DataDir:      t.TempDir(),
-		QuorumSubmit: true,
-		Flow: flowctl.Config{
-			MaxQueue:    4,
-			MaxInflight: 3,
-			SubmitRate:  15,
-		},
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer c.Stop()
-
+	dir := t.TempDir()
 	tr := &simTrace{sim: sim}
-	refStore := store.New()
-	refExec := engine.New(reg, refStore, engine.Config{Workers: 4})
-	refIdx := uint64(0)
+	var want uint64
 
-	workRng := rand.New(rand.NewSource(seed * 131))
-	admitted, shed := 0, 0
-	for a := 0; a < attempts; a++ {
-		reqs := bankBatch(workRng, txsPerBatch)
-		err := c.SubmitBatch(reqs, 30*time.Second)
-		switch {
-		case err == nil:
-			admitted++
-			if merr := mirrorBatch(refExec, &refIdx, reqs); merr != nil {
-				t.Fatal(merr)
-			}
-			tr.add("submit %d admitted", a)
-		case errors.Is(err, flowctl.ErrOverload) || errors.Is(err, flowctl.ErrDeadlineExceeded):
-			shed++
-			tr.add("submit %d shed", a)
-		default:
-			t.Fatalf("submit %d: non-flowctl error: %v", a, err)
+	if err := sched.Run(sim, func() {
+		c, err := replica.NewCluster(replica.ClusterConfig{
+			Replicas: 3,
+			Seed:     seed,
+			Clock:    clk,
+			NewExecutor: func(id string, st *store.Store) (engine.Executor, error) {
+				return engine.New(reg, st, engine.Config{Workers: 4}), nil
+			},
+			DataDir:      dir,
+			QuorumSubmit: true,
+			Flow: flowctl.Config{
+				MaxQueue:    4,
+				MaxInflight: 3,
+				SubmitRate:  15,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
 		}
-	}
-	if shed == 0 {
-		t.Error("sustained overload shed nothing — admission control never engaged")
-	}
+		defer c.Stop()
 
-	// Drain: wait for token-bucket refill (virtual time!) and land one final
-	// batch so the dedup watermark propagates.
-	var finalErr error
-	for tries := 0; tries < 50; tries++ {
-		reqs := bankBatch(workRng, 4)
-		finalErr = c.SubmitBatch(reqs, 30*time.Second)
-		if finalErr == nil {
-			admitted++
-			if merr := mirrorBatch(refExec, &refIdx, reqs); merr != nil {
-				t.Fatal(merr)
+		refStore := store.New()
+		refExec := engine.New(reg, refStore, engine.Config{Workers: 4})
+		refIdx := uint64(0)
+
+		workRng := rand.New(rand.NewSource(seed * 131))
+		admitted, shed := 0, 0
+		for a := 0; a < attempts; a++ {
+			reqs := bankBatch(workRng, txsPerBatch)
+			err := c.SubmitBatch(reqs, 30*time.Second)
+			switch {
+			case err == nil:
+				admitted++
+				if merr := mirrorBatch(refExec, &refIdx, reqs); merr != nil {
+					t.Fatal(merr)
+				}
+				tr.add("submit %d admitted", a)
+			case errors.Is(err, flowctl.ErrOverload) || errors.Is(err, flowctl.ErrDeadlineExceeded):
+				shed++
+				tr.add("submit %d shed", a)
+			default:
+				t.Fatalf("submit %d: non-flowctl error: %v", a, err)
 			}
-			break
 		}
-		if !errors.Is(finalErr, flowctl.ErrOverload) {
-			t.Fatalf("final batch: %v", finalErr)
+		if shed == 0 {
+			t.Error("sustained overload shed nothing — admission control never engaged")
 		}
-		clk.Sleep(200 * time.Millisecond)
-	}
-	if finalErr != nil {
-		t.Fatalf("final batch never admitted: %v", finalErr)
-	}
-	if err := c.WaitCaughtUp(30 * time.Second); err != nil {
+
+		// Drain: wait for token-bucket refill (virtual time!) and land one final
+		// batch so the dedup watermark propagates.
+		var finalErr error
+		for tries := 0; tries < 50; tries++ {
+			reqs := bankBatch(workRng, 4)
+			finalErr = c.SubmitBatch(reqs, 30*time.Second)
+			if finalErr == nil {
+				admitted++
+				if merr := mirrorBatch(refExec, &refIdx, reqs); merr != nil {
+					t.Fatal(merr)
+				}
+				break
+			}
+			if !errors.Is(finalErr, flowctl.ErrOverload) {
+				t.Fatalf("final batch: %v", finalErr)
+			}
+			clk.Sleep(200 * time.Millisecond)
+		}
+		if finalErr != nil {
+			t.Fatalf("final batch never admitted: %v", finalErr)
+		}
+		if err := c.WaitCaughtUp(30 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+
+		tr.add("admitted=%d shed=%d flow=%s", admitted, shed, c.Flow().Counters())
+		if !c.Converged() {
+			t.Fatalf("replicas diverged: %v", c.StateHashes())
+		}
+		want = refStore.StateHash(refStore.Epoch())
+		for i, h := range c.StateHashes() {
+			if h != want {
+				t.Fatalf("replica %d state %x != admitted-set reference %x", i, h, want)
+			}
+		}
+		for i := 0; i < c.Size(); i++ {
+			if got := c.ReplicaAt(i).Batches(); got != admitted {
+				t.Errorf("replica %d reflects %d batches, want exactly the %d admitted", i, got, admitted)
+			}
+		}
+		tr.add("converged hash=%016x", want)
+	}); err != nil {
 		t.Fatal(err)
 	}
-
-	tr.add("admitted=%d shed=%d flow=%s", admitted, shed, c.Flow().Counters())
-	if !c.Converged() {
-		t.Fatalf("replicas diverged: %v", c.StateHashes())
-	}
-	want := refStore.StateHash(refStore.Epoch())
-	for i, h := range c.StateHashes() {
-		if h != want {
-			t.Fatalf("replica %d state %x != admitted-set reference %x", i, h, want)
-		}
-	}
-	for i := 0; i < c.Size(); i++ {
-		if got := c.ReplicaAt(i).Batches(); got != admitted {
-			t.Errorf("replica %d reflects %d batches, want exactly the %d admitted", i, got, admitted)
-		}
-	}
-	tr.add("converged hash=%016x", want)
 	return tr.String(), want
 }
 
@@ -373,6 +403,12 @@ func TestSimSerializability(t *testing.T) {
 		}
 		if err := rec.Check(nil); err != nil {
 			t.Errorf("recorded bank history rejected: %v", err)
+		}
+		if len(rec.Traces()) == 0 {
+			t.Fatal("no lock traces recorded")
+		}
+		if err := rec.CheckTraced(nil); err != nil {
+			t.Errorf("lock-grant-traced bank history rejected: %v", err)
 		}
 	})
 
@@ -407,6 +443,9 @@ func TestSimSerializability(t *testing.T) {
 		if err := rec.Check(initial); err != nil {
 			t.Errorf("recorded TPC-C history rejected: %v", err)
 		}
+		if err := rec.CheckTraced(initial); err != nil {
+			t.Errorf("lock-grant-traced TPC-C history rejected: %v", err)
+		}
 	})
 
 	t.Run("rejects-injected-anomaly", func(t *testing.T) {
@@ -435,65 +474,68 @@ func simSerializabilityRun(t *testing.T, seed int64, reg *engine.Registry, popul
 	const batches = 16
 	sim := vclock.NewSim(seed)
 	clk := sim.Clock()
-	vclock.Hold(clk)
-	defer vclock.Release(clk)
+	dir := t.TempDir()
 
 	rec := history.NewRecorder()
-	c, err := replica.NewCluster(replica.ClusterConfig{
-		Replicas: 3,
-		Seed:     seed,
-		Clock:    clk,
-		NewExecutor: func(id string, st *store.Store) (engine.Executor, error) {
-			if populate != nil {
-				populate(st)
-			}
-			return engine.New(reg, st, engine.Config{Workers: 4, RecordFootprints: true}), nil
-		},
-		DataDir:      t.TempDir(),
-		QuorumSubmit: true,
-		OnApply:      rec.Observe,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer c.Stop()
-
-	workRng := rand.New(rand.NewSource(seed * 53))
-	for b := 0; b < batches; b++ {
-		if withFaults {
-			switch b {
-			case 3:
-				c.SetLoss(0.10)
-			case 6:
-				c.SetLoss(0)
-				c.SetDelay(0, 2*time.Millisecond)
-			case 9:
-				c.SetDelay(0, 0)
-				if li, lerr := c.WaitLeader(10 * time.Second); lerr == nil {
-					ids := c.IDs()
-					minority := []string{ids[li]}
-					var majority []string
-					for i, id := range ids {
-						if i != li {
-							majority = append(majority, id)
-						}
-					}
-					c.Net.Partition(minority, majority)
+	if err := sched.Run(sim, func() {
+		c, err := replica.NewCluster(replica.ClusterConfig{
+			Replicas: 3,
+			Seed:     seed,
+			Clock:    clk,
+			NewExecutor: func(id string, st *store.Store) (engine.Executor, error) {
+				if populate != nil {
+					populate(st)
 				}
-			case 12:
-				c.Net.Heal()
+				return engine.New(reg, st, engine.Config{Workers: 4, RecordFootprints: true, TraceLocks: true}), nil
+			},
+			DataDir:      dir,
+			QuorumSubmit: true,
+			OnApply:      rec.Observe,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Stop()
+
+		workRng := rand.New(rand.NewSource(seed * 53))
+		for b := 0; b < batches; b++ {
+			if withFaults {
+				switch b {
+				case 3:
+					c.SetLoss(0.10)
+				case 6:
+					c.SetLoss(0)
+					c.SetDelay(0, 2*time.Millisecond)
+				case 9:
+					c.SetDelay(0, 0)
+					if li, lerr := c.WaitLeader(10 * time.Second); lerr == nil {
+						ids := c.IDs()
+						minority := []string{ids[li]}
+						var majority []string
+						for i, id := range ids {
+							if i != li {
+								majority = append(majority, id)
+							}
+						}
+						c.Net.Partition(minority, majority)
+					}
+				case 12:
+					c.Net.Heal()
+				}
+			}
+			if err := c.SubmitBatch(makeBatch(workRng), 60*time.Second); err != nil {
+				t.Fatalf("batch %d: %v", b, err)
 			}
 		}
-		if err := c.SubmitBatch(makeBatch(workRng), 60*time.Second); err != nil {
-			t.Fatalf("batch %d: %v", b, err)
+		if withFaults {
+			c.Net.Heal()
+			c.SetLoss(0)
+			c.SetDelay(0, 0)
 		}
-	}
-	if withFaults {
-		c.Net.Heal()
-		c.SetLoss(0)
-		c.SetDelay(0, 0)
-	}
-	if err := c.WaitCaughtUp(30 * time.Second); err != nil {
+		if err := c.WaitCaughtUp(30 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}); err != nil {
 		t.Fatal(err)
 	}
 	return rec

@@ -28,8 +28,15 @@ var _ Executor = (*Engine)(nil)
 
 // New returns an engine over the given catalog and store.
 func New(reg *Registry, st *store.Store, cfg Config) *Engine {
-	return &Engine{reg: reg, st: st, cfg: cfg.withDefaults(), lt: locktable.New()}
+	e := &Engine{reg: reg, st: st, cfg: cfg.withDefaults(), lt: locktable.New()}
+	e.lt.EnableTrace(e.cfg.TraceLocks)
+	return e
 }
+
+// LockTable exposes the engine's lock table. Tests use it to plant
+// mutations (locktable.Table.SetUnsafeLIFOGrants) and inspect traces; the
+// engine owns it and resets it every execution round.
+func (e *Engine) LockTable() *locktable.Table { return e.lt }
 
 // Name implements Executor.
 func (e *Engine) Name() string { return e.cfg.VariantName() }
@@ -155,10 +162,11 @@ func (e *Engine) ExecuteBatch(batch []Request) (*BatchResult, error) {
 	}
 
 	// Phases 2+3: enqueue and execute.
-	failed, err := e.executeRound(updates, writer)
+	failed, trace, err := e.executeRound(updates, writer, 0)
 	if err != nil {
 		return nil, err
 	}
+	res.LockTrace = trace
 
 	// Phase 4: failed transactions.
 	switch e.cfg.Fail {
@@ -183,10 +191,11 @@ func (e *Engine) ExecuteBatch(batch []Request) (*BatchResult, error) {
 				}
 			}
 			prev := len(failed)
-			failed, err = e.executeRound(failed, writer)
+			failed, trace, err = e.executeRound(failed, writer, round+1)
 			if err != nil {
 				return nil, err
 			}
+			res.LockTrace = append(res.LockTrace, trace...)
 			// Robustness fallback: a round that commits nothing means the
 			// profile mispredicts persistently (e.g. read-own-write
 			// aliasing outside the profile's model). Sequential unguarded
@@ -230,10 +239,12 @@ func sortBySeq(txs []*txRuntime) {
 
 // executeRound enqueues the given transactions (in slice order) and drains
 // the ready queue with the worker pool. It returns the transactions that
-// failed pivot validation or key-set guarding.
-func (e *Engine) executeRound(txs []*txRuntime, writer *store.WriteView) ([]*txRuntime, error) {
+// failed pivot validation or key-set guarding, plus — with
+// Config.TraceLocks — the round's lock grant/release trace. Sequential
+// fallback execution (execDirect) takes no locks and leaves no trace.
+func (e *Engine) executeRound(txs []*txRuntime, writer *store.WriteView, round int) ([]*txRuntime, []locktable.Record, error) {
 	if len(txs) == 0 {
-		return nil, nil
+		return nil, nil, nil
 	}
 	e.lt.Reset()
 	readyCh := make(chan *locktable.Entry, len(txs)+1)
@@ -274,9 +285,9 @@ func (e *Engine) executeRound(txs []*txRuntime, writer *store.WriteView) ([]*txR
 	}
 	wg.Wait()
 	if firstErr != nil {
-		return nil, firstErr
+		return nil, nil, firstErr
 	}
-	return failed, nil
+	return failed, e.lt.CollectTrace(round), nil
 }
 
 // execROT runs a read-only transaction against the snapshot; no locks, no

@@ -110,6 +110,12 @@ type Config struct {
 	// serializability history checker (internal/history). Off by default:
 	// recording allocates per transaction.
 	RecordFootprints bool
+	// TraceLocks makes every execution round emit its lock grant/release
+	// records into BatchResult.LockTrace. Combined with RecordFootprints,
+	// the trace lets the serializability checker reconstruct the EFFECTIVE
+	// serial order from what the lock table actually did, rather than
+	// trusting the agreed order (see history.CheckTraced). Off by default.
+	TraceLocks bool
 }
 
 // VariantName renders the configuration the way the paper labels it, e.g.
@@ -191,6 +197,9 @@ type BatchResult struct {
 	FailRound int // number of re-execution rounds needed
 	// VirtualMakespan is the batch's span in virtual time (simulator only).
 	VirtualMakespan time.Duration
+	// LockTrace is the batch's lock grant/release record stream across all
+	// execution rounds, recorded only with Config.TraceLocks.
+	LockTrace []locktable.Record
 }
 
 // Executor is the interface shared by the Prognosticator engine and the

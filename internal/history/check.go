@@ -35,14 +35,29 @@ type version struct {
 //
 // A read whose fingerprint matches no preceding write at all is reported
 // as a "fractured read" (it observed a value that was never committed).
-// Cycles are reported in preference to stale reads; nil means the history
-// is exactly serializable in commit order.
+// Fractured reads are reported first, then cycles, then stale reads; nil
+// means the history is exactly serializable in commit order.
 func Check(ops []Op, initial map[string]string) error {
 	sorted := sortEffective(ops)
+	adj, fractured, stale := buildGraph(sorted, initial)
+	if fractured != nil {
+		return fractured
+	}
+	if cyc := findCycle(adj); cyc != nil {
+		return fmt.Errorf("history: serializability violation: dependency cycle %s", cycleIDs(sorted, cyc))
+	}
+	return stale
+}
 
-	// Build per-key version lists in effective order. Each op's write set
-	// holds at most one (final) write per key, so versions are strictly
-	// ordered by writer position.
+// buildGraph builds the direct serialization graph of the history under the
+// GIVEN order: per-key version lists, read attribution (nearest preceding
+// matching fingerprint), and WR/WW/RW edges. It returns the adjacency list
+// plus the first fractured-read and stale-read findings (nil when clean);
+// fractured reads contribute no edges but do not stop graph construction,
+// so callers may still run cycle detection on the rest.
+func buildGraph(sorted []Op, initial map[string]string) (adj [][]int, fractured, stale error) {
+	// Each op's write set holds at most one (final) write per key, so
+	// versions are strictly ordered by writer position.
 	versions := map[string][]version{}
 	verOf := func(k string) []version {
 		if vs, ok := versions[k]; ok {
@@ -58,14 +73,13 @@ func Check(ops []Op, initial map[string]string) error {
 		}
 	}
 
-	adj := make([][]int, len(sorted))
+	adj = make([][]int, len(sorted))
 	addEdge := func(from, to int) {
 		if from != to {
 			adj[from] = append(adj[from], to)
 		}
 	}
 
-	var stale error
 	for i := range sorted {
 		for _, r := range sorted[i].Reads {
 			vs := verOf(r.Key)
@@ -79,8 +93,11 @@ func Check(ops []Op, initial map[string]string) error {
 				m--
 			}
 			if m < 0 {
-				return fmt.Errorf("history: fractured read: op %s read %s=%q, which no preceding write produced",
-					sorted[i].ID, r.Key, r.Val)
+				if fractured == nil {
+					fractured = fmt.Errorf("history: fractured read: op %s read %s=%q, which no preceding write produced",
+						sorted[i].ID, r.Key, r.Val)
+				}
+				continue
 			}
 			if m != j && stale == nil {
 				stale = fmt.Errorf("history: stale read: op %s read %s from op %s, but the latest preceding write is op %s",
@@ -112,15 +129,16 @@ func Check(ops []Op, initial map[string]string) error {
 			prev = v.op
 		}
 	}
+	return adj, fractured, stale
+}
 
-	if cyc := findCycle(adj); cyc != nil {
-		ids := make([]string, len(cyc))
-		for i, n := range cyc {
-			ids[i] = sorted[n].ID
-		}
-		return fmt.Errorf("history: serializability violation: dependency cycle %s", strings.Join(ids, " -> "))
+// cycleIDs renders a findCycle result as "a -> b -> c".
+func cycleIDs(sorted []Op, cyc []int) string {
+	ids := make([]string, len(cyc))
+	for i, n := range cyc {
+		ids[i] = sorted[n].ID
 	}
-	return stale
+	return strings.Join(ids, " -> ")
 }
 
 func opID(sorted []Op, i int) string {

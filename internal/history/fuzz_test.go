@@ -1,0 +1,220 @@
+package history
+
+import (
+	"fmt"
+	"prognosticator/internal/engine"
+	"testing"
+)
+
+// FuzzHistoryCheck drives the serializability checker from both sides with a
+// deterministic mini-executor. The fuzz input encodes a transaction schedule
+// (RMWs, blind writes, read-only transactions, batch boundaries over a
+// 4-key space) that is executed serially in agreed order, so the resulting
+// history is serializable by construction and Check/CheckTraced must accept
+// it. The first input byte optionally selects an anomaly to inject into the
+// accepted history — a fractured read, a lost update, or a write skew — and
+// the checkers must then reject it. Soundness and completeness are thus
+// fuzzed together: no false alarms on clean histories, no misses on planted
+// anomalies.
+func FuzzHistoryCheck(f *testing.F) {
+	f.Add([]byte("\x00\x00\x00\x01\x00\x02\x01\x03\x02\x05\x01")) // clean mixed schedule
+	f.Add([]byte("\x01\x00\x00\x00\x00"))                         // fractured-read injection
+	f.Add([]byte("\x02\x00\x00\x00\x00\x00\x00"))                 // lost-update injection
+	f.Add([]byte("\x03\x03\x00\x03\x01"))                         // write-skew injection
+	f.Add([]byte("\x00\x00\x00\x07\x00\x03\x01\x05\x06\x01\x02")) // batch boundary
+	f.Add([]byte("\x02\x00\x00\x07\x00\x00\x00\x07\x00\x00\x00")) // lost update across batches
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		mutation := data[0] % 4
+		ops := buildFuzzHistory(data[1:])
+		if err := Check(ops, nil); err != nil {
+			t.Fatalf("checker rejected a serially executed history: %v\nops: %+v", err, ops)
+		}
+		if err := CheckTraced(ops, nil, nil); err != nil {
+			t.Fatalf("traced checker rejected a serially executed history: %v\nops: %+v", err, ops)
+		}
+		if mutation == 0 {
+			return
+		}
+		name, ok := injectAnomaly(ops, mutation)
+		if !ok {
+			return // schedule lacks the structure this anomaly needs
+		}
+		if Check(ops, nil) == nil {
+			t.Fatalf("checker accepted a history with an injected %s\nops: %+v", name, ops)
+		}
+		if CheckTraced(ops, nil, nil) == nil {
+			t.Fatalf("traced checker accepted a history with an injected %s\nops: %+v", name, ops)
+		}
+	})
+}
+
+// buildFuzzHistory decodes byte pairs into transactions and executes them
+// serially against an in-memory fingerprint store. Every write fingerprint is
+// unique (v<seq>), so read attribution in the checker is exact. Op kinds:
+// 0-2 read-modify-write, 3-4 blind write, 5-6 read-only over two keys,
+// 7 batch boundary (bumps the apply index, emits no op).
+func buildFuzzHistory(data []byte) []Op {
+	cur := map[string]string{}
+	var ops []Op
+	seq, index := uint64(0), uint64(1)
+	for i := 0; i+1 < len(data) && len(ops) < 48; i += 2 {
+		kind := data[i] % 8
+		key := fuzzKey(data[i+1])
+		if kind == 7 {
+			index++
+			continue
+		}
+		seq++
+		op := Op{
+			ID:    fmt.Sprintf("b%d/%d", index, seq),
+			Index: index,
+			Seq:   seq,
+			Name:  "fuzz",
+		}
+		val := fmt.Sprintf("v%d", seq)
+		switch {
+		case kind <= 2: // RMW
+			op.Reads = []engine.Access{{Key: key, Val: cur[key]}}
+			op.Writes = []engine.Access{{Key: key, Val: val}}
+			cur[key] = val
+		case kind <= 4: // blind write
+			op.Writes = []engine.Access{{Key: key, Val: val}}
+			cur[key] = val
+		default: // read-only over up to two keys
+			op.Reads = []engine.Access{{Key: key, Val: cur[key]}}
+			if k2 := fuzzKey(data[i+1] / 4); k2 != key {
+				op.Reads = append(op.Reads, engine.Access{Key: k2, Val: cur[k2]})
+			}
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+func fuzzKey(b byte) string { return string(rune('a' + int(b%4))) }
+
+// injectAnomaly corrupts the (serial, valid) history in place with one of
+// the classic non-serializable patterns, returning its name and whether the
+// schedule had the structure to host it.
+func injectAnomaly(ops []Op, mutation byte) (string, bool) {
+	switch mutation {
+	case 1:
+		// Fractured read: a read observes a fingerprint no write produced.
+		for j := range ops {
+			if len(ops[j].Reads) > 0 {
+				ops[j].Reads[0].Val = "\x00never-committed"
+				return "fractured read", true
+			}
+		}
+		return "fractured read", false
+	case 2:
+		// Lost update: an RMW's read is rolled back one version, so it read
+		// the state from before the previous writer — WW says the previous
+		// writer came first, RW says it came second.
+		vs := keyVersions(ops)
+		for j := range ops {
+			for ri, r := range ops[j].Reads {
+				if !writesKey(ops[j], r.Key) {
+					continue
+				}
+				kv := vs[r.Key]
+				for p := 1; p < len(kv); p++ {
+					if kv[p].val == r.Val && kv[p].op < j {
+						ops[j].Reads[ri].Val = kv[p-1].val
+						return "lost update", true
+					}
+				}
+			}
+		}
+		return "lost update", false
+	case 3:
+		// Write skew: two transactions each read the key the other writes,
+		// both observing the pre-transaction state — each anti-depends on
+		// the other, a cycle with no stale read on the first edge.
+		vs := keyVersions(ops)
+		for i := range ops {
+			if len(ops[i].Writes) == 0 {
+				continue
+			}
+			a := ops[i].Writes[0].Key
+			for j := i + 1; j < len(ops); j++ {
+				if len(ops[j].Writes) == 0 {
+					continue
+				}
+				b := ops[j].Writes[0].Key
+				if b == a || readsKey(ops[i], b) || readsKey(ops[j], a) {
+					continue
+				}
+				if writerBetween(ops, i, j, b) {
+					continue // j must be b's next writer after i
+				}
+				ops[i].Reads = append(ops[i].Reads, engine.Access{Key: b, Val: prevVal(vs[b], j)})
+				ops[j].Reads = append(ops[j].Reads, engine.Access{Key: a, Val: prevVal(vs[a], i)})
+				return "write skew", true
+			}
+		}
+		return "write skew", false
+	}
+	return "", false
+}
+
+// versionRec is one committed version of a key: the index of the writing op
+// in construction order (-1 for the initial state) and its fingerprint.
+type versionRec struct {
+	op  int
+	val string
+}
+
+func keyVersions(ops []Op) map[string][]versionRec {
+	vs := map[string][]versionRec{}
+	for i, o := range ops {
+		for _, w := range o.Writes {
+			if len(vs[w.Key]) == 0 {
+				vs[w.Key] = []versionRec{{op: -1, val: ""}}
+			}
+			vs[w.Key] = append(vs[w.Key], versionRec{op: i, val: w.Val})
+		}
+	}
+	return vs
+}
+
+// prevVal returns the fingerprint of the version immediately preceding the
+// one written by op j.
+func prevVal(kv []versionRec, j int) string {
+	for p := 1; p < len(kv); p++ {
+		if kv[p].op == j {
+			return kv[p-1].val
+		}
+	}
+	return ""
+}
+
+func writesKey(o Op, k string) bool {
+	for _, w := range o.Writes {
+		if w.Key == k {
+			return true
+		}
+	}
+	return false
+}
+
+func readsKey(o Op, k string) bool {
+	for _, r := range o.Reads {
+		if r.Key == k {
+			return true
+		}
+	}
+	return false
+}
+
+func writerBetween(ops []Op, i, j int, k string) bool {
+	for m := i + 1; m < j; m++ {
+		if writesKey(ops[m], k) {
+			return true
+		}
+	}
+	return false
+}

@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"prognosticator/internal/engine"
+	"prognosticator/internal/locktable"
 	"prognosticator/internal/profile"
 )
 
@@ -87,14 +88,15 @@ func sortEffective(ops []Op) []Op {
 // Recorder accumulates ops from replica apply callbacks. Safe for
 // concurrent use; its Observe method matches replica.ClusterConfig.OnApply.
 type Recorder struct {
-	mu   sync.Mutex
-	seen map[string]bool
-	ops  []Op
+	mu     sync.Mutex
+	seen   map[string]bool
+	ops    []Op
+	traces map[uint64][]locktable.Record
 }
 
 // NewRecorder returns an empty recorder.
 func NewRecorder() *Recorder {
-	return &Recorder{seen: map[string]bool{}}
+	return &Recorder{seen: map[string]bool{}, traces: map[uint64][]locktable.Record{}}
 }
 
 // Observe records one applied batch. Every replica reports every batch it
@@ -109,6 +111,13 @@ func (r *Recorder) Observe(replicaID string, index uint64, batchID string, reqs 
 		return
 	}
 	r.seen[batchID] = true
+	if len(res.LockTrace) > 0 {
+		// Engines running with Config.TraceLocks report the batch's lock
+		// grant/release records; kept per apply index for CheckTraced. Any
+		// replica's report will do: per-key GRANT order is deterministic
+		// (FIFO), and the checker ignores the timing-dependent releases.
+		r.traces[index] = res.LockTrace
+	}
 	for i := range res.Outcomes {
 		o := &res.Outcomes[i]
 		if o.Pending {
@@ -144,4 +153,21 @@ func (r *Recorder) Ops() []Op {
 // Check verifies the recorded history; see the package-level Check.
 func (r *Recorder) Check(initial map[string]string) error {
 	return Check(r.Ops(), initial)
+}
+
+// Traces returns a copy of the recorded per-batch lock traces.
+func (r *Recorder) Traces() map[uint64][]locktable.Record {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[uint64][]locktable.Record, len(r.traces))
+	for k, v := range r.traces {
+		out[k] = v
+	}
+	return out
+}
+
+// CheckTraced verifies the recorded history against the recorded lock
+// traces; see the package-level CheckTraced.
+func (r *Recorder) CheckTraced(initial map[string]string) error {
+	return CheckTraced(r.Ops(), r.Traces(), initial)
 }

@@ -1,0 +1,220 @@
+package history
+
+import (
+	"fmt"
+	"sort"
+
+	"prognosticator/internal/locktable"
+)
+
+// CheckTraced verifies the recorded history like Check, but instead of
+// TRUSTING that the engine executed conflicting transactions in the agreed
+// order, it reconstructs the effective serial order from the lock table's
+// own grant records (engine Config.TraceLocks) and cross-checks the two.
+//
+// traces maps each batch's apply index to its lock grant/release records.
+// Per batch and execution round, conflicting transactions are ordered by
+// their per-key lock-GRANT order — what the lock table actually did —
+// topologically sorted with Seq as the tie-break for unordered pairs;
+// transactions with no trace records (no keys, or sequential fallback
+// execution) fall back to Seq order. Only grant records are used: per-key
+// grant order is deterministic under FIFO granting, while release order
+// depends on worker timing.
+//
+// The serialization graph is then built over the traced order (so read
+// conformance is judged against what actually ran first), and for every
+// conflicting pair an additional AGREED-order edge (lower effective
+// position -> higher) is added. A lock manager that granted conflicting
+// locks out of agreed order — a queue-jump, LIFO grants, a lost FIFO
+// invariant — shows up as a traced edge opposing an agreed edge: a DSG
+// cycle. The untraced Check cannot see this class of bug on blind-write
+// workloads, where no read ever witnesses the inverted order.
+func CheckTraced(ops []Op, traces map[uint64][]locktable.Record, initial map[string]string) error {
+	sorted, err := tracedOrder(ops, traces)
+	if err != nil {
+		return err
+	}
+	adj, fractured, stale := buildGraph(sorted, initial)
+	addAgreedEdges(sorted, adj)
+	if cyc := findCycle(adj); cyc != nil {
+		return fmt.Errorf("history: traced serializability violation: DSG cycle %s (lock-grant order contradicts the agreed order)",
+			cycleIDs(sorted, cyc))
+	}
+	if fractured != nil {
+		return fractured
+	}
+	return stale
+}
+
+// tracedOrder rebuilds the effective serial order from lock-grant records:
+// batches by apply index; within a batch, ROTs (by seq) then execution
+// rounds ascending, each round's commits in traced grant order.
+func tracedOrder(ops []Op, traces map[uint64][]locktable.Record) ([]Op, error) {
+	byIndex := map[uint64][]Op{}
+	var indexes []uint64
+	for _, o := range ops {
+		if _, ok := byIndex[o.Index]; !ok {
+			indexes = append(indexes, o.Index)
+		}
+		byIndex[o.Index] = append(byIndex[o.Index], o)
+	}
+	sort.Slice(indexes, func(i, j int) bool { return indexes[i] < indexes[j] })
+
+	var sorted []Op
+	for _, idx := range indexes {
+		var rots []Op
+		rounds := map[int][]Op{}
+		maxRound := 0
+		for _, o := range byIndex[idx] {
+			if o.rank() == 0 {
+				rots = append(rots, o)
+				continue
+			}
+			rounds[o.Round] = append(rounds[o.Round], o)
+			if o.Round > maxRound {
+				maxRound = o.Round
+			}
+		}
+		sort.SliceStable(rots, func(i, j int) bool { return rots[i].Seq < rots[j].Seq })
+		sorted = append(sorted, rots...)
+		for r := 0; r <= maxRound; r++ {
+			group := rounds[r]
+			if len(group) == 0 {
+				continue
+			}
+			var recs []locktable.Record
+			for _, rec := range traces[idx] {
+				if rec.Round == r && rec.Grant {
+					recs = append(recs, rec)
+				}
+			}
+			ordered, err := tracedGroupOrder(group, recs)
+			if err != nil {
+				return nil, fmt.Errorf("history: batch index %d round %d: %w", idx, r, err)
+			}
+			sorted = append(sorted, ordered...)
+		}
+	}
+	return sorted, nil
+}
+
+// tracedGroupOrder topologically sorts one round's committed transactions
+// by their per-key lock-grant order, breaking ties (and ordering untraced
+// transactions) by Seq. recs must be this round's GRANT records; records
+// for transactions outside the group (aborted attempts whose commit landed
+// in a later round) are ignored.
+func tracedGroupOrder(group []Op, recs []locktable.Record) ([]Op, error) {
+	bySeq := map[uint64]int{}
+	for i, o := range group {
+		bySeq[o.Seq] = i
+	}
+	n := len(group)
+	adj := make([][]int, n)
+	indeg := make([]int, n)
+	seen := map[[2]int]bool{}
+	addEdge := func(a, b int) {
+		if a == b || seen[[2]int{a, b}] {
+			return
+		}
+		seen[[2]int{a, b}] = true
+		adj[a] = append(adj[a], b)
+		indeg[b]++
+	}
+
+	perKey := map[string][]locktable.Record{}
+	for _, r := range recs {
+		if _, ok := bySeq[r.Seq]; !ok {
+			continue
+		}
+		perKey[r.Key] = append(perKey[r.Key], r)
+	}
+	for _, krecs := range perKey {
+		sort.Slice(krecs, func(i, j int) bool { return krecs[i].Pos < krecs[j].Pos })
+		for i := 0; i < len(krecs); i++ {
+			for j := i + 1; j < len(krecs); j++ {
+				if !krecs[i].Write && !krecs[j].Write {
+					continue // read grants commute
+				}
+				addEdge(bySeq[krecs[i].Seq], bySeq[krecs[j].Seq])
+			}
+		}
+	}
+
+	// Kahn's algorithm, always emitting the lowest-Seq available node so
+	// grant-unordered transactions keep the agreed order.
+	out := make([]Op, 0, n)
+	done := make([]bool, n)
+	for len(out) < n {
+		pick := -1
+		for i := 0; i < n; i++ {
+			if !done[i] && indeg[i] == 0 && (pick < 0 || group[i].Seq < group[pick].Seq) {
+				pick = i
+			}
+		}
+		if pick < 0 {
+			return nil, fmt.Errorf("lock-grant order is itself cyclic across keys")
+		}
+		done[pick] = true
+		out = append(out, group[pick])
+		for _, b := range adj[pick] {
+			indeg[b]--
+		}
+	}
+	return out, nil
+}
+
+// addAgreedEdges adds, for every pair of ops conflicting on some key (at
+// least one side writes it), an edge from the earlier op in the AGREED
+// effective order to the later — determinism's promised serial order. In a
+// correct run these agree with the graph's traced WR/WW/RW edges; when the
+// lock table ran conflicts out of order, an agreed edge opposes a traced
+// edge and closes a cycle.
+func addAgreedEdges(sorted []Op, adj [][]int) {
+	type keyUse struct {
+		pos   int
+		write bool
+	}
+	uses := map[string][]keyUse{}
+	for i := range sorted {
+		mode := map[string]bool{}
+		for _, r := range sorted[i].Reads {
+			if _, ok := mode[r.Key]; !ok {
+				mode[r.Key] = false
+			}
+		}
+		for _, w := range sorted[i].Writes {
+			mode[w.Key] = true
+		}
+		for k, write := range mode {
+			uses[k] = append(uses[k], keyUse{pos: i, write: write})
+		}
+	}
+	for _, us := range uses {
+		for a := 0; a < len(us); a++ {
+			for b := a + 1; b < len(us); b++ {
+				if !us[a].write && !us[b].write {
+					continue
+				}
+				i, j := us[a].pos, us[b].pos
+				switch {
+				case agreedLess(sorted[i], sorted[j]):
+					adj[i] = append(adj[i], j)
+				case agreedLess(sorted[j], sorted[i]):
+					adj[j] = append(adj[j], i)
+				}
+			}
+		}
+	}
+}
+
+// agreedLess is the sortEffective comparator: (apply index, batch-internal
+// rank, seq).
+func agreedLess(a, b Op) bool {
+	if a.Index != b.Index {
+		return a.Index < b.Index
+	}
+	if ar, br := a.rank(), b.rank(); ar != br {
+		return ar < br
+	}
+	return a.Seq < b.Seq
+}

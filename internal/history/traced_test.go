@@ -1,0 +1,136 @@
+package history
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"prognosticator/internal/engine"
+	"prognosticator/internal/lang"
+	"prognosticator/internal/locktable"
+	"prognosticator/internal/store"
+	"prognosticator/internal/value"
+)
+
+// blindRegistry defines a single blind-write transaction: no reads, one
+// unconditional overwrite. Blind writes are the blind spot of the untraced
+// checker — without reads there is nothing to be fractured or stale, and
+// WW edges are inferred FROM the assumed order, so any per-key write order
+// looks consistent.
+func blindRegistry(t testing.TB) *engine.Registry {
+	t.Helper()
+	schema := lang.NewSchema(lang.TableSpec{Name: "ACC", KeyArity: 1})
+	set := &lang.Program{
+		Name: "set",
+		Params: []lang.Param{
+			lang.IntParam("k", 0, 7),
+			lang.IntParam("v", 0, 1000),
+		},
+		Body: []lang.Stmt{
+			lang.PutS("ACC", lang.Key(lang.P("k")), lang.RecE(lang.F("bal", lang.P("v")))),
+		},
+	}
+	reg, err := engine.NewRegistry(schema, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+// runBlindBatch executes one batch of three conflicting blind writes to the
+// same key and converts the result into a recorded history plus lock trace.
+func runBlindBatch(t *testing.T, lifo bool) ([]Op, map[uint64][]locktable.Record, int64) {
+	t.Helper()
+	reg := blindRegistry(t)
+	st := store.New()
+	e := engine.New(reg, st, engine.Config{Workers: 4, RecordFootprints: true, TraceLocks: true})
+	e.LockTable().SetUnsafeLIFOGrants(lifo)
+
+	batch := []engine.Request{
+		{Seq: 1, TxName: "set", Inputs: map[string]value.Value{"k": value.Int(0), "v": value.Int(101)}},
+		{Seq: 2, TxName: "set", Inputs: map[string]value.Value{"k": value.Int(0), "v": value.Int(102)}},
+		{Seq: 3, TxName: "set", Inputs: map[string]value.Value{"k": value.Int(0), "v": value.Int(103)}},
+	}
+	res, err := e.ExecuteBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.LockTrace) == 0 {
+		t.Fatal("TraceLocks produced no lock trace")
+	}
+
+	ops := make([]Op, 0, len(res.Outcomes))
+	for i := range res.Outcomes {
+		o := &res.Outcomes[i]
+		ops = append(ops, Op{
+			ID:     fmt.Sprintf("b1/%d", o.Seq),
+			Index:  1,
+			Seq:    o.Seq,
+			Name:   o.TxName,
+			Class:  o.Class,
+			Round:  o.Aborts,
+			Reads:  o.ReadSet,
+			Writes: o.WriteSet,
+		})
+	}
+	rec, ok := st.Get(st.Epoch(), value.NewKey("ACC", value.Int(0)))
+	if !ok {
+		t.Fatal("key not written")
+	}
+	final, _ := rec.Field("bal")
+	return ops, map[uint64][]locktable.Record{1: res.LockTrace}, final.MustInt()
+}
+
+// TestCheckTracedCatchesLIFOGrants is the mutation-style negative test for
+// the serializability oracle: a deliberately planted lock-table ordering
+// bug (LIFO grants instead of FIFO) makes three conflicting blind writes
+// commit in the order 1,3,2 — so the replica's final state disagrees with
+// the agreed order, the exact failure a deterministic database must never
+// exhibit. The untraced checker accepts the corrupted history (blind writes
+// give it nothing to detect with); the lock-grant-traced checker must
+// reject it as a DSG cycle.
+func TestCheckTracedCatchesLIFOGrants(t *testing.T) {
+	// Healthy FIFO table: both checkers accept, final state is seq 3's.
+	ops, traces, final := runBlindBatch(t, false)
+	if err := Check(ops, nil); err != nil {
+		t.Fatalf("untraced checker rejected a correct run: %v", err)
+	}
+	if err := CheckTraced(ops, traces, nil); err != nil {
+		t.Fatalf("traced checker rejected a correct run: %v", err)
+	}
+	if final != 103 {
+		t.Fatalf("correct run final value = %d, want the agreed-last write 103", final)
+	}
+
+	// Planted bug: the untraced checker MUST miss it (that is what makes
+	// the traced variant worth building), the traced one MUST flag it.
+	ops, traces, final = runBlindBatch(t, true)
+	if err := Check(ops, nil); err != nil {
+		t.Fatalf("untraced checker unexpectedly caught the LIFO bug (test premise broken): %v", err)
+	}
+	err := CheckTraced(ops, traces, nil)
+	if err == nil {
+		t.Fatal("traced checker accepted a history executed under LIFO lock grants")
+	}
+	if !strings.Contains(err.Error(), "DSG cycle") {
+		t.Fatalf("traced checker rejected for the wrong reason: %v", err)
+	}
+	if final != 102 {
+		t.Fatalf("LIFO run final value = %d, want 102 (seq 2 committed last under reversed grants)", final)
+	}
+}
+
+// TestCheckTracedConsistentWithUntraced: on a workload with reads, a trace
+// in agreed order must not change the verdict.
+func TestCheckTracedEmptyTrace(t *testing.T) {
+	// Ops without any lock trace fall back to agreed (Seq) order: the
+	// traced checker degenerates to the untraced one.
+	ops := []Op{
+		{ID: "a", Index: 1, Seq: 1, Writes: []engine.Access{{Key: "x", Val: "v1"}}},
+		{ID: "b", Index: 1, Seq: 2, Reads: []engine.Access{{Key: "x", Val: "v1"}},
+			Writes: []engine.Access{{Key: "x", Val: "v2"}}},
+	}
+	if err := CheckTraced(ops, nil, nil); err != nil {
+		t.Fatalf("traced checker with no traces rejected a serial history: %v", err)
+	}
+}

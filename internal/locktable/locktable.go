@@ -20,11 +20,35 @@ package locktable
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"prognosticator/internal/value"
 )
+
+// Record is one lock-table event in a grant/release trace. Grant records
+// are the ground truth of the effective serial order: for each key, the
+// sequence of write grants (and the read groups between them) IS the order
+// in which conflicting transactions actually touched that key, independent
+// of what their Seq numbers claim.
+type Record struct {
+	// Seq is the transaction's agreed-order position (Entry.Seq).
+	Seq uint64
+	// Key is the encoded key this event happened on (same encoding as
+	// engine.Access.Key).
+	Key string
+	// Write reports the lock mode.
+	Write bool
+	// Grant distinguishes grants (true) from releases (false).
+	Grant bool
+	// Pos is the event's ordinal within its key queue: the per-key total
+	// order of grants and releases.
+	Pos int
+	// Round is the engine execution round this trace belongs to (0 for the
+	// optimistic round, 1.. for re-executions); stamped by CollectTrace.
+	Round int
+}
 
 // LockKey is one lock request: a key plus its mode.
 type LockKey struct {
@@ -93,6 +117,18 @@ const tableShards = 64
 // overlap: per-queue locking keeps grant hand-offs atomic.
 type Table struct {
 	shards [tableShards]tableShard
+
+	// traceOn enables grant/release record collection. Set it before a
+	// batch starts executing (EnableTrace); it must not be toggled while
+	// Enqueue/Release are running.
+	traceOn bool
+	// unsafeLIFO is a test-only mutation hook (SetUnsafeLIFOGrants): grant
+	// the NEWEST compatible waiter instead of the FIFO prefix. Mutual
+	// exclusion is preserved — only the conflict ORDER is corrupted — so
+	// the bug is invisible to state-hash checks on commutative workloads
+	// and to the untraced serializability checker, but a lock-grant-traced
+	// checker must catch it.
+	unsafeLIFO bool
 }
 
 type tableShard struct {
@@ -110,8 +146,12 @@ type qent struct {
 
 type keyQueue struct {
 	mu   sync.Mutex
+	key  value.Encoded
 	ents []qent
 	head int // first non-released position
+
+	recs []Record // grant/release trace, when the table has tracing on
+	pos  int      // next Record.Pos for this queue
 }
 
 // New returns an empty lock table.
@@ -150,16 +190,26 @@ func (t *Table) queueFor(k value.Encoded) *keyQueue {
 	defer sh.mu.Unlock()
 	q, ok := sh.queues[k]
 	if !ok {
-		q = &keyQueue{}
+		q = &keyQueue{key: k}
 		sh.queues[k] = q
 	}
 	return q
 }
 
+// record appends one trace event. Must be called with q.mu held.
+func (q *keyQueue) record(seq uint64, write, grant bool) {
+	q.recs = append(q.recs, Record{Seq: seq, Key: string(q.key), Write: write, Grant: grant, Pos: q.pos})
+	q.pos++
+}
+
 // grantScan grants the longest compatible FIFO prefix. It must be called
 // with q.mu held; it returns the entries whose LAST outstanding lock was
-// granted by this scan (now ready to run).
-func (q *keyQueue) grantScan() []*Entry {
+// granted by this scan (now ready to run). The table is passed for the
+// trace flag and the test-only LIFO mutation.
+func (q *keyQueue) grantScan(t *Table) []*Entry {
+	if t.unsafeLIFO {
+		return q.grantScanLIFO(t)
+	}
 	var ready []*Entry
 	grantedWrites, grantedReads := 0, 0
 	for i := q.head; i < len(q.ents); i++ {
@@ -180,6 +230,9 @@ func (q *keyQueue) grantScan() []*Entry {
 			break
 		}
 		en.granted = true
+		if t.traceOn {
+			q.record(en.e.Seq, en.write, true)
+		}
 		if en.write {
 			grantedWrites++
 		} else {
@@ -195,6 +248,45 @@ func (q *keyQueue) grantScan() []*Entry {
 	return ready
 }
 
+// grantScanLIFO is the planted-bug variant behind SetUnsafeLIFOGrants: it
+// grants at most one waiter per scan, choosing the NEWEST compatible one.
+// Grants remain mutually exclusive (a write is granted only when nothing is
+// granted; a read only when no write is granted), so execution atomicity is
+// intact — but conflicting transactions run in reverse arrival order, which
+// silently breaks determinism's agreed serial order.
+func (q *keyQueue) grantScanLIFO(t *Table) []*Entry {
+	grantedWrites, grantedReads := 0, 0
+	for i := q.head; i < len(q.ents); i++ {
+		en := &q.ents[i]
+		if en.released || !en.granted {
+			continue
+		}
+		if en.write {
+			grantedWrites++
+		} else {
+			grantedReads++
+		}
+	}
+	for i := len(q.ents) - 1; i >= q.head; i-- {
+		en := &q.ents[i]
+		if en.released || en.granted {
+			continue
+		}
+		if grantedWrites > 0 || (en.write && grantedReads > 0) {
+			continue // incompatible; try an even older waiter
+		}
+		en.granted = true
+		if t.traceOn {
+			q.record(en.e.Seq, en.write, true)
+		}
+		if en.e.remaining.Add(-1) == 0 {
+			return []*Entry{en.e}
+		}
+		return nil
+	}
+	return nil
+}
+
 // Enqueue inserts e at the tail of every queue in e.Keys and initializes
 // its outstanding-lock counter. It reports whether e is immediately ready
 // (all locks granted). Entries with no keys are ready trivially.
@@ -208,7 +300,7 @@ func (t *Table) Enqueue(e *Entry) bool {
 		q := t.queueFor(lk.Key)
 		q.mu.Lock()
 		q.ents = append(q.ents, qent{e: e, write: lk.Write})
-		granted := q.grantScan()
+		granted := q.grantScan(t)
 		q.mu.Unlock()
 		for _, g := range granted {
 			if g == e {
@@ -238,6 +330,9 @@ func (t *Table) Release(e *Entry, onReady func(*Entry)) {
 				}
 				en.released = true
 				en.e = nil // release for GC
+				if t.traceOn {
+					q.record(e.Seq, en.write, false)
+				}
 				found = true
 				break
 			}
@@ -249,7 +344,7 @@ func (t *Table) Release(e *Entry, onReady func(*Entry)) {
 		for q.head < len(q.ents) && q.ents[q.head].released {
 			q.head++
 		}
-		granted := q.grantScan()
+		granted := q.grantScan(t)
 		q.mu.Unlock()
 		for _, g := range granted {
 			onReady(g)
@@ -257,8 +352,52 @@ func (t *Table) Release(e *Entry, onReady func(*Entry)) {
 	}
 }
 
-// Reset clears all queues. The engine calls it between batches; it must not
-// race with Enqueue/Release.
+// EnableTrace turns grant/release record collection on or off. It must be
+// called while the table is quiescent (no Enqueue/Release in flight) —
+// normally once, right after New.
+func (t *Table) EnableTrace(on bool) { t.traceOn = on }
+
+// SetUnsafeLIFOGrants plants a deliberate ordering bug for mutation
+// testing: grant scans pick the NEWEST compatible waiter instead of the
+// FIFO prefix (see grantScanLIFO). Only safe for single-key workloads —
+// multi-key transactions can deadlock under reversed grant order, which is
+// one of the reasons the real table is FIFO. Test-only.
+func (t *Table) SetUnsafeLIFOGrants(on bool) { t.unsafeLIFO = on }
+
+// CollectTrace returns every grant/release record accumulated since the
+// last Reset, stamped with the given engine round and sorted by (Key, Pos)
+// so the output is deterministic regardless of shard-map iteration order.
+// Returns nil when tracing is off.
+func (t *Table) CollectTrace(round int) []Record {
+	if !t.traceOn {
+		return nil
+	}
+	var out []Record
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for _, q := range sh.queues {
+			q.mu.Lock()
+			out = append(out, q.recs...)
+			q.mu.Unlock()
+		}
+		sh.mu.Unlock()
+	}
+	for i := range out {
+		out[i].Round = round
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key != out[j].Key {
+			return out[i].Key < out[j].Key
+		}
+		return out[i].Pos < out[j].Pos
+	})
+	return out
+}
+
+// Reset clears all queues (and any accumulated trace records — collect
+// before resetting). The engine calls it between rounds; it must not race
+// with Enqueue/Release.
 func (t *Table) Reset() {
 	for i := range t.shards {
 		sh := &t.shards[i]

@@ -364,7 +364,11 @@ func (n *Network) enqueueLocked(dst *Endpoint, msg Message) {
 	n.mu.Unlock()
 	if !delivered {
 		vclock.Release(n.clk)
+		return
 	}
+	// Cooperative scheduling: an enqueued message is a published event —
+	// idle poll-loop actors (the receiver among them) re-poll their inboxes.
+	vclock.Publish(n.clk)
 }
 
 // deliverDelayed is the delay-timer callback: re-check the fault state at

@@ -18,6 +18,7 @@ package raft
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"prognosticator/internal/memnet"
@@ -230,6 +231,10 @@ type Node struct {
 	stopCh   chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
+	// runDone flips when the event loop returns; under the cooperative
+	// scheduler Stop awaits it instead of blocking on wg.Wait while holding
+	// the run baton (which would deadlock the single-threaded world).
+	runDone atomic.Bool
 
 	electionDeadline time.Time
 	// jitterCtr numbers election-deadline resets; with the seed and node id
@@ -363,6 +368,12 @@ func (n *Node) Start() {
 	n.resetElectionDeadlineLocked()
 	n.mu.Unlock()
 	n.wg.Add(1)
+	if vclock.Scheduled(n.clk) {
+		// Cooperative scheduling: the loop becomes an actor; GoNamed
+		// registers it synchronously so spawn order is deterministic.
+		vclock.GoNamed(n.clk, "raft:"+n.id, n.run)
+		return
+	}
 	vclock.Hold(n.clk) // run token, transferred to the loop goroutine
 	go n.run()
 }
@@ -371,6 +382,10 @@ func (n *Node) Start() {
 // the apply channel are discarded — exactly what a crash does.
 func (n *Node) Stop() {
 	n.stopOnce.Do(func() { close(n.stopCh) })
+	// Under the cooperative scheduler the loop actor is parked at a gate;
+	// Await lets it run, observe the closed stop channel and exit before we
+	// block on the WaitGroup (a plain Wait would hold the baton forever).
+	vclock.Await(n.clk, n.runDone.Load)
 	n.wg.Wait()
 	for {
 		select {
@@ -455,8 +470,13 @@ func (n *Node) Propose(cmd []byte) (uint64, uint64, bool) {
 
 func (n *Node) run() {
 	defer n.wg.Done()
-	defer vclock.Release(n.clk) // run token held since Start
+	defer n.runDone.Store(true)
+	defer vclock.Release(n.clk) // run token held since Start (no-op when scheduled)
 	tick := n.cfg.HeartbeatInterval / 2
+	if vclock.Scheduled(n.clk) {
+		n.runSched(tick)
+		return
+	}
 	tm := n.clk.NewTimer(tick)
 	defer tm.Stop()
 	for {
@@ -475,6 +495,42 @@ func (n *Node) run() {
 			n.tick()
 			tm.Reset(tick)
 		}
+	}
+}
+
+// runSched is the event loop under the cooperative scheduler. A blocking
+// select would reintroduce runtime nondeterminism (Go resolves ready arms
+// racily before the actor ever reaches a scheduler gate), so the loop polls
+// its inputs in a fixed priority order — stop, inbox, tick — handles ONE
+// event per iteration, and yields after each so the seeded picker controls
+// the interleaving. A fully empty poll parks the actor until the next
+// published event or timer fire.
+func (n *Node) runSched(tick time.Duration) {
+	tm := n.clk.NewTimer(tick)
+	defer tm.Stop()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		default:
+		}
+		select {
+		case msg := <-n.ep.Inbox():
+			vclock.Ack(n.clk) // no-op under the scheduler; kept for symmetry
+			n.handle(msg)
+			vclock.Yield(n.clk)
+			continue
+		default:
+		}
+		select {
+		case <-tm.C():
+			n.tick()
+			tm.Reset(tick)
+			vclock.Yield(n.clk)
+			continue
+		default:
+		}
+		vclock.Idle(n.clk)
 	}
 }
 
@@ -799,6 +855,10 @@ func (n *Node) applySnapshotLocked(index, snapTerm uint64, data []byte) bool {
 func (n *Node) deliverLocked(c Committed) bool {
 	select {
 	case n.applyCh <- c:
+		// Under the cooperative scheduler the consumer is a polled actor
+		// (replica apply loop); publish so it re-polls without waiting for
+		// unrelated traffic or the next timer fire.
+		vclock.Publish(n.clk)
 		return true
 	case <-n.stopCh:
 		return false

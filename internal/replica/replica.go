@@ -80,6 +80,9 @@ type Replica struct {
 	stopCh   chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
+	// runDone flips when the apply loop returns; under the cooperative
+	// scheduler Stop awaits it before wg.Wait (see raft.Node.Stop).
+	runDone atomic.Bool
 }
 
 // SnapshotConfig enables periodic store snapshotting on a replica.
@@ -151,6 +154,10 @@ const applyPollInterval = 200 * time.Microsecond
 // Start launches the apply loop consuming committed entries.
 func (r *Replica) Start(applyCh <-chan raft.Committed, onError func(error)) {
 	r.wg.Add(1)
+	if vclock.Scheduled(r.clk) {
+		vclock.GoNamed(r.clk, "apply:"+r.ID, func() { r.runSchedApply(applyCh, onError) })
+		return
+	}
 	if vclock.IsSim(r.clk) {
 		vclock.Hold(r.clk) // run token, transferred to the loop goroutine
 		go r.runSimApply(applyCh, onError)
@@ -162,6 +169,7 @@ func (r *Replica) Start(applyCh <-chan raft.Committed, onError func(error)) {
 // runWallApply blocks on the apply channel directly (real time).
 func (r *Replica) runWallApply(applyCh <-chan raft.Committed, onError func(error)) {
 	defer r.wg.Done()
+	defer r.runDone.Store(true)
 	for {
 		select {
 		case <-r.stopCh:
@@ -181,8 +189,39 @@ func (r *Replica) runWallApply(applyCh <-chan raft.Committed, onError func(error
 // ticks the goroutine parks, so all pending timers (including this loop's
 // own tick) can fire; stop is honored immediately even while parked, which
 // keeps crash-stop independent of virtual time advancing.
+// runSchedApply drains the apply channel under the cooperative scheduler:
+// one committed record per iteration (each apply is followed by a Yield so
+// the picker controls interleaving), parking idle when the channel is
+// empty. Raft's deliverLocked publishes on every enqueue, so the actor is
+// re-readied promptly; stop is polled first, so crash-stop needs no pending
+// events to make progress.
+func (r *Replica) runSchedApply(applyCh <-chan raft.Committed, onError func(error)) {
+	defer r.wg.Done()
+	defer r.runDone.Store(true)
+	for {
+		select {
+		case <-r.stopCh:
+			return
+		default:
+		}
+		select {
+		case c := <-applyCh:
+			if err := r.applyOne(c); err != nil {
+				if onError != nil {
+					onError(err)
+				}
+				return
+			}
+			vclock.Yield(r.clk)
+		default:
+			vclock.Idle(r.clk)
+		}
+	}
+}
+
 func (r *Replica) runSimApply(applyCh <-chan raft.Committed, onError func(error)) {
 	defer r.wg.Done()
+	defer r.runDone.Store(true)
 	defer vclock.Release(r.clk)
 	for {
 		for {
@@ -221,6 +260,9 @@ func (r *Replica) runSimApply(applyCh <-chan raft.Committed, onError func(error)
 // Stop terminates the apply loop.
 func (r *Replica) Stop() {
 	r.stopOnce.Do(func() { close(r.stopCh) })
+	// Under the cooperative scheduler, let the loop actor observe the stop
+	// and exit before blocking the baton on wg.Wait.
+	vclock.Await(r.clk, r.runDone.Load)
 	r.wg.Wait()
 }
 
@@ -335,7 +377,11 @@ func (r *Replica) snapshotLocked() error {
 	r.snapTaken++
 	if compact := r.snapCfg.Compact; compact != nil {
 		idx := snap.Index
-		vclock.Go(r.clk, func() { _ = compact(idx, encoded) })
+		// Under the cooperative scheduler this spawns a (short-lived) actor,
+		// so compaction timing — which decides whether a lagging follower is
+		// caught up by entry replay or InstallSnapshot — replays from the
+		// seed instead of racing the apply loop.
+		vclock.GoNamed(r.clk, "compact:"+r.ID, func() { _ = compact(idx, encoded) })
 	}
 	return nil
 }
@@ -1111,6 +1157,11 @@ func (c *Cluster) Stop() {
 // Flow returns the cluster's flow-control controller (admission counters,
 // inflight gauges, breaker state).
 func (c *Cluster) Flow() *flowctl.Controller { return c.flow }
+
+// Clock returns the cluster's time source — the injected simulated clock in
+// deterministic tests, wall time otherwise. Chaos injectors use it to place
+// scheduler yield points at fault anchors.
+func (c *Cluster) Clock() vclock.Clock { return c.clk }
 
 // QueueHighWater returns the deepest any live dispatcher's request queue has
 // been — the overload-soak assertion that the configured bound held.

@@ -1,0 +1,302 @@
+// Package sched implements a single-threaded cooperative scheduler over the
+// vclock actor set — the missing piece between "same event sequence" and
+// bit-identical replay. The token model in internal/vclock already pins the
+// ORDER of virtual-time advances to the seed, but whenever several
+// goroutines are runnable at the same virtual instant the Go runtime orders
+// them (select fairness, channel wakeup order), which can shift virtual
+// timestamps and message interleavings between same-seed runs.
+//
+// Under this scheduler exactly one actor runs at a time. An actor is a
+// clock-aware goroutine spawned through vclock.Go/GoNamed; it runs until it
+// reaches a gate — a virtual Sleep, an explicit Yield after handling one
+// event, or Idle when a full poll of its inputs found nothing — and then
+// hands the run baton back. The scheduler picks the next runnable actor
+// with a seeded hash over the ready set (sorted by spawn order, itself
+// deterministic because actors register synchronously in their spawner),
+// so the ENTIRE interleaving is a pure function of the seed.
+//
+// Virtual time advances only when every actor is idle or sleeping: the
+// scheduler fires the earliest timer (vclock.Sim.AdvanceNext), wakes the
+// sleeper it belongs to or runs the AfterFunc inline, and re-readies every
+// idle actor so poll loops observe the fire. Cross-actor events that do not
+// go through the clock — a message placed in an inbox, a channel closed —
+// are announced with Publish, which also re-readies every idle actor. The
+// re-ready-everyone rule is deliberately coarse: an actor whose poll finds
+// nothing goes idle again immediately, and coarse wakeups cannot break
+// determinism because wakeup ORDER is still the picker's choice.
+//
+// Two kinds of goroutines intentionally stay OUTSIDE the scheduler: pure
+// compute workers that never touch the clock (the engine's batch workers —
+// their results are made deterministic by the lock table, and they run to
+// completion while the spawning actor holds the baton), and anything on the
+// wall clock. A scheduled actor must never hold a mutex across a gate: the
+// baton holder blocking on a mutex owned by a gated actor would deadlock
+// the world. Gates in this codebase are only ever reached between lock
+// regions (Sleep in backoff loops, Yield/Idle at poll-loop tops).
+package sched
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"prognosticator/internal/vclock"
+)
+
+type state int
+
+const (
+	ready state = iota // runnable, waiting for the picker
+	running
+	idle     // parked until the next Publish or timer fire
+	sleeping // parked until its own wake timer fires
+	exited
+)
+
+func (s state) String() string {
+	switch s {
+	case ready:
+		return "ready"
+	case running:
+		return "running"
+	case idle:
+		return "idle"
+	case sleeping:
+		return "sleeping"
+	default:
+		return "exited"
+	}
+}
+
+type actor struct {
+	id     int
+	name   string
+	state  state
+	resume chan struct{}
+}
+
+// Scheduler runs a set of cooperative actors over one vclock.Sim. Create it
+// implicitly with Run; it implements vclock.Scheduler.
+type Scheduler struct {
+	sim  *vclock.Sim
+	clk  vclock.Clock
+	seed int64
+
+	mu        sync.Mutex
+	actors    []*actor
+	exitCount int
+	current   *actor
+	advancing bool
+
+	gate    chan struct{} // actor -> scheduler: "I am parked at a gate"
+	pickCtr uint64
+}
+
+// Run attaches a scheduler to sim, runs root as the first actor ("main"),
+// and drives the actor set until every actor has exited. It returns an
+// error on deadlock: every live actor idle or sleeping with no pending
+// timer. The scheduler is detached from sim before Run returns, so a Sim
+// can be reused (though tests normally build a fresh one per run).
+func Run(sim *vclock.Sim, root func()) error {
+	s := &Scheduler{
+		sim:  sim,
+		clk:  sim.Clock(),
+		seed: sim.Seed(),
+		gate: make(chan struct{}),
+	}
+	sim.SetScheduler(s)
+	defer sim.SetScheduler(nil)
+	s.GoActor("main", root)
+	return s.loop()
+}
+
+// loop is the scheduler's main loop, run on the goroutine that called Run.
+func (s *Scheduler) loop() error {
+	for {
+		s.mu.Lock()
+		if s.exitCount == len(s.actors) {
+			s.mu.Unlock()
+			return nil
+		}
+		var readySet []*actor
+		for _, a := range s.actors { // spawn order: deterministic
+			if a.state == ready {
+				readySet = append(readySet, a)
+			}
+		}
+		if len(readySet) > 0 {
+			n := vclock.Hash64(uint64(s.seed), s.pickCtr) % uint64(len(readySet))
+			s.pickCtr++
+			a := readySet[n]
+			a.state = running
+			s.current = a
+			s.mu.Unlock()
+			a.resume <- struct{}{} // grant the baton
+			<-s.gate               // wait for the next gate (or exit)
+			continue
+		}
+		// Nobody runnable: advance virtual time. AfterFunc callbacks (e.g.
+		// delayed network deliveries) run inline here; gates called from
+		// them are no-ops (see advancing) and Publish just flips states.
+		s.current = nil
+		s.advancing = true
+		s.mu.Unlock()
+		fired := s.sim.AdvanceNext()
+		s.mu.Lock()
+		s.advancing = false
+		if !fired {
+			dump := s.dumpLocked()
+			s.mu.Unlock()
+			return fmt.Errorf("sched: deadlock — no runnable actor and no pending timer\n%s", dump)
+		}
+		// A fire is an observable event: re-ready every idle actor so poll
+		// loops can observe delivered ticks and newly enqueued messages.
+		for _, a := range s.actors {
+			if a.state == idle {
+				a.state = ready
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+func (s *Scheduler) dumpLocked() string {
+	var b strings.Builder
+	for _, a := range s.actors {
+		fmt.Fprintf(&b, "  actor %d %q: %s\n", a.id, a.name, a.state)
+	}
+	return b.String()
+}
+
+// GoActor implements vclock.Scheduler: fn becomes a new actor, registered
+// synchronously (the spawner still holds the baton, so registration order
+// is deterministic) and started when the picker first selects it.
+func (s *Scheduler) GoActor(name string, fn func()) {
+	s.mu.Lock()
+	a := &actor{id: len(s.actors), name: name, state: ready, resume: make(chan struct{})}
+	if name == "" {
+		a.name = fmt.Sprintf("actor-%d", a.id)
+	}
+	s.actors = append(s.actors, a)
+	s.mu.Unlock()
+	go func() {
+		<-a.resume // first baton grant
+		defer s.exit(a)
+		fn()
+	}()
+}
+
+// exit retires an actor and publishes the exit (an Await-ing actor must
+// re-poll its predicate), then returns the baton for good.
+func (s *Scheduler) exit(a *actor) {
+	s.mu.Lock()
+	a.state = exited
+	s.exitCount++
+	for _, o := range s.actors {
+		if o.state == idle {
+			o.state = ready
+		}
+	}
+	s.mu.Unlock()
+	s.gate <- struct{}{}
+}
+
+// park moves the current actor into st, returns the baton, and blocks until
+// the picker resumes the actor.
+func (s *Scheduler) park(a *actor, st state) {
+	s.mu.Lock()
+	a.state = st
+	s.mu.Unlock()
+	s.gate <- struct{}{}
+	<-a.resume
+}
+
+// gateActor returns the running actor for a gate call, nil if the call came
+// from an AfterFunc running inline on the scheduler goroutine during a time
+// advance (gates are no-ops there: nothing to park).
+func (s *Scheduler) gateActor(op string) *actor {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.advancing {
+		return nil
+	}
+	if s.current == nil {
+		panic(fmt.Sprintf("sched: %s from a goroutine that is not a scheduled actor", op))
+	}
+	return s.current
+}
+
+// Yield implements vclock.Scheduler: a deterministic preemption point.
+func (s *Scheduler) Yield() {
+	if a := s.gateActor("Yield"); a != nil {
+		s.park(a, ready)
+	}
+}
+
+// Idle implements vclock.Scheduler: park until the next published event or
+// timer fire.
+func (s *Scheduler) Idle() {
+	if a := s.gateActor("Idle"); a != nil {
+		s.park(a, idle)
+	}
+}
+
+// Publish implements vclock.Scheduler: every idle actor becomes ready. Safe
+// from any goroutine (running actor, AfterFunc on the scheduler goroutine,
+// or an unscheduled helper).
+func (s *Scheduler) Publish() {
+	s.mu.Lock()
+	for _, a := range s.actors {
+		if a.state == idle {
+			a.state = ready
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Sleep implements vclock.Scheduler: the calling actor parks until a timer
+// at now+d fires for it.
+func (s *Scheduler) Sleep(d time.Duration) {
+	a := s.gateActor("Sleep")
+	if a == nil {
+		panic("sched: Sleep from an AfterFunc callback (would block the advance loop)")
+	}
+	s.clk.AfterFunc(d, func() { s.wake(a) })
+	s.park(a, sleeping)
+}
+
+func (s *Scheduler) wake(a *actor) {
+	s.mu.Lock()
+	if a.state == sleeping {
+		a.state = ready
+	}
+	s.mu.Unlock()
+}
+
+// Await implements vclock.Scheduler: park until pred() is true. It
+// publishes once so the actors that will make pred true get to run even if
+// they were idle (e.g. a stop-signal poll loop after its channel closed).
+// pred runs only while the caller holds the baton.
+func (s *Scheduler) Await(pred func() bool) {
+	a := s.gateActor("Await")
+	if a == nil {
+		panic("sched: Await from an AfterFunc callback (would block the advance loop)")
+	}
+	first := true
+	for !pred() {
+		if first {
+			s.Publish()
+			first = false
+		}
+		s.park(a, idle)
+	}
+}
+
+// Picks returns how many scheduling decisions have been made — part of a
+// run's replayable signature: two same-seed runs pick identically.
+func (s *Scheduler) Picks() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pickCtr
+}

@@ -1,0 +1,261 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"prognosticator/internal/vclock"
+)
+
+// TestRunSingleActor: a lone actor that sleeps and exits drives virtual
+// time itself.
+func TestRunSingleActor(t *testing.T) {
+	sim := vclock.NewSim(1)
+	clk := sim.Clock()
+	var woke time.Time
+	if err := Run(sim, func() {
+		clk.Sleep(5 * time.Second)
+		woke = clk.Now()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := woke.Sub(vclock.NewSim(1).Now()); got != 5*time.Second {
+		t.Fatalf("slept %v of virtual time, want 5s", got)
+	}
+	if sim.Advances() == 0 {
+		t.Error("sleep did not advance virtual time")
+	}
+}
+
+// TestInterleavingIsSeedStable: the order in which concurrently runnable
+// actors execute is a pure function of the seed — run twice, compare the
+// full execution trace.
+func TestInterleavingIsSeedStable(t *testing.T) {
+	run := func(seed int64) string {
+		sim := vclock.NewSim(seed)
+		clk := sim.Clock()
+		var trace strings.Builder
+		if err := Run(sim, func() {
+			for i := 0; i < 4; i++ {
+				i := i
+				vclock.GoNamed(clk, fmt.Sprintf("worker-%d", i), func() {
+					for j := 0; j < 3; j++ {
+						fmt.Fprintf(&trace, "w%d.%d@%d ", i, j, clk.Now().UnixNano())
+						vclock.Yield(clk)
+						clk.Sleep(time.Duration(i+1) * time.Millisecond)
+					}
+				})
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return trace.String()
+	}
+	for _, seed := range []int64{1, 7, 42} {
+		a, b := run(seed), run(seed)
+		if a != b {
+			t.Errorf("seed %d: two runs diverged:\n%s\n%s", seed, a, b)
+		}
+	}
+	// Different seeds should (for this workload) order the yield points
+	// differently — otherwise the picker is not actually consulted.
+	if run(1) == run(7) && run(1) == run(42) {
+		t.Error("three different seeds produced identical interleavings — picker looks unused")
+	}
+}
+
+// TestPublishWakesIdler: an actor idle-parked in a poll loop is re-readied
+// by a Publish from another actor.
+func TestPublishWakesIdler(t *testing.T) {
+	sim := vclock.NewSim(3)
+	clk := sim.Clock()
+	var got atomic.Int64
+	if err := Run(sim, func() {
+		ch := make(chan int64, 8)
+		vclock.GoNamed(clk, "consumer", func() {
+			for {
+				select {
+				case v := <-ch:
+					if v < 0 {
+						return
+					}
+					got.Add(v)
+					vclock.Yield(clk)
+					continue
+				default:
+				}
+				vclock.Idle(clk)
+			}
+		})
+		for i := int64(1); i <= 5; i++ {
+			ch <- i
+			vclock.Publish(clk)
+			vclock.Yield(clk)
+		}
+		ch <- -1
+		vclock.Publish(clk)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != 15 {
+		t.Fatalf("consumer summed %d, want 15", got.Load())
+	}
+}
+
+// TestAwait: stop-style shutdown — close a channel, Await the loop actor's
+// exit flag, then WaitGroup-wait without deadlocking the baton.
+func TestAwait(t *testing.T) {
+	sim := vclock.NewSim(9)
+	clk := sim.Clock()
+	if err := Run(sim, func() {
+		stop := make(chan struct{})
+		var done atomic.Bool
+		vclock.GoNamed(clk, "loop", func() {
+			defer done.Store(true)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				vclock.Idle(clk)
+			}
+		})
+		vclock.Yield(clk) // let the loop reach its idle gate at least once
+		close(stop)
+		vclock.Await(clk, done.Load)
+		if !done.Load() {
+			t.Error("Await returned before the loop exited")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAwaitImmediate: a predicate that is already true returns without
+// parking.
+func TestAwaitImmediate(t *testing.T) {
+	sim := vclock.NewSim(4)
+	clk := sim.Clock()
+	if err := Run(sim, func() {
+		vclock.Await(clk, func() bool { return true })
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeadlockDetected: all actors idle with no pending timers is reported
+// as an error, not a hang.
+func TestDeadlockDetected(t *testing.T) {
+	sim := vclock.NewSim(5)
+	clk := sim.Clock()
+	err := Run(sim, func() {
+		for {
+			vclock.Idle(clk) // idles forever; no timers exist
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("want deadlock error, got %v", err)
+	}
+}
+
+// TestAfterFuncRunsInAdvance: AfterFunc callbacks fire inline during time
+// advances and may Publish to wake idle actors.
+func TestAfterFuncRunsInAdvance(t *testing.T) {
+	sim := vclock.NewSim(6)
+	clk := sim.Clock()
+	var delivered atomic.Bool
+	if err := Run(sim, func() {
+		var ping atomic.Bool
+		clk.AfterFunc(10*time.Millisecond, func() {
+			ping.Store(true)
+			vclock.Publish(clk)
+		})
+		vclock.Await(clk, ping.Load)
+		delivered.Store(true)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !delivered.Load() {
+		t.Fatal("AfterFunc never woke the awaiting actor")
+	}
+}
+
+// TestNestedSpawn: actors spawned from actors (the compaction pattern) run
+// and exit cleanly, and their registration order is deterministic.
+func TestNestedSpawn(t *testing.T) {
+	run := func() string {
+		sim := vclock.NewSim(11)
+		clk := sim.Clock()
+		var order strings.Builder
+		if err := Run(sim, func() {
+			for i := 0; i < 3; i++ {
+				i := i
+				vclock.GoNamed(clk, fmt.Sprintf("outer-%d", i), func() {
+					fmt.Fprintf(&order, "o%d ", i)
+					vclock.GoNamed(clk, fmt.Sprintf("inner-%d", i), func() {
+						fmt.Fprintf(&order, "i%d ", i)
+					})
+					vclock.Yield(clk)
+				})
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return order.String()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("nested spawn order diverged: %q vs %q", a, b)
+	}
+}
+
+// TestPicksCounted: the scheduler makes at least one pick per actor and the
+// count replays.
+func TestPicksCounted(t *testing.T) {
+	picks := func() uint64 {
+		sim := vclock.NewSim(13)
+		clk := sim.Clock()
+		s := &Scheduler{sim: sim, clk: clk, seed: sim.Seed(), gate: make(chan struct{})}
+		sim.SetScheduler(s)
+		defer sim.SetScheduler(nil)
+		s.GoActor("main", func() {
+			for i := 0; i < 3; i++ {
+				vclock.Yield(clk)
+			}
+		})
+		if err := s.loop(); err != nil {
+			t.Fatal(err)
+		}
+		return s.Picks()
+	}
+	a, b := picks(), picks()
+	if a == 0 || a != b {
+		t.Fatalf("picks %d vs %d: want equal and nonzero", a, b)
+	}
+}
+
+// TestGatesNoopDuringAdvance: Yield/Idle called from an AfterFunc callback
+// (which runs inline on the scheduler goroutine during a time advance) are
+// no-ops rather than deadlocks; Publish from there is fully functional.
+func TestGatesNoopDuringAdvance(t *testing.T) {
+	sim := vclock.NewSim(8)
+	clk := sim.Clock()
+	var ran atomic.Bool
+	if err := Run(sim, func() {
+		clk.AfterFunc(time.Millisecond, func() {
+			vclock.Yield(clk)
+			vclock.Idle(clk)
+			ran.Store(true)
+			vclock.Publish(clk)
+		})
+		clk.Sleep(5 * time.Millisecond)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !ran.Load() {
+		t.Fatal("AfterFunc did not run during the advance")
+	}
+}

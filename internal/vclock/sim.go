@@ -27,6 +27,10 @@ type Sim struct {
 	timers   timerHeap
 	seq      uint64
 	advances uint64
+	// sched, when non-nil, is the attached cooperative scheduler: token
+	// accounting turns off (inc/dec become no-ops) and virtual time advances
+	// only from the scheduler's loop via AdvanceNext.
+	sched Scheduler
 }
 
 // NewSim returns a simulated clock seeded with seed. The seed does not
@@ -68,8 +72,42 @@ func (s *Sim) Stats() (busy, pendingTimers int) {
 	return s.busy, s.timers.Len()
 }
 
+// SetScheduler attaches (or, with nil, detaches) a cooperative scheduler.
+// Must be called while the simulation is quiescent — before any actors run,
+// or after all of them have exited.
+func (s *Sim) SetScheduler(sched Scheduler) {
+	s.mu.Lock()
+	s.sched = sched
+	s.mu.Unlock()
+}
+
+func (s *Sim) scheduler() Scheduler {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sched
+}
+
+// AdvanceNext fires the earliest pending timer on the calling goroutine —
+// the cooperative scheduler's advance step, used when every actor is idle
+// or sleeping. It reports whether a timer fired (false means the heap is
+// empty: with no runnable actor that is a genuine deadlock, which the
+// scheduler reports). AfterFunc callbacks run inline on the caller.
+func (s *Sim) AdvanceNext() bool {
+	s.mu.Lock()
+	fn, fired := s.advanceLocked()
+	s.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
+	return fired
+}
+
 func (s *Sim) inc() {
 	s.mu.Lock()
+	if s.sched != nil {
+		s.mu.Unlock()
+		return
+	}
 	s.busy++
 	s.mu.Unlock()
 }
@@ -83,6 +121,10 @@ func (s *Sim) inc() {
 func (s *Sim) dec() {
 	for {
 		s.mu.Lock()
+		if s.sched != nil {
+			s.mu.Unlock()
+			return
+		}
 		s.busy--
 		if s.busy < 0 {
 			s.mu.Unlock()
@@ -90,7 +132,7 @@ func (s *Sim) dec() {
 		}
 		var fn func()
 		if s.busy == 0 {
-			fn = s.advanceLocked()
+			fn, _ = s.advanceLocked()
 		}
 		s.mu.Unlock()
 		if fn == nil {
@@ -103,23 +145,26 @@ func (s *Sim) dec() {
 // advanceLocked fires the earliest pending timer, if any. Exactly one timer
 // fires per advance; ties on the deadline fire in creation order across
 // successive advances at the same virtual instant. Returns a non-nil func
-// for AfterFunc timers (run it outside the lock, then release its token).
-func (s *Sim) advanceLocked() func() {
+// for AfterFunc timers (run it outside the lock, then release its token)
+// and whether a timer fired at all.
+func (s *Sim) advanceLocked() (func(), bool) {
 	if s.timers.Len() == 0 {
-		return nil
+		return nil, false
 	}
 	tm := heap.Pop(&s.timers).(*simTimer)
 	if tm.when.After(s.now) {
 		s.now = tm.when
 	}
 	s.advances++
-	s.busy++ // fire token: transferred to the waiter or retired after fn
+	if s.sched == nil {
+		s.busy++ // fire token: transferred to the waiter or retired after fn
+	}
 	tm.state = timerFired
 	if tm.fn != nil {
-		return tm.fn
+		return tm.fn, true
 	}
 	tm.ch <- s.now // cap 1, sole pending fire: never blocks
-	return nil
+	return nil, true
 }
 
 // SimClock is a Clock handle on a Sim. Exported only so code can detect
@@ -133,9 +178,15 @@ func (c *SimClock) Now() time.Time                  { return c.s.Now() }
 func (c *SimClock) Since(t time.Time) time.Duration { return c.s.Now().Sub(t) }
 
 // Sleep blocks for d of virtual time: the caller's run token is released and
-// the timer's fire token wakes it, so the busy accounting is seamless.
+// the timer's fire token wakes it, so the busy accounting is seamless. Under
+// a cooperative scheduler the calling actor parks and its wake is scheduled
+// by the scheduler's advance loop.
 func (c *SimClock) Sleep(d time.Duration) {
 	if d <= 0 {
+		return
+	}
+	if sched := c.s.scheduler(); sched != nil {
+		sched.Sleep(d)
 		return
 	}
 	tm := c.s.addTimer(d, nil)
@@ -209,12 +260,15 @@ func (h *simTimerHandle) Stop() bool {
 		if t.ch != nil {
 			select {
 			case <-t.ch:
-				// Unread tick: retire its fire token. We hold the lock, so
-				// decrement directly; busy stays > 0 (the caller runs).
-				h.s.busy--
-				if h.s.busy < 0 {
-					h.s.mu.Unlock()
-					panic("vclock: timer fire token released twice")
+				// Unread tick: retire its fire token (under a scheduler
+				// there is none — draining the channel suffices). We hold
+				// the lock, so decrement directly; busy stays > 0.
+				if h.s.sched == nil {
+					h.s.busy--
+					if h.s.busy < 0 {
+						h.s.mu.Unlock()
+						panic("vclock: timer fire token released twice")
+					}
 				}
 			default:
 			}

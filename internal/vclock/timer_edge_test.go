@@ -1,0 +1,167 @@
+package vclock
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSimTimerEdgeCases pins the timer-state transitions the cluster's
+// backoff and election paths lean on: zero/negative durations, Reset after a
+// fire (tick read or unread), Reset after Stop, and both directions of the
+// select race between a tick delivery and a competing stop signal. Each case
+// runs on a fresh Sim so virtual timestamps are absolute.
+func TestSimTimerEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(t *testing.T, sim *Sim, clk Clock)
+	}{
+		{"after-zero-fires-at-now", func(t *testing.T, sim *Sim, clk Clock) {
+			ch := clk.After(0)
+			Park(clk)
+			at := <-ch // fire token becomes our run token
+			if got := at.Sub(simEpoch); got != 0 {
+				t.Fatalf("After(0) fired at +%v, want +0", got)
+			}
+			if sim.Advances() != 1 {
+				t.Fatalf("advances = %d, want 1 (a zero-delta fire still counts)", sim.Advances())
+			}
+		}},
+		{"after-negative-clamps-to-zero", func(t *testing.T, sim *Sim, clk Clock) {
+			ch := clk.After(-time.Second)
+			Park(clk)
+			at := <-ch
+			if got := at.Sub(simEpoch); got != 0 {
+				t.Fatalf("After(-1s) fired at +%v, want +0 (clamped)", got)
+			}
+		}},
+		{"reset-after-fire-unread", func(t *testing.T, sim *Sim, clk Clock) {
+			tm := clk.NewTimer(time.Millisecond)
+			Park(clk) // quiescence: fires at +1ms, tick left in the channel
+			Wake(clk)
+			if tm.Reset(time.Millisecond) {
+				t.Fatal("Reset on fired timer returned true")
+			}
+			// The stale +1ms tick must have been drained: the only tick left
+			// to read is the re-armed one.
+			Park(clk)
+			at := <-tm.C()
+			if got := at.Sub(simEpoch); got != 2*time.Millisecond {
+				t.Fatalf("re-armed timer fired at +%v, want +2ms", got)
+			}
+		}},
+		{"reset-after-fire-read", func(t *testing.T, sim *Sim, clk Clock) {
+			tm := clk.NewTimer(time.Millisecond)
+			Park(clk)
+			at := <-tm.C()
+			if got := at.Sub(simEpoch); got != time.Millisecond {
+				t.Fatalf("timer fired at +%v, want +1ms", got)
+			}
+			if tm.Reset(2 * time.Millisecond) {
+				t.Fatal("Reset on fired+read timer returned true")
+			}
+			Park(clk)
+			at = <-tm.C()
+			if got := at.Sub(simEpoch); got != 3*time.Millisecond {
+				t.Fatalf("re-armed timer fired at +%v, want +3ms (2ms past the 1ms now)", got)
+			}
+		}},
+		{"reset-after-stop-rearms", func(t *testing.T, sim *Sim, clk Clock) {
+			tm := clk.NewTimer(time.Hour)
+			if !tm.Stop() {
+				t.Fatal("Stop on pending timer returned false")
+			}
+			if tm.Reset(time.Millisecond) {
+				t.Fatal("Reset on stopped timer returned true")
+			}
+			Park(clk)
+			at := <-tm.C()
+			if got := at.Sub(simEpoch); got != time.Millisecond {
+				t.Fatalf("reset-after-stop fired at +%v, want +1ms", got)
+			}
+			if _, pending := sim.Stats(); pending != 0 {
+				t.Fatalf("pending timers = %d, want 0", pending)
+			}
+		}},
+		{"stop-is-idempotent", func(t *testing.T, sim *Sim, clk Clock) {
+			tm := clk.NewTimer(time.Hour)
+			if !tm.Stop() {
+				t.Fatal("first Stop returned false")
+			}
+			if tm.Stop() {
+				t.Fatal("second Stop on an already-stopped timer returned true")
+			}
+			if _, pending := sim.Stats(); pending != 0 {
+				t.Fatalf("pending timers = %d, want 0", pending)
+			}
+		}},
+		{"stop-wins-delivery-race", func(t *testing.T, sim *Sim, clk Clock) {
+			// The shutdown signal arrives before the timer deadline: the
+			// select takes the stop arm and Stop cancels a pending timer.
+			tm := clk.NewTimer(time.Hour)
+			stop := make(chan struct{}, 1)
+			clk.AfterFunc(time.Millisecond, func() {
+				Hold(clk)
+				stop <- struct{}{}
+			})
+			Park(clk)
+			select {
+			case <-stop:
+				Wake(clk)
+				Ack(clk)
+			case <-tm.C():
+				t.Fatal("timer arm won against an earlier stop signal")
+			}
+			if !tm.Stop() {
+				t.Fatal("Stop on still-pending timer returned false")
+			}
+			if _, pending := sim.Stats(); pending != 0 {
+				t.Fatalf("pending timers = %d, want 0", pending)
+			}
+			clk.Sleep(time.Millisecond) // time must still advance cleanly
+		}},
+		{"delivery-wins-stop-race", func(t *testing.T, sim *Sim, clk Clock) {
+			// The tick is delivered and read before the shutdown signal: the
+			// event loop sees one tick, then the stop, and the final Stop on
+			// the fired timer reports false without stalling virtual time.
+			tm := clk.NewTimer(time.Millisecond)
+			stop := make(chan struct{}, 1)
+			clk.AfterFunc(2*time.Millisecond, func() {
+				Hold(clk)
+				stop <- struct{}{}
+			})
+			ticks := 0
+		loop:
+			for {
+				Park(clk)
+				select {
+				case <-stop:
+					Wake(clk)
+					Ack(clk)
+					break loop
+				case at := <-tm.C(): // fire token becomes our run token
+					if got := at.Sub(simEpoch); got != time.Millisecond {
+						t.Fatalf("tick at +%v, want +1ms", got)
+					}
+					ticks++
+				}
+			}
+			if ticks != 1 {
+				t.Fatalf("ticks = %d, want 1", ticks)
+			}
+			if tm.Stop() {
+				t.Fatal("Stop on fired+read timer returned true")
+			}
+			clk.Sleep(time.Millisecond) // no orphaned token: must not hang
+		}},
+	}
+	for i, tc := range cases {
+		tc, seed := tc, int64(20+i)
+		t.Run(tc.name, func(t *testing.T) {
+			sim := NewSim(seed)
+			clk := sim.Clock()
+			Hold(clk)
+			defer Release(clk)
+			tc.run(t, sim, clk)
+		})
+	}
+}

@@ -20,6 +20,19 @@
 //
 // All helpers (Hold/Release/Park/Wake/Ack/Go) are no-ops on non-Sim clocks,
 // so production code paths carry no simulation cost beyond an interface call.
+//
+// # Cooperative scheduling
+//
+// The token model makes the event SEQUENCE a function of the seed, but not
+// the interleaving: several goroutines runnable at the same virtual instant
+// are ordered by the Go runtime (select fairness), which can shift virtual
+// timestamps between same-seed runs. For bit-identical replay a Scheduler
+// (internal/sched) can be attached via (*Sim).SetScheduler: clock-aware
+// goroutines then become cooperative actors that run one at a time, yielding
+// at Sleep, Go/GoActor spawns, and the explicit Yield/Idle/Await gates, and a
+// seeded picker chooses the next runnable actor. While a scheduler is
+// attached the token helpers are no-ops (the scheduler subsumes them) and
+// virtual time advances only from the scheduler's own loop.
 package vclock
 
 import (
@@ -60,6 +73,34 @@ type Timer interface {
 	Reset(d time.Duration) bool
 }
 
+// Scheduler is the cooperative-scheduling hook a Sim can carry (see
+// internal/sched for the implementation; the interface lives here to avoid
+// an import cycle). All methods except GoActor and Publish must be called
+// from the currently running actor.
+type Scheduler interface {
+	// GoActor spawns fn as a new actor. The actor is registered
+	// synchronously (so registration order — and therefore actor identity —
+	// is deterministic) and starts running when the picker first selects it.
+	GoActor(name string, fn func())
+	// Yield parks the calling actor at a resumption gate: the scheduler may
+	// run other ready actors before resuming it.
+	Yield()
+	// Idle parks the calling actor until the next published event or timer
+	// fire. Poll loops call it when a full poll found nothing to do.
+	Idle()
+	// Publish marks a cross-actor event (message enqueued, channel closed,
+	// actor exited): every idle actor becomes ready and will re-poll. Safe
+	// from any goroutine.
+	Publish()
+	// Sleep blocks the calling actor for d of virtual time.
+	Sleep(d time.Duration)
+	// Await blocks the calling actor until pred() is true, publishing once
+	// so other actors can make the predicate true. pred is evaluated only
+	// while the caller holds the run baton, so it may read state written by
+	// other actors without extra locking.
+	Await(pred func() bool)
+}
+
 // Wall is the production clock backed by package time.
 var Wall Clock = wallClock{}
 
@@ -94,9 +135,60 @@ func Or(clk Clock) Clock {
 // IsSim reports whether clk is a simulated clock.
 func IsSim(clk Clock) bool { _, ok := clk.(*SimClock); return ok }
 
+// schedOf returns clk's attached cooperative scheduler, or nil.
+func schedOf(clk Clock) Scheduler {
+	if sc, ok := clk.(*SimClock); ok {
+		return sc.s.scheduler()
+	}
+	return nil
+}
+
+// Scheduled reports whether clk is a simulated clock with a cooperative
+// scheduler attached. Event loops switch from Park/Wake selects to
+// deterministic poll-and-Idle loops when it returns true.
+func Scheduled(clk Clock) bool { return schedOf(clk) != nil }
+
+// Yield is a deterministic preemption point: under a cooperative scheduler
+// the calling actor parks and the seeded picker chooses the next runnable
+// actor (possibly the caller again). No-op everywhere else.
+func Yield(clk Clock) {
+	if s := schedOf(clk); s != nil {
+		s.Yield()
+	}
+}
+
+// Idle parks the calling actor until the next published event or timer
+// fire; poll loops call it after a full poll found nothing. No-op without a
+// scheduler.
+func Idle(clk Clock) {
+	if s := schedOf(clk); s != nil {
+		s.Idle()
+	}
+}
+
+// Publish signals a cross-actor event (message enqueued, channel closed):
+// idle actors re-poll. Safe from any goroutine; no-op without a scheduler.
+func Publish(clk Clock) {
+	if s := schedOf(clk); s != nil {
+		s.Publish()
+	}
+}
+
+// Await blocks until pred() is true. Under a cooperative scheduler the
+// calling actor parks between evaluations so other actors can run; without
+// one it returns immediately (callers follow it with their own blocking
+// wait, e.g. WaitGroup.Wait, which the scheduler-mode Await exists to make
+// safe).
+func Await(clk Clock, pred func() bool) {
+	if s := schedOf(clk); s != nil {
+		s.Await(pred)
+	}
+}
+
 // Hold registers one unit of pending work (a running goroutine or an
-// undelivered event) with clk's simulation; no-op on other clocks. Virtual
-// time cannot advance while any unit is held.
+// undelivered event) with clk's simulation; no-op on other clocks and under
+// a cooperative scheduler (which subsumes token accounting). Virtual time
+// cannot advance while any unit is held.
 func Hold(clk Clock) {
 	if sc, ok := clk.(*SimClock); ok {
 		sc.s.inc()
@@ -128,9 +220,21 @@ func Ack(clk Clock) { Release(clk) }
 
 // Go runs fn on a new goroutine that counts as busy for its whole lifetime
 // (the Hold happens before spawn, so there is no gap in which the sim could
-// advance). Use instead of the go statement for clock-aware code.
+// advance). Use instead of the go statement for clock-aware code. Under a
+// cooperative scheduler fn becomes a new actor, registered synchronously by
+// the caller so spawn order — and thus the whole interleaving — stays
+// deterministic.
 func Go(clk Clock, fn func()) {
+	GoNamed(clk, "", fn)
+}
+
+// GoNamed is Go with an actor name for scheduler diagnostics.
+func GoNamed(clk Clock, name string, fn func()) {
 	if sc, ok := clk.(*SimClock); ok {
+		if s := sc.s.scheduler(); s != nil {
+			s.GoActor(name, fn)
+			return
+		}
 		sc.s.inc()
 		go func() {
 			defer sc.s.dec()
